@@ -1,0 +1,24 @@
+# Convenience targets for the anchored (α,β)-core reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.experiments report --scale 0.25 --out report.md
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info report.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

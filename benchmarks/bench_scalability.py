@@ -1,0 +1,42 @@
+"""Scalability sweep — the "billion scale" claim at reproducible sizes.
+
+The paper's headline is that the filter–verification family scales to a
+1.9-billion-edge Erdős–Rényi graph while Naive cannot leave the small
+datasets.  Pure Python cannot hold a billion edges, so this bench sweeps
+ER surrogates over a 16x size range and asserts the scaling *shape*:
+FILVER++'s runtime grows near-linearly in m (well below quadratic), which is
+what makes the billion-edge run feasible for the authors' C++.
+"""
+
+import time
+
+from repro.core import run_filver_plus_plus
+from repro.experiments.runner import default_constraints
+from repro.generators import erdos_renyi_bipartite
+
+SIZES = (2000, 8000, 32000)
+
+
+def test_near_linear_scaling_on_er(benchmark, capsys):
+    def measure():
+        results = {}
+        for m in SIZES:
+            n = max(200, m // 8)
+            graph = erdos_renyi_bipartite(n, n, n_edges=m, seed=42)
+            alpha, beta = default_constraints(graph)
+            start = time.perf_counter()
+            result = run_filver_plus_plus(graph, alpha, beta, 5, 5, t=5)
+            results[m] = (time.perf_counter() - start, result.n_followers)
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        for m, (elapsed, followers) in results.items():
+            print("m=%6d: %7.3fs (%d followers)" % (m, elapsed, followers))
+
+    small, large = SIZES[0], SIZES[-1]
+    size_factor = large / small
+    time_factor = results[large][0] / max(results[small][0], 1e-6)
+    # Near-linear: a 16x bigger graph costs far less than 16^2 = 256x.
+    assert time_factor < size_factor ** 1.7, (size_factor, time_factor)

@@ -1,0 +1,38 @@
+"""E-T2 — regenerate Table II (dataset statistics) on the surrogates.
+
+Benchmarks surrogate generation + statistics (|E|, |U|, |L|, d_max, δ) and
+prints the table the paper reports, with the paper's originals beside ours.
+"""
+
+import pytest
+
+from repro.bigraph.stats import summarize
+from repro.experiments.tables import render_table2, table2_datasets
+from repro.generators import DATASETS, load_dataset
+
+from conftest import BENCH_SCALE
+
+REPRESENTATIVES = ("UL", "AC", "SO", "WC", "DB", "ER", "OG", "SN")
+
+
+@pytest.mark.parametrize("code", REPRESENTATIVES)
+def test_dataset_statistics(benchmark, code):
+    graph = load_dataset(code, scale=BENCH_SCALE)
+    stats = benchmark.pedantic(summarize, args=(graph,), rounds=1,
+                               iterations=1)
+    spec = DATASETS[code]
+    assert stats.n_edges > 0
+    assert stats.delta >= 1
+    # surrogate preserves the layer-ratio direction
+    if spec.paper_upper > spec.paper_lower:
+        assert stats.n_upper > stats.n_lower
+
+
+def test_render_full_table(benchmark, capsys):
+    rows = benchmark.pedantic(table2_datasets,
+                              kwargs={"scale": BENCH_SCALE},
+                              rounds=1, iterations=1)
+    assert len(rows) == 17
+    with capsys.disabled():
+        print()
+        print(render_table2(rows))

@@ -1,0 +1,28 @@
+"""E-T3 — Table III: FILVER++ runtime as t varies.
+
+Paper shape: runtime decreases as t grows (t anchors per iteration means
+fewer iterations): WC goes 65.6s -> 7.2s and DB 5998s -> 586s from t=1 to
+t=16.  We assert the direction (t=8 no slower than t=1 within noise) rather
+than the absolute factors.
+"""
+
+from repro.experiments.tables import render_table3, table3_t_runtime
+
+T_VALUES = (1, 2, 4, 8)
+
+
+def test_runtime_vs_t(benchmark, quick_defaults, capsys):
+    times = benchmark.pedantic(
+        table3_t_runtime,
+        kwargs={"datasets": ("WC", "DB"), "t_values": T_VALUES,
+                "budget": 8, "defaults": quick_defaults},
+        rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_table3(times))
+
+    for code, per_t in times.items():
+        # Shape: larger t is cheaper (allow 30% noise at this scale).
+        assert per_t[8] <= per_t[1] * 1.3, (code, per_t)
+        # And the sweep actually ran every setting.
+        assert set(per_t) == set(T_VALUES)

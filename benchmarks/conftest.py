@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark runs the same driver the CLI uses (``repro.experiments``),
+at a reduced surrogate ``scale`` so the whole suite finishes in minutes on a
+laptop.  Raise ``REPRO_BENCH_SCALE`` (environment variable) for more faithful
+— and much slower — runs; results at any scale preserve the qualitative
+shapes the paper reports (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentDefaults
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def defaults() -> ExperimentDefaults:
+    """Paper defaults (b1=b2=10, t=5) at benchmark scale."""
+    return ExperimentDefaults(scale=BENCH_SCALE, time_limit=120.0)
+
+
+@pytest.fixture(scope="session")
+def quick_defaults() -> ExperimentDefaults:
+    """Reduced budgets for the sweep-heavy figures."""
+    return ExperimentDefaults(b1=5, b2=5, t=3, scale=BENCH_SCALE,
+                              time_limit=120.0)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The NP-hardness proof, executed: Maximum Coverage as anchored (α,β)-core.
+
+Theorem 1 reduces Maximum Coverage to the anchored (α,β)-core problem via
+gadget graphs (element gadgets B_i, all-or-nothing trees R_j, a biclique J).
+This demo builds the reduction for a small MC instance, solves both sides
+exactly, and shows the correspondence the proof relies on: the optimal
+anchors are exactly the roots of the trees for an optimal MC set selection.
+
+Run:  python examples/hardness_reduction_demo.py
+"""
+
+from itertools import combinations
+
+from repro.abcore import abcore, anchored_abcore
+from repro.core import (
+    MaxCoverageInstance,
+    reduce_max_coverage,
+    solve_max_coverage_exact,
+)
+
+ALPHA, BETA = 3, 2
+
+
+def main() -> None:
+    instance = MaxCoverageInstance(
+        n_elements=5,
+        sets=(frozenset({0, 1}), frozenset({1, 2, 3}),
+              frozenset({3, 4}), frozenset({0, 4})),
+        budget=2)
+    print("Maximum Coverage instance:")
+    for j, s in enumerate(instance.sets):
+        print("  T_%d = %s" % (j, sorted(s)))
+    mc_opt, mc_pick = solve_max_coverage_exact(instance)
+    print("MC optimum: cover %d elements with sets %s" % (mc_opt, mc_pick))
+
+    red = reduce_max_coverage(instance, alpha=ALPHA, beta=BETA)
+    g = red.graph
+    print("\nreduced anchored (%d,%d)-core instance: %s" % (ALPHA, BETA, g))
+    print("tree gadget size %d, element gadget size %d"
+          % (red.tree_size, red.gadget_size))
+
+    base = abcore(g, ALPHA, BETA)
+    print("base core (the biclique J): %d vertices" % len(base))
+
+    best = (-1, ())
+    for pick in combinations(range(len(instance.sets)), instance.budget):
+        anchors = [red.roots[j] for j in pick]
+        f = anchored_abcore(g, ALPHA, BETA, anchors) - base - set(anchors)
+        if len(f) > best[0]:
+            best = (len(f), pick)
+    followers, pick = best
+    print("\nbest root-anchor pair: trees %s -> %d followers" % (pick,
+                                                                 followers))
+    predicted = (instance.budget * (red.tree_size - 1)
+                 + mc_opt * red.gadget_size)
+    print("predicted from MC optimum: %d * (|R|-1) + %d * |B| = %d"
+          % (instance.budget, mc_opt, predicted))
+    assert followers == predicted
+    covered = set()
+    for j in pick:
+        covered |= instance.sets[j]
+    print("\nanchoring the roots of %s covers elements %s — the same "
+          "selection\nthat solves Maximum Coverage. QED, executably."
+          % (pick, sorted(covered)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Upper/lower core numbers (Definition 10) for the order-maintenance stage.
+
+The upper core number of a vertex ``u`` is the largest ``k`` such that
+``u ∈ (α,k)-core``; the lower core number is the largest ``k`` with
+``u ∈ (k,β)-core``.  Algorithm 4 only ever compares core numbers against
+values below the target constraint, so this module computes *capped* core
+numbers: every vertex still in the anchored (α,β)-core — anchors included —
+receives the cap (``β`` on the upper side, ``α`` on the lower side), exactly
+as Algorithm 4, Line 8 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Dict, Iterable, List, Optional
+
+from repro.abcore.decomposition import peel_with_order, validate_degree_constraints
+from repro.bigraph.graph import BipartiteGraph
+
+__all__ = ["upper_core_numbers", "lower_core_numbers", "core_number_of"]
+
+
+def _capped_core_numbers(
+    graph: BipartiteGraph,
+    fixed: int,
+    cap: int,
+    anchors: Collection[int],
+    vary_upper_side: bool,
+    subset: Optional[Iterable[int]] = None,
+    start_level: int = 0,
+) -> Dict[int, int]:
+    """Peel with an increasing varied constraint and record drop-out levels.
+
+    ``fixed`` is the constraint on the non-varied layer; the varied constraint
+    sweeps ``start_level + 1 .. cap``.  A vertex removed while raising the
+    varied constraint to ``k`` gets core number ``k - 1``; survivors of the
+    final round get ``cap``.  Each round peels only within the previous
+    round's survivors, so the sweep costs a small constant number of passes.
+
+    ``start_level > 0`` asserts that every subset member already belongs to
+    the varied-``start_level`` core of the subset (true for the affected
+    graphs of Algorithm 4, whose members all have core number ≥ the placed
+    anchor's) — the sweep then skips the lower levels entirely.
+    """
+    members = list(graph.vertices()) if subset is None else list(subset)
+    numbers: Dict[int, int] = {v: start_level for v in members}
+    survivors: Optional[Iterable[int]] = members
+    for k in range(start_level + 1, cap + 1):
+        if vary_upper_side:
+            alpha, beta = fixed, k
+        else:
+            alpha, beta = k, fixed
+        core, _ = peel_with_order(graph, alpha, beta, anchors, survivors)
+        for v in core:
+            numbers[v] = k
+        if not core:
+            break
+        survivors = core
+    return numbers
+
+
+def upper_core_numbers(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    anchors: Collection[int] = (),
+    subset: Optional[Iterable[int]] = None,
+    start_level: int = 0,
+) -> Dict[int, int]:
+    """``core_U`` capped at ``β``: ``min(β, max{k | v ∈ (α,k)-core of G_A})``.
+
+    Anchors never peel and therefore always receive the cap.
+    """
+    validate_degree_constraints(alpha, beta)
+    return _capped_core_numbers(graph, alpha, beta, anchors,
+                                vary_upper_side=True, subset=subset,
+                                start_level=start_level)
+
+
+def lower_core_numbers(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    anchors: Collection[int] = (),
+    subset: Optional[Iterable[int]] = None,
+    start_level: int = 0,
+) -> Dict[int, int]:
+    """``core_L`` capped at ``α``: ``min(α, max{k | v ∈ (k,β)-core of G_A})``."""
+    validate_degree_constraints(alpha, beta)
+    return _capped_core_numbers(graph, beta, alpha, anchors,
+                                vary_upper_side=False, subset=subset,
+                                start_level=start_level)
+
+
+def core_number_of(
+    graph: BipartiteGraph,
+    vertex: int,
+    alpha: int,
+    beta: int,
+    upper_side: bool,
+    anchors: Collection[int] = (),
+) -> int:
+    """Capped core number of a single vertex (reference/testing helper)."""
+    table = (upper_core_numbers if upper_side else lower_core_numbers)(
+        graph, alpha, beta, anchors)
+    return table[vertex]

@@ -1,0 +1,102 @@
+"""Unipartite k-core utilities.
+
+The anchored (α,β)-core problem degenerates to a unipartite problem when
+``α = β`` is small: the paper's Theorem 1 notes that the (2,2)-core equals the
+2-core of the graph viewed as unipartite, where the anchored 2-core problem is
+polynomial-time solvable.  This module supplies the k-core machinery used by
+that special case and by tests that cross-check the bipartite peeling against
+a generic implementation.
+
+Graphs here are plain adjacency dicts ``{vertex: set(neighbors)}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.bigraph.graph import BipartiteGraph
+
+__all__ = ["k_core", "core_numbers", "bipartite_as_unipartite", "anchored_two_core_followers"]
+
+Adjacency = Dict[Hashable, Set[Hashable]]
+
+
+def k_core(adjacency: Adjacency, k: int,
+           anchors: Iterable[Hashable] = ()) -> Set[Hashable]:
+    """Vertex set of the k-core (anchors exempt from the degree constraint)."""
+    anchor_set = set(anchors)
+    deg = {v: len(neigh) for v, neigh in adjacency.items()}
+    alive = {v: True for v in adjacency}
+    queue: List[Hashable] = [v for v in adjacency
+                             if deg[v] < k and v not in anchor_set]
+    for v in queue:
+        alive[v] = False
+    head = 0
+    while head < len(queue):
+        v = queue[head]
+        head += 1
+        for w in adjacency[v]:
+            if not alive[w]:
+                continue
+            deg[w] -= 1
+            if deg[w] < k and w not in anchor_set:
+                alive[w] = False
+                queue.append(w)
+    return {v for v, ok in alive.items() if ok}
+
+
+def core_numbers(adjacency: Adjacency) -> Dict[Hashable, int]:
+    """Classic Batagelj–Zaveršnik core decomposition (bucket peeling)."""
+    deg = {v: len(neigh) for v, neigh in adjacency.items()}
+    if not deg:
+        return {}
+    max_deg = max(deg.values())
+    buckets: List[List[Hashable]] = [[] for _ in range(max_deg + 1)]
+    for v, d in deg.items():
+        buckets[d].append(v)
+    result: Dict[Hashable, int] = {}
+    current = 0
+    removed: Set[Hashable] = set()
+    pending = len(deg)
+    while pending:
+        while current <= max_deg and not buckets[current]:
+            current += 1
+        v = buckets[current].pop()
+        if v in removed or deg[v] != current:
+            # Stale bucket entry: the vertex moved to a lower bucket already.
+            if v in removed:
+                continue
+            buckets[deg[v]].append(v)
+            continue
+        result[v] = current
+        removed.add(v)
+        pending -= 1
+        for w in adjacency[v]:
+            if w in removed:
+                continue
+            if deg[w] > current:
+                deg[w] -= 1
+                buckets[deg[w]].append(w)
+                if deg[w] < current:
+                    current = deg[w]
+    return result
+
+
+def bipartite_as_unipartite(graph: BipartiteGraph) -> Adjacency:
+    """View a bipartite graph as a generic graph on its global vertex ids."""
+    return {v: set(graph.neighbors(v)) for v in graph.vertices()}
+
+
+def anchored_two_core_followers(
+    graph: BipartiteGraph,
+    anchors: Iterable[int],
+) -> Set[int]:
+    """Followers of an anchor set under the (2,2)-core ≡ 2-core equivalence.
+
+    Used by tests to confirm the Theorem-1 observation that the bipartite
+    machinery agrees with plain k-core when α = β = 2.
+    """
+    adjacency = bipartite_as_unipartite(graph)
+    base = k_core(adjacency, 2)
+    anchored = k_core(adjacency, 2, anchors)
+    return set(anchored) - set(base) - set(anchors)

@@ -1,0 +1,103 @@
+"""Upper/lower shells and potential followers (Definitions 4–6).
+
+* upper shell  ``S_up(G)  = C_{α,β-1}(G) \\ C_{α,β}(G)``
+* lower shell  ``S_low(G) = C_{α-1,β}(G) \\ C_{α,β}(G)``
+
+A degree constraint of ``β - 1 = 0`` (or ``α - 1 = 0``) means "no constraint"
+on that layer, which the peeling engine handles natively (a threshold of 0 is
+never violated).  The shells bound where followers can come from: anchoring
+an upper vertex only rescues vertices of the upper shell, and symmetrically
+for the lower side — the basis of the filter stage.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Optional, Set, Tuple
+
+from repro.abcore.decomposition import anchored_abcore, validate_degree_constraints
+from repro.bigraph.graph import BipartiteGraph
+
+__all__ = [
+    "upper_shell",
+    "lower_shell",
+    "potential_followers",
+    "promising_anchors",
+]
+
+
+def upper_shell(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    anchors: Collection[int] = (),
+    core: Optional[Set[int]] = None,
+) -> Set[int]:
+    """Vertices of ``C_{α,β-1}(G_A) \\ C_{α,β}(G_A)`` (both layers included)."""
+    validate_degree_constraints(alpha, beta)
+    if core is None:
+        core = anchored_abcore(graph, alpha, beta, anchors)
+    relaxed = anchored_abcore(graph, alpha, beta - 1, anchors)
+    return relaxed - core
+
+
+def lower_shell(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    anchors: Collection[int] = (),
+    core: Optional[Set[int]] = None,
+) -> Set[int]:
+    """Vertices of ``C_{α-1,β}(G_A) \\ C_{α,β}(G_A)`` (both layers included)."""
+    validate_degree_constraints(alpha, beta)
+    if core is None:
+        core = anchored_abcore(graph, alpha, beta, anchors)
+    relaxed = anchored_abcore(graph, alpha - 1, beta, anchors)
+    return relaxed - core
+
+
+def potential_followers(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    anchors: Collection[int] = (),
+) -> Set[int]:
+    """Union of the upper and lower shells (Definition 5)."""
+    core = anchored_abcore(graph, alpha, beta, anchors)
+    return (upper_shell(graph, alpha, beta, anchors, core)
+            | lower_shell(graph, alpha, beta, anchors, core))
+
+
+def promising_anchors(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    anchors: Collection[int] = (),
+) -> Tuple[Set[int], Set[int]]:
+    """Promising upper and lower anchors (Definition 6).
+
+    Upper promising anchors are upper vertices outside the (anchored) core
+    adjacent to the upper shell: ``N(S_up) \\ C_{α,β}`` intersected with the
+    upper layer, plus the upper-shell's own upper vertices (which are in
+    ``C_{α,β-1}`` and can likewise be anchored).  Symmetrically for the lower
+    side.  Returned as ``(upper_candidates, lower_candidates)``.
+    """
+    core = anchored_abcore(graph, alpha, beta, anchors)
+    placed = set(anchors)
+    s_up = upper_shell(graph, alpha, beta, anchors, core)
+    s_low = lower_shell(graph, alpha, beta, anchors, core)
+
+    upper_candidates: Set[int] = set()
+    for v in s_up:
+        if graph.is_upper(v):
+            upper_candidates.add(v)
+        for w in graph.neighbors(v):
+            if graph.is_upper(w) and w not in core:
+                upper_candidates.add(w)
+    lower_candidates: Set[int] = set()
+    for v in s_low:
+        if graph.is_lower(v):
+            lower_candidates.add(v)
+        for w in graph.neighbors(v):
+            if graph.is_lower(w) and w not in core:
+                lower_candidates.add(w)
+    return upper_candidates - placed, lower_candidates - placed

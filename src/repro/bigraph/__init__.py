@@ -1,0 +1,40 @@
+"""Bipartite graph substrate: structure, construction, I/O, mutation, stats."""
+
+from repro.bigraph.builder import GraphBuilder, from_biadjacency, from_edge_list
+from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.io import dumps, loads, read_edge_list, write_edge_list
+from repro.bigraph.mutation import (
+    add_edges,
+    disjoint_union,
+    induced_subgraph,
+    relabel_compact,
+    remove_vertices,
+    swap_layers,
+)
+from repro.bigraph.projection import co_engagement, project, weighted_project
+from repro.bigraph.stats import GraphSummary, degree_histogram, summarize
+from repro.bigraph.validation import validate_problem
+
+__all__ = [
+    "BipartiteGraph",
+    "GraphBuilder",
+    "GraphSummary",
+    "add_edges",
+    "degree_histogram",
+    "disjoint_union",
+    "dumps",
+    "from_biadjacency",
+    "from_edge_list",
+    "induced_subgraph",
+    "loads",
+    "project",
+    "read_edge_list",
+    "relabel_compact",
+    "remove_vertices",
+    "summarize",
+    "swap_layers",
+    "co_engagement",
+    "weighted_project",
+    "validate_problem",
+    "write_edge_list",
+]

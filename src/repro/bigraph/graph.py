@@ -1,0 +1,246 @@
+"""Compact bipartite graph structure used by every algorithm in this library.
+
+Vertices are integers in a single global id space:
+
+* upper-layer vertices occupy ids ``0 .. n_upper - 1``;
+* lower-layer vertices occupy ids ``n_upper .. n_upper + n_lower - 1``.
+
+This layout lets the peeling and order-computation code index flat Python
+lists by vertex id, which is the fastest option available to pure Python.
+User-facing labels (strings, original dataset ids, ...) are kept in optional
+label tables and never enter the hot paths.
+
+The graph is immutable after construction.  Algorithms that need to "delete"
+vertices do so with alive masks; algorithms that need a structurally modified
+graph (cascade simulation, hardness gadgets) build a new one via
+:mod:`repro.bigraph.mutation`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphConstructionError
+
+__all__ = ["BipartiteGraph"]
+
+
+class BipartiteGraph:
+    """An unweighted, undirected bipartite graph ``G(U ∪ L, E)``.
+
+    Parameters
+    ----------
+    n_upper:
+        Number of upper-layer vertices.
+    n_lower:
+        Number of lower-layer vertices.
+    adjacency:
+        One sorted neighbor list per vertex, indexed by global vertex id.
+        ``adjacency[u]`` for an upper vertex ``u`` must contain only lower
+        vertex ids and vice versa.  Ownership passes to the graph.
+    upper_labels / lower_labels:
+        Optional user-facing labels, parallel to the layer's vertices.
+
+    Use :class:`repro.bigraph.builder.GraphBuilder` or the module-level
+    constructors in :mod:`repro.bigraph` instead of calling this directly
+    unless the adjacency is already in canonical form.
+    """
+
+    __slots__ = ("n_upper", "n_lower", "_adj", "n_edges",
+                 "_upper_labels", "_lower_labels", "_label_index",
+                 "__weakref__")
+
+    def __init__(
+        self,
+        n_upper: int,
+        n_lower: int,
+        adjacency: List[List[int]],
+        upper_labels: Optional[Sequence[object]] = None,
+        lower_labels: Optional[Sequence[object]] = None,
+        _validate: bool = True,
+    ) -> None:
+        if n_upper < 0 or n_lower < 0:
+            raise GraphConstructionError("layer sizes must be non-negative")
+        if len(adjacency) != n_upper + n_lower:
+            raise GraphConstructionError(
+                "adjacency has %d rows, expected %d"
+                % (len(adjacency), n_upper + n_lower)
+            )
+        self.n_upper = n_upper
+        self.n_lower = n_lower
+        self._adj = adjacency
+        self.n_edges = sum(len(adjacency[u]) for u in range(n_upper))
+        self._upper_labels = list(upper_labels) if upper_labels is not None else None
+        self._lower_labels = list(lower_labels) if lower_labels is not None else None
+        self._label_index: Optional[Dict[Tuple[str, object], int]] = None
+        if _validate:
+            self._check_consistency()
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        """Total number of vertices ``|U| + |L|``."""
+        return self.n_upper + self.n_lower
+
+    def is_upper(self, v: int) -> bool:
+        """Return ``True`` when ``v`` is an upper-layer vertex."""
+        return v < self.n_upper
+
+    def is_lower(self, v: int) -> bool:
+        """Return ``True`` when ``v`` is a lower-layer vertex."""
+        return v >= self.n_upper
+
+    def layer(self, v: int) -> str:
+        """Return ``"upper"`` or ``"lower"`` for vertex ``v``."""
+        return "upper" if v < self.n_upper else "lower"
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v`` in the full graph."""
+        return len(self._adj[v])
+
+    def neighbors(self, v: int) -> List[int]:
+        """Sorted neighbor list of ``v`` (do not mutate)."""
+        return self._adj[v]
+
+    @property
+    def adjacency(self) -> List[List[int]]:
+        """The raw adjacency table (read-only by convention)."""
+        return self._adj
+
+    def upper_vertices(self) -> range:
+        """Ids of all upper-layer vertices."""
+        return range(self.n_upper)
+
+    def lower_vertices(self) -> range:
+        """Ids of all lower-layer vertices."""
+        return range(self.n_upper, self.n_upper + self.n_lower)
+
+    def vertices(self) -> range:
+        """Ids of all vertices, upper layer first."""
+        return range(self.n_upper + self.n_lower)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges as ``(upper_id, lower_id)`` pairs."""
+        for u in range(self.n_upper):
+            for v in self._adj[u]:
+                yield (u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` when the edge ``{u, v}`` exists (binary search)."""
+        if self.degree(u) > self.degree(v):
+            u, v = v, u
+        row = self._adj[u]
+        lo, hi = 0, len(row)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if row[mid] < v:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < len(row) and row[lo] == v
+
+    def max_degree(self) -> int:
+        """Maximum degree over all vertices (0 on an empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(row) for row in self._adj)
+
+    def degree_threshold(self, v: int, alpha: int, beta: int) -> int:
+        """The (α,β)-core degree requirement that applies to vertex ``v``."""
+        return alpha if v < self.n_upper else beta
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+
+    def label_of(self, v: int) -> object:
+        """User label of ``v``; falls back to the integer id when unlabeled."""
+        if v < self.n_upper:
+            if self._upper_labels is not None:
+                return self._upper_labels[v]
+            return v
+        if self._lower_labels is not None:
+            return self._lower_labels[v - self.n_upper]
+        return v
+
+    def vertex_of(self, layer: str, label: object) -> int:
+        """Resolve a ``(layer, label)`` pair back to a vertex id.
+
+        Raises ``KeyError`` when the label is unknown.  Builds a lookup index
+        lazily on first use.
+        """
+        if layer not in ("upper", "lower"):
+            raise KeyError("layer must be 'upper' or 'lower', got %r" % (layer,))
+        if self._label_index is None:
+            index: Dict[Tuple[str, object], int] = {}
+            if self._upper_labels is not None:
+                for i, lbl in enumerate(self._upper_labels):
+                    index[("upper", lbl)] = i
+            if self._lower_labels is not None:
+                for i, lbl in enumerate(self._lower_labels):
+                    index[("lower", lbl)] = self.n_upper + i
+            self._label_index = index
+        if not self._label_index and self._upper_labels is None:
+            # Unlabeled graph: labels *are* vertex ids.
+            v = int(label)  # type: ignore[arg-type]
+            if layer == "upper" and 0 <= v < self.n_upper:
+                return v
+            if layer == "lower" and self.n_upper <= v < self.n_vertices:
+                return v
+            raise KeyError((layer, label))
+        return self._label_index[(layer, label)]
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return "BipartiteGraph(n_upper=%d, n_lower=%d, n_edges=%d)" % (
+            self.n_upper, self.n_lower, self.n_edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BipartiteGraph):
+            return NotImplemented
+        return (self.n_upper == other.n_upper
+                and self.n_lower == other.n_lower
+                and self._adj == other._adj)
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash is enough
+        return id(self)
+
+    def copy_adjacency(self) -> List[List[int]]:
+        """Deep-copied adjacency table (for algorithms that peel edges)."""
+        return [list(row) for row in self._adj]
+
+    # ------------------------------------------------------------------
+    # Internal validation
+    # ------------------------------------------------------------------
+
+    def _check_consistency(self) -> None:
+        n1, n = self.n_upper, self.n_vertices
+        lower_edge_count = 0
+        for v in range(n):
+            row = self._adj[v]
+            prev = -1
+            for w in row:
+                if w <= prev:
+                    raise GraphConstructionError(
+                        "adjacency of vertex %d is not sorted/unique" % v)
+                prev = w
+                if v < n1:
+                    if w < n1 or w >= n:
+                        raise GraphConstructionError(
+                            "upper vertex %d adjacent to non-lower id %d" % (v, w))
+                else:
+                    if w < 0 or w >= n1:
+                        raise GraphConstructionError(
+                            "lower vertex %d adjacent to non-upper id %d" % (v, w))
+            if v >= n1:
+                lower_edge_count += len(row)
+        if lower_edge_count != self.n_edges:
+            raise GraphConstructionError(
+                "asymmetric adjacency: %d upper-side vs %d lower-side entries"
+                % (self.n_edges, lower_edge_count))

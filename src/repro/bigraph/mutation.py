@@ -1,0 +1,132 @@
+"""Structural graph transformations that produce new graphs.
+
+The core algorithms never mutate a graph (they use alive masks); these
+helpers serve the cascade simulator, the hardness-reduction gadgets, and the
+"add more connections" interpretation of anchoring mentioned in the paper's
+Definition 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bigraph.builder import from_edge_list
+from repro.bigraph.graph import BipartiteGraph
+from repro.exceptions import GraphConstructionError
+
+__all__ = [
+    "remove_vertices",
+    "add_edges",
+    "induced_subgraph",
+    "disjoint_union",
+    "relabel_compact",
+    "swap_layers",
+]
+
+
+def remove_vertices(graph: BipartiteGraph, victims: Iterable[int]) -> BipartiteGraph:
+    """Return a copy of ``graph`` without ``victims`` or their edges.
+
+    Remaining vertices keep their positions relative to their layer, so labels
+    carry over; use :func:`relabel_compact` afterwards if a dense id space is
+    needed for size-sensitive code.
+    """
+    dead = set(victims)
+    for v in dead:
+        if v < 0 or v >= graph.n_vertices:
+            raise GraphConstructionError("vertex %d out of range" % v)
+    keep_upper = [u for u in graph.upper_vertices() if u not in dead]
+    keep_lower = [v for v in graph.lower_vertices() if v not in dead]
+    upper_map = {u: i for i, u in enumerate(keep_upper)}
+    lower_map = {v: i for i, v in enumerate(keep_lower)}
+    edges = [(upper_map[u], lower_map[v]) for u, v in graph.edges()
+             if u not in dead and v not in dead]
+    upper_labels = [graph.label_of(u) for u in keep_upper]
+    lower_labels = [graph.label_of(v) for v in keep_lower]
+    return from_edge_list(edges, n_upper=len(keep_upper), n_lower=len(keep_lower),
+                          upper_labels=upper_labels, lower_labels=lower_labels)
+
+
+def add_edges(graph: BipartiteGraph,
+              new_edges: Sequence[Tuple[int, int]]) -> BipartiteGraph:
+    """Return a copy of ``graph`` with extra ``(upper_id, lower_id)`` edges.
+
+    Global ids are used for both endpoints (so the lower endpoint must be
+    ``>= graph.n_upper``); duplicates with existing edges are collapsed.
+    """
+    edges: List[Tuple[int, int]] = [(u, v - graph.n_upper) for u, v in graph.edges()]
+    for u, v in new_edges:
+        if not (0 <= u < graph.n_upper):
+            raise GraphConstructionError("%d is not an upper vertex" % u)
+        if not (graph.n_upper <= v < graph.n_vertices):
+            raise GraphConstructionError("%d is not a lower vertex" % v)
+        edges.append((u, v - graph.n_upper))
+    upper_labels = [graph.label_of(u) for u in graph.upper_vertices()]
+    lower_labels = [graph.label_of(v) for v in graph.lower_vertices()]
+    return from_edge_list(edges, n_upper=graph.n_upper, n_lower=graph.n_lower,
+                          upper_labels=upper_labels, lower_labels=lower_labels)
+
+
+def induced_subgraph(graph: BipartiteGraph,
+                     vertices: Iterable[int]) -> BipartiteGraph:
+    """Subgraph induced by ``vertices`` (global ids), with compact new ids."""
+    keep = set(vertices)
+    return remove_vertices(graph, (v for v in graph.vertices() if v not in keep))
+
+
+def disjoint_union(graphs: Sequence[BipartiteGraph]) -> BipartiteGraph:
+    """Disjoint union of several bipartite graphs.
+
+    Used by the Theorem-1 reduction, which stitches together many copies of
+    small gadgets.  Labels become ``(component_index, original_label)``.
+    """
+    edges: List[Tuple[int, int]] = []
+    upper_labels: List[object] = []
+    lower_labels: List[object] = []
+    upper_offset = 0
+    lower_offset = 0
+    for idx, g in enumerate(graphs):
+        for u, v in g.edges():
+            edges.append((upper_offset + u, lower_offset + (v - g.n_upper)))
+        upper_labels.extend((idx, g.label_of(u)) for u in g.upper_vertices())
+        lower_labels.extend((idx, g.label_of(v)) for v in g.lower_vertices())
+        upper_offset += g.n_upper
+        lower_offset += g.n_lower
+    return from_edge_list(edges, n_upper=upper_offset, n_lower=lower_offset,
+                          upper_labels=upper_labels, lower_labels=lower_labels)
+
+
+def swap_layers(graph: BipartiteGraph) -> BipartiteGraph:
+    """Exchange the two layers (uppers become lowers and vice versa).
+
+    An (α,β)-core of the original equals a (β,α)-core of the swapped graph,
+    which reduces any "symmetric case" — e.g. the Theorem-1 gadget for
+    ``β ≥ 3, α ≥ 2`` — to its mirror.  Labels carry over.
+    """
+    edges = [(v - graph.n_upper, u) for u, v in graph.edges()]
+    upper_labels = [graph.label_of(v) for v in graph.lower_vertices()]
+    lower_labels = [graph.label_of(u) for u in graph.upper_vertices()]
+    return from_edge_list(edges, n_upper=graph.n_lower,
+                          n_lower=graph.n_upper,
+                          upper_labels=upper_labels,
+                          lower_labels=lower_labels)
+
+
+def relabel_compact(graph: BipartiteGraph) -> Tuple[BipartiteGraph, Dict[int, int]]:
+    """Drop isolated vertices; return the compacted graph and an old→new map."""
+    keep = [v for v in graph.vertices() if graph.degree(v) > 0]
+    keep_set = set(keep)
+    compact = induced_subgraph(graph, keep_set)
+    mapping: Dict[int, int] = {}
+    next_upper = 0
+    next_lower = compact.n_upper
+    for v in graph.vertices():
+        if v not in keep_set:
+            continue
+        if graph.is_upper(v):
+            mapping[v] = next_upper
+            next_upper += 1
+        else:
+            mapping[v] = next_lower
+            next_lower += 1
+    return compact, mapping

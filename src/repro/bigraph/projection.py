@@ -1,0 +1,70 @@
+"""One-mode projections of bipartite graphs.
+
+Projecting onto one layer (users connected when they share an item, items
+when they share a user) is the standard bridge between bipartite analysis
+and the unipartite k-core literature the paper builds on: the projection's
+k-core machinery (`repro.abcore.kcore`) gives a comparison point for the
+(α,β)-core, and weighted projections expose co-engagement strength.
+
+Projections are returned as plain adjacency structures (dicts), matching
+:mod:`repro.abcore.kcore`'s graph representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["project", "weighted_project", "co_engagement"]
+
+
+def project(graph: BipartiteGraph, layer: str = "upper") -> Dict[int, Set[int]]:
+    """Unweighted projection: same-layer vertices sharing ≥ 1 neighbor.
+
+    Vertices with no projection edges still appear (with empty neighbor
+    sets) so downstream k-core code sees the full layer.
+    """
+    vertices = _layer_vertices(graph, layer)
+    adjacency: Dict[int, Set[int]] = {v: set() for v in vertices}
+    for v in vertices:
+        for mid in graph.neighbors(v):
+            for w in graph.neighbors(mid):
+                if w != v:
+                    adjacency[v].add(w)
+    return adjacency
+
+
+def weighted_project(graph: BipartiteGraph,
+                     layer: str = "upper") -> Dict[Tuple[int, int], int]:
+    """Weighted projection: ``{(v, w): #shared neighbors}`` with ``v < w``."""
+    vertices = _layer_vertices(graph, layer)
+    weights: Dict[Tuple[int, int], int] = {}
+    for v in vertices:
+        for mid in graph.neighbors(v):
+            for w in graph.neighbors(mid):
+                if w > v:
+                    key = (v, w)
+                    weights[key] = weights.get(key, 0) + 1
+    return weights
+
+
+def co_engagement(graph: BipartiteGraph, v: int, w: int) -> int:
+    """Number of shared neighbors of two same-layer vertices."""
+    if graph.is_upper(v) != graph.is_upper(w):
+        raise InvalidParameterError(
+            "co-engagement is defined within one layer; got %d and %d"
+            % (v, w))
+    a = graph.neighbors(v)
+    b = set(graph.neighbors(w))
+    return sum(1 for x in a if x in b)
+
+
+def _layer_vertices(graph: BipartiteGraph, layer: str):
+    if layer == "upper":
+        return graph.upper_vertices()
+    if layer == "lower":
+        return graph.lower_vertices()
+    raise InvalidParameterError("layer must be 'upper' or 'lower', got %r"
+                                % (layer,))

@@ -1,0 +1,79 @@
+"""Dataset statistics matching Table II of the paper.
+
+For each dataset the paper reports ``|E|``, ``|U|``, ``|L|``, ``d_max`` (the
+maximum degree) and ``δ`` (the largest k such that the (k,k)-core exists).
+:func:`summarize` computes all five plus a few extras used by the surrogate
+calibration in :mod:`repro.generators.datasets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.bigraph.graph import BipartiteGraph
+
+__all__ = ["GraphSummary", "summarize", "degree_histogram", "average_degrees"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """The Table-II statistics of one bipartite graph."""
+
+    n_edges: int
+    n_upper: int
+    n_lower: int
+    max_degree: int
+    delta: int
+    avg_upper_degree: float
+    avg_lower_degree: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Dict form used by the Table-II harness renderer."""
+        return {
+            "|E|": self.n_edges,
+            "|U|": self.n_upper,
+            "|L|": self.n_lower,
+            "d_max": self.max_degree,
+            "delta": self.delta,
+        }
+
+
+def summarize(graph: BipartiteGraph) -> GraphSummary:
+    """Compute the full statistics row for ``graph``.
+
+    δ requires a core-decomposition sweep; the import is deferred so the
+    graph substrate has no static dependency on :mod:`repro.abcore`.
+    """
+    from repro.abcore.decomposition import delta as compute_delta
+
+    n1, n2 = graph.n_upper, graph.n_lower
+    m = graph.n_edges
+    return GraphSummary(
+        n_edges=m,
+        n_upper=n1,
+        n_lower=n2,
+        max_degree=graph.max_degree(),
+        delta=compute_delta(graph),
+        avg_upper_degree=(m / n1) if n1 else 0.0,
+        avg_lower_degree=(m / n2) if n2 else 0.0,
+    )
+
+
+def degree_histogram(graph: BipartiteGraph, layer: str = "upper") -> Dict[int, int]:
+    """Degree → count histogram for one layer (``"upper"`` or ``"lower"``)."""
+    vertices = graph.upper_vertices() if layer == "upper" else graph.lower_vertices()
+    histogram: Dict[int, int] = {}
+    for v in vertices:
+        d = graph.degree(v)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+def average_degrees(graph: BipartiteGraph) -> Dict[str, float]:
+    """Average degree of each layer (0.0 for an empty layer)."""
+    m = graph.n_edges
+    return {
+        "upper": m / graph.n_upper if graph.n_upper else 0.0,
+        "lower": m / graph.n_lower if graph.n_lower else 0.0,
+    }

@@ -1,0 +1,56 @@
+"""Structural sanity checks over bipartite graphs and problem parameters.
+
+These checks are deliberately separate from :class:`BipartiteGraph`'s
+constructor validation: the constructor guarantees representation invariants
+(sorted rows, symmetric adjacency), while this module validates *semantic*
+expectations callers may want to assert — e.g. before launching a long
+reinforcement run.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["validate_problem", "check_vertex", "check_anchor_layers"]
+
+
+def validate_problem(graph: BipartiteGraph, alpha: int, beta: int,
+                     b1: int, b2: int) -> None:
+    """Validate a full anchored (α,β)-core problem instance.
+
+    Enforces the paper's assumptions: α, β ≥ 1, budgets ≥ 0, and budgets no
+    larger than the layer they draw from.
+    """
+    if alpha < 1 or beta < 1:
+        raise InvalidParameterError(
+            "alpha and beta must be >= 1, got (%d, %d)" % (alpha, beta))
+    if b1 < 0 or b2 < 0:
+        raise InvalidParameterError(
+            "budgets must be >= 0, got (%d, %d)" % (b1, b2))
+    if b1 > graph.n_upper:
+        raise InvalidParameterError(
+            "upper budget %d exceeds |U| = %d" % (b1, graph.n_upper))
+    if b2 > graph.n_lower:
+        raise InvalidParameterError(
+            "lower budget %d exceeds |L| = %d" % (b2, graph.n_lower))
+
+
+def check_vertex(graph: BipartiteGraph, v: int) -> None:
+    """Raise when ``v`` is not a valid vertex id of ``graph``."""
+    if not (0 <= v < graph.n_vertices):
+        raise InvalidParameterError(
+            "vertex %d out of range [0, %d)" % (v, graph.n_vertices))
+
+
+def check_anchor_layers(graph: BipartiteGraph, anchors: Collection[int],
+                        b1: int, b2: int) -> None:
+    """Check that an anchor set respects the per-layer budgets."""
+    upper = sum(1 for a in anchors if graph.is_upper(a))
+    lower = len(anchors) - upper
+    if upper > b1 or lower > b2:
+        raise InvalidParameterError(
+            "anchor set uses (%d, %d) slots, budgets are (%d, %d)"
+            % (upper, lower, b1, b2))

@@ -1,0 +1,26 @@
+"""Bipartite cohesive-subgraph models from the paper's related work.
+
+The (α,β)-core is one of a family of bipartite cohesion models; this package
+implements the butterfly-based members (butterfly counting and the
+k-bitruss) so the reinforcement results can be contrasted with stricter
+cohesion notions.
+"""
+
+from repro.cohesion.biclique import Biclique, maximal_bicliques, maximum_biclique
+from repro.cohesion.bitruss import bitruss_number, k_bitruss
+from repro.cohesion.butterflies import (
+    butterflies_per_vertex,
+    count_butterflies,
+    edge_support,
+)
+
+__all__ = [
+    "Biclique",
+    "bitruss_number",
+    "butterflies_per_vertex",
+    "count_butterflies",
+    "edge_support",
+    "k_bitruss",
+    "maximal_bicliques",
+    "maximum_biclique",
+]

@@ -1,0 +1,104 @@
+"""Maximal biclique enumeration (MBEA) — related work [40]'s model.
+
+A biclique is a complete bipartite subgraph; maximal bicliques are the
+strongest cohesion notion the paper's related work surveys (Lyu et al.,
+PVLDB'20 search them at billion scale).  This module implements the classic
+MBEA branch-and-bound (Zhang et al., BMC Bioinformatics 2014): grow a lower
+vertex set, keep the uppers adjacent to all of it, close the lower side, and
+prune branches whose closure was already reported (via the excluded set).
+
+Exponentially many maximal bicliques can exist; callers bound the output
+with ``limit`` and the per-side minimum sizes (as the billion-scale search
+does with its size thresholds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["Biclique", "maximal_bicliques", "maximum_biclique"]
+
+
+@dataclass(frozen=True)
+class Biclique:
+    """One maximal biclique, as frozen vertex sets of each layer."""
+
+    uppers: FrozenSet[int]
+    lowers: FrozenSet[int]
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.uppers) * len(self.lowers)
+
+
+def maximal_bicliques(
+    graph: BipartiteGraph,
+    min_upper: int = 1,
+    min_lower: int = 1,
+    limit: Optional[int] = 10_000,
+) -> List[Biclique]:
+    """Enumerate maximal bicliques with at least the given side sizes.
+
+    Raises :class:`InvalidParameterError` when the enumeration exceeds
+    ``limit`` results (pass ``limit=None`` to disable, at your own risk).
+    """
+    if min_upper < 1 or min_lower < 1:
+        raise InvalidParameterError("minimum side sizes must be >= 1")
+    results: List[Biclique] = []
+    lowers = [v for v in graph.lower_vertices() if graph.degree(v) > 0]
+    uppers = {u for u in graph.upper_vertices() if graph.degree(u) > 0}
+    if not lowers or not uppers:
+        return results
+
+    neighbor_cache = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+
+    def expand(current_uppers: Set[int], candidates: List[int],
+               excluded: List[int]) -> None:
+        for i, v in enumerate(candidates):
+            new_uppers = current_uppers & neighbor_cache[v]
+            if not new_uppers:
+                continue
+            # maximality w.r.t. already-processed lowers
+            if any(new_uppers <= neighbor_cache[q] for q in excluded):
+                continue
+            # close the lower side: every lower adjacent to all new_uppers
+            closure = {w for w in neighbor_cache[next(iter(new_uppers))]
+                       if new_uppers <= neighbor_cache[w]}
+            if len(new_uppers) >= min_upper and len(closure) >= min_lower:
+                results.append(Biclique(frozenset(new_uppers),
+                                        frozenset(closure)))
+                if limit is not None and len(results) > limit:
+                    raise InvalidParameterError(
+                        "more than %d maximal bicliques; raise the size "
+                        "thresholds or the limit" % limit)
+            remaining = [p for p in candidates[i + 1:]
+                         if p not in closure and new_uppers & neighbor_cache[p]]
+            if remaining:
+                expand(new_uppers, remaining,
+                       excluded + [q for q in candidates[:i]
+                                   if q not in closure])
+        return
+
+    expand(set(uppers), lowers, [])
+    # Deduplicate: different branches can reach the same closed pair.
+    unique = {}
+    for b in results:
+        unique[(b.uppers, b.lowers)] = b
+    return sorted(unique.values(),
+                  key=lambda b: (-b.n_edges, sorted(b.uppers),
+                                 sorted(b.lowers)))
+
+
+def maximum_biclique(
+    graph: BipartiteGraph,
+    min_upper: int = 1,
+    min_lower: int = 1,
+    limit: Optional[int] = 10_000,
+) -> Optional[Biclique]:
+    """The edge-maximum biclique among the maximal ones (None when empty)."""
+    found = maximal_bicliques(graph, min_upper, min_lower, limit)
+    return found[0] if found else None

@@ -1,0 +1,83 @@
+"""k-bitruss: the edge-level cohesive model from the paper's related work.
+
+The k-bitruss (Zou DASFAA'16; Wang et al. ICDE'20) is the maximal subgraph
+in which every *edge* participates in at least ``k`` butterflies.  Like the
+(α,β)-core it is computed by peeling, but over edges with butterfly support
+instead of vertices with degree.  It is stricter than the core model: edges,
+not endpoints, must be embedded in cohesive structure.
+
+The implementation favors clarity over asymptotics (support updates
+re-enumerate the butterflies of each removed edge), which is the right
+trade-off for a reference model used in tests, examples and comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.cohesion.butterflies import edge_support
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["k_bitruss", "bitruss_number"]
+
+Edge = Tuple[int, int]
+
+
+def k_bitruss(graph: BipartiteGraph, k: int) -> Set[Edge]:
+    """Edge set of the k-bitruss (edges as ``(upper_id, lower_global_id)``).
+
+    ``k = 0`` returns every edge.  Peels edges whose live butterfly support
+    drops below ``k``; on removal of (u, v), every butterfly (u, w | v, x)
+    still alive loses one, decrementing its other three edges.
+    """
+    if k < 0:
+        raise InvalidParameterError("k must be >= 0, got %d" % k)
+    adjacency: Dict[int, Set[int]] = {
+        v: set(graph.neighbors(v)) for v in graph.vertices()}
+    support = edge_support(graph)
+    if k == 0:
+        return set(support)
+
+    queue: List[Edge] = [e for e, s in support.items() if s < k]
+    removed: Set[Edge] = set(queue)
+    head = 0
+    while head < len(queue):
+        u, v = queue[head]
+        head += 1
+        adjacency[u].discard(v)
+        adjacency[v].discard(u)
+        # butterflies through (u, v): w ∈ N(v), x ∈ N(u) with (w, x) an edge
+        for w in adjacency[v]:
+            if w == u:
+                continue
+            for x in adjacency[u]:
+                if x == v or x not in adjacency[w]:
+                    continue
+                for other in ((w, v), (u, x), (w, x)):
+                    edge = other if other in support else (other[1], other[0])
+                    if edge in removed:
+                        continue
+                    support[edge] -= 1
+                    if support[edge] < k:
+                        removed.add(edge)
+                        queue.append(edge)
+    return {e for e in support if e not in removed}
+
+
+def bitruss_number(graph: BipartiteGraph) -> Dict[Edge, int]:
+    """The bitruss number of each edge: max k with the edge in a k-bitruss.
+
+    Computed by increasing k and recording when each edge peels out; simple,
+    quadratic in the peel levels, adequate for analysis-sized graphs.
+    """
+    numbers: Dict[Edge, int] = {}
+    survivors = k_bitruss(graph, 0)
+    k = 0
+    while survivors:
+        k += 1
+        nxt = k_bitruss(graph, k)
+        for edge in survivors - nxt:
+            numbers[edge] = k - 1
+        survivors = nxt
+    return numbers

@@ -1,0 +1,92 @@
+"""Butterfly counting — the bipartite analogue of triangle counting.
+
+A *butterfly* is a complete 2×2 biclique (two upper and two lower vertices,
+all four edges present).  It is the smallest non-trivial cohesion motif on
+bipartite graphs and underlies the k-bitruss model the paper's related work
+surveys (Wang et al. ICDE'20, Zou DASFAA'16, Sarıyüce & Pinar WSDM'18).
+
+Counting uses the classic wedge-processing scheme: iterate vertices on the
+layer with the smaller wedge volume; for each start vertex count, via its
+two-hop walks, how many common neighbors it shares with every same-layer
+vertex; each pair with ``c`` common neighbors closes ``C(c,2)`` butterflies.
+Complexity ``O(Σ_v deg(v)²)`` on the chosen side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.bigraph.graph import BipartiteGraph
+
+__all__ = ["count_butterflies", "butterflies_per_vertex", "edge_support"]
+
+
+def _wedge_side(graph: BipartiteGraph) -> bool:
+    """True when starting from the upper layer is cheaper."""
+    upper_volume = sum(graph.degree(v) ** 2 for v in graph.upper_vertices())
+    lower_volume = sum(graph.degree(v) ** 2 for v in graph.lower_vertices())
+    return upper_volume <= lower_volume
+
+
+def count_butterflies(graph: BipartiteGraph) -> int:
+    """Total number of butterflies in the graph."""
+    start_upper = _wedge_side(graph)
+    vertices = graph.upper_vertices() if start_upper else graph.lower_vertices()
+    total = 0
+    for u in vertices:
+        common: Dict[int, int] = {}
+        for v in graph.neighbors(u):
+            for w in graph.neighbors(v):
+                if w > u:  # count each same-layer pair once
+                    common[w] = common.get(w, 0) + 1
+        for c in common.values():
+            total += c * (c - 1) // 2
+    return total
+
+
+def butterflies_per_vertex(graph: BipartiteGraph) -> Dict[int, int]:
+    """Number of butterflies each vertex participates in.
+
+    A butterfly on (u, w | v, x) counts once for each of its four vertices;
+    consistency: the per-vertex counts sum to ``4 ×`` the total.
+    """
+    counts: Dict[int, int] = {v: 0 for v in graph.vertices()}
+    # A butterfly's two upper vertices are credited by the upper-pair pass
+    # and its two lower vertices by the lower-pair pass, so each vertex is
+    # counted exactly once and the grand total sums to 4x the butterflies.
+    for vertices in (graph.upper_vertices(), graph.lower_vertices()):
+        for u in vertices:
+            common: Dict[int, int] = {}
+            for v in graph.neighbors(u):
+                for w in graph.neighbors(v):
+                    if w > u:
+                        common[w] = common.get(w, 0) + 1
+            for w, c in common.items():
+                pairs = c * (c - 1) // 2
+                counts[u] += pairs
+                counts[w] += pairs
+    return counts
+
+
+def edge_support(graph: BipartiteGraph) -> Dict[Tuple[int, int], int]:
+    """Butterflies containing each edge (the k-bitruss peel quantity).
+
+    For edge (u, v): every ``w ∈ N(v) \\ {u}`` with ``c = |N(u) ∩ N(w)|``
+    common neighbors contributes ``c - 1`` butterflies through (u, v)
+    (choosing any common neighbor other than v itself as the fourth vertex).
+    """
+    support: Dict[Tuple[int, int], int] = {e: 0 for e in graph.edges()}
+    for u in graph.upper_vertices():
+        # common[w] = |N(u) ∩ N(w)| for same-layer w
+        common: Dict[int, int] = {}
+        for v in graph.neighbors(u):
+            for w in graph.neighbors(v):
+                if w != u:
+                    common[w] = common.get(w, 0) + 1
+        for v in graph.neighbors(u):
+            count = 0
+            for w in graph.neighbors(v):
+                if w != u:
+                    count += common[w] - 1
+            support[(u, v)] = count
+    return support

@@ -1,0 +1,184 @@
+"""Anchor-set maintenance for FILVER++ (Section V-A, Algorithm 6).
+
+While scanning candidates, FILVER++ maintains a working set ``T`` of up to
+``t`` anchors whose *in-shell follower set* ``F_sh(T) = ∪_{x∈T} F(x)`` it
+tries to grow.  ``|F_sh(T)|`` is a tight lower bound on ``|F(T)|`` (Fig. 4 of
+the paper; reproduced by ``benchmarks/bench_fig4_inshell.py``).
+
+A new candidate ``x`` either joins ``T`` (when ``|T| < t`` and the per-layer
+budgets allow) or replaces the *least-contribution anchor* ``x_min(T)`` — the
+member with the smallest exclusive follower set (Definitions 11–12) — when
+that strictly grows ``F_sh`` (Lemma 4 reduces the comparison to
+``|F_ex(x, T')| > |F_ex(x_min, T)|``).
+
+Bookkeeping uses per-follower coverage sets so that insertion, replacement
+and the exclusive-size queries all cost ``O(|F(x)|)`` (``t`` is a small
+constant, ≤ 16 in all the paper's experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.bigraph.graph import BipartiteGraph
+
+__all__ = ["AnchorSetMaintainer"]
+
+
+class AnchorSetMaintainer:
+    """Maintains the working anchor set ``T`` of one FILVER++ iteration.
+
+    Parameters
+    ----------
+    graph:
+        Used only to decide which layer an anchor occupies.
+    t:
+        Capacity of ``T`` (the paper's ``t``).
+    upper_budget / lower_budget:
+        Remaining per-layer budgets for this iteration
+        (``b1 - |A ∩ U|`` and ``b2 - |A ∩ L|``).
+    """
+
+    def __init__(self, graph: BipartiteGraph, t: int,
+                 upper_budget: int, lower_budget: int) -> None:
+        if t < 1:
+            raise ValueError("t must be >= 1, got %d" % t)
+        self._graph = graph
+        self.t = t
+        self.upper_budget = upper_budget
+        self.lower_budget = lower_budget
+        self._followers: Dict[int, Set[int]] = {}
+        self._coverers: Dict[int, Set[int]] = {}
+        self._exclusive: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def anchors(self) -> List[int]:
+        """Current members of ``T`` (ascending id, for determinism)."""
+        return sorted(self._followers)
+
+    def __len__(self) -> int:
+        return len(self._followers)
+
+    def followers_of(self, x: int) -> Set[int]:
+        """The recorded ``F(x)`` of a member anchor."""
+        return self._followers[x]
+
+    def in_shell_followers(self) -> Set[int]:
+        """``F_sh(T)``: the union of the members' follower sets."""
+        return set(self._coverers)
+
+    def in_shell_size(self) -> int:
+        """``|F_sh(T)|`` without materializing the union."""
+        return len(self._coverers)
+
+    def exclusive_size(self, x: int) -> int:
+        """``|F_ex(x, T)|`` for a member ``x``."""
+        return self._exclusive[x]
+
+    def least_contribution_anchor(self) -> Optional[int]:
+        """``x_min(T)``; ties break toward the smaller vertex id."""
+        if not self._followers:
+            return None
+        return min(self._followers,
+                   key=lambda x: (self._exclusive[x], x))
+
+    def skip_threshold(self) -> int:
+        """The verification-stage pruning bound.
+
+        While ``T`` is not yet full every candidate is worth verifying, so
+        the threshold is 0 (skip only candidates that cannot produce any
+        follower).  Once full, a candidate whose upper bound does not exceed
+        ``|F_ex(x_min(T), T)|`` can never improve ``T`` and is skipped.
+        """
+        if len(self._followers) < self.t:
+            return 0
+        x_min = self.least_contribution_anchor()
+        return self._exclusive[x_min] if x_min is not None else 0
+
+    # ------------------------------------------------------------------
+    # Updates (Algorithm 6)
+    # ------------------------------------------------------------------
+
+    def offer(self, x: int, followers: Set[int]) -> bool:
+        """Present candidate ``x`` with followers ``F(x)``; return acceptance.
+
+        Follows Algorithm 6 exactly: plain insertion while ``|T| < t`` (if the
+        budgets allow), otherwise replacement of the least-contribution anchor
+        when that strictly increases ``|F_sh(T)|`` and keeps ``T`` within
+        budget.
+        """
+        if x in self._followers:
+            return False
+        if len(self._followers) < self.t:
+            if self._fits_budget(extra=x):
+                self._insert(x, followers)
+                return True
+            return False
+
+        x_min = self.least_contribution_anchor()
+        if x_min is None:
+            return False
+        if not self._fits_budget(extra=x, removed=x_min):
+            return False
+        # |F_ex(x, T')| with T' = (T \ {x_min}) ∪ {x}: followers of x covered
+        # by nobody else once x_min is gone.
+        min_followers = self._followers[x_min]
+        gain = 0
+        for u in followers:
+            coverers = self._coverers.get(u)
+            if coverers is None:
+                gain += 1
+            elif coverers == {x_min}:
+                gain += 1
+        if gain > self._exclusive[x_min]:
+            self._remove(x_min)
+            self._insert(x, followers)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _fits_budget(self, extra: int, removed: Optional[int] = None) -> bool:
+        upper = sum(1 for a in self._followers if self._graph.is_upper(a))
+        lower = len(self._followers) - upper
+        if removed is not None:
+            if self._graph.is_upper(removed):
+                upper -= 1
+            else:
+                lower -= 1
+        if self._graph.is_upper(extra):
+            upper += 1
+        else:
+            lower += 1
+        return upper <= self.upper_budget and lower <= self.lower_budget
+
+    def _insert(self, x: int, followers: Set[int]) -> None:
+        self._followers[x] = set(followers)
+        exclusive = 0
+        for u in followers:
+            coverers = self._coverers.setdefault(u, set())
+            if len(coverers) == 1:
+                (owner,) = coverers
+                self._exclusive[owner] -= 1
+            coverers.add(x)
+            if len(coverers) == 1:
+                exclusive += 1
+        self._exclusive[x] = exclusive
+
+    def _remove(self, x: int) -> None:
+        followers = self._followers.pop(x)
+        del self._exclusive[x]
+        for u in followers:
+            coverers = self._coverers[u]
+            coverers.discard(x)
+            if not coverers:
+                del self._coverers[u]
+            elif len(coverers) == 1:
+                (owner,) = coverers
+                self._exclusive[owner] += 1

@@ -1,0 +1,95 @@
+"""Unified entry point for every anchored (α,β)-core algorithm.
+
+``reinforce(graph, alpha, beta, b1, b2, method="filver++")`` dispatches to
+the requested solver and returns an :class:`AnchoredCoreResult`.  The method
+registry is also what the experiment harness and the CLI iterate over.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.baselines import run_degree_greedy, run_random, run_top_degree
+from repro.core.exact import run_exact
+from repro.core.filver import run_filver
+from repro.core.filver_plus import run_filver_plus
+from repro.core.filver_plus_plus import run_filver_plus_plus
+from repro.core.naive import run_naive
+from repro.core.result import AnchoredCoreResult
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["reinforce", "METHODS"]
+
+#: Methods accepted by :func:`reinforce`, in rough cost order.
+METHODS = (
+    "random",
+    "top-degree",
+    "degree-greedy",
+    "exact",
+    "naive",
+    "filver",
+    "filver+",
+    "filver++",
+)
+
+
+def reinforce(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    b1: int,
+    b2: int,
+    method: str = "filver++",
+    t: int = 5,
+    seed: Optional[int] = None,
+    time_limit: Optional[float] = None,
+) -> AnchoredCoreResult:
+    """Reinforce ``graph`` by anchoring ``b1 + b2`` vertices.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite network to reinforce.
+    alpha, beta:
+        Degree constraints for the upper and lower layers.
+    b1, b2:
+        How many upper / lower vertices may be anchored.
+    method:
+        One of :data:`METHODS`; defaults to the strongest algorithm,
+        FILVER++.
+    t:
+        Anchors placed per iteration (FILVER++ only).
+    seed:
+        Randomness seed (``random`` baseline only).
+    time_limit:
+        Optional wall-clock budget in seconds; greedy algorithms return a
+        partial result flagged ``timed_out`` when it elapses.
+
+    Returns
+    -------
+    AnchoredCoreResult
+        Anchors, followers (w.r.t. the original core), and per-iteration
+        diagnostics.
+    """
+    deadline = (time.perf_counter() + time_limit) if time_limit else None
+    if method == "random":
+        return run_random(graph, alpha, beta, b1, b2, seed=seed)
+    if method == "top-degree":
+        return run_top_degree(graph, alpha, beta, b1, b2)
+    if method == "degree-greedy":
+        return run_degree_greedy(graph, alpha, beta, b1, b2)
+    if method == "exact":
+        return run_exact(graph, alpha, beta, b1, b2, deadline=deadline)
+    if method == "naive":
+        return run_naive(graph, alpha, beta, b1, b2, deadline=deadline)
+    if method == "filver":
+        return run_filver(graph, alpha, beta, b1, b2, deadline=deadline)
+    if method == "filver+":
+        return run_filver_plus(graph, alpha, beta, b1, b2, deadline=deadline)
+    if method == "filver++":
+        return run_filver_plus_plus(graph, alpha, beta, b1, b2, t=t,
+                                    deadline=deadline)
+    raise InvalidParameterError(
+        "unknown method %r; expected one of %s" % (method, ", ".join(METHODS)))

@@ -1,0 +1,223 @@
+"""Upper/lower deletion orders, r-scores, and order-reachability (Section III-A).
+
+The *upper deletion order* ``O_U`` records the sequence in which vertices are
+peeled when computing the (α,β)-core from the (α,β-1)-core; the *lower
+deletion order* ``O_L`` does the same starting from the (α-1,β)-core.  Upper
+(resp. lower) promising anchors that are outside the relaxed core but adjacent
+to the shell join the order with position 0.  These orders drive everything in
+the FILVER family:
+
+* ``rf(x)`` — the order-reachable set from ``x`` (Definition 7), a superset of
+  ``F(x)`` by Lemma 1;
+* ``r-score(x)`` — a one-pass dynamic-programming upper bound on ``|rf(x)|``;
+* ``sig(x)`` — the follower signature (Definition 8) used by two-hop
+  domination filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Collection, Dict, List, Optional, Set
+
+from repro.abcore.decomposition import anchored_abcore, peel_with_order
+from repro.bigraph.graph import BipartiteGraph
+
+__all__ = [
+    "DeletionOrder",
+    "compute_order",
+    "compute_orders",
+    "r_scores",
+    "reachable_from",
+    "signature",
+]
+
+
+@dataclass
+class DeletionOrder:
+    """One side's deletion order together with the core sets it derives from.
+
+    Attributes
+    ----------
+    side:
+        ``"upper"`` for ``O_U`` (anchoring upper vertices) or ``"lower"``
+        for ``O_L``.
+    position:
+        Vertex → order number.  Deleted vertices get positions ≥ 1 in
+        deletion order; promising anchors outside the relaxed core get 0.
+        Positions need not be contiguous (order maintenance renumbers
+        affected regions with fresh, larger numbers) but deleted vertices'
+        positions are unique and order-consistent.
+    core:
+        Vertex set of the anchored (α,β)-core the peel converged to.
+    relaxed_core:
+        The anchored (α,β-1)-core (upper side) or (α-1,β)-core (lower side)
+        the peel started from.  ``relaxed_core - core`` is the shell.
+    """
+
+    side: str
+    position: Dict[int, int]
+    core: Set[int]
+    relaxed_core: Set[int]
+    alpha: int
+    beta: int
+
+    @property
+    def shell(self) -> Set[int]:
+        """Vertices with positions ≥ 1 — exactly the upper/lower shell."""
+        return {v for v, p in self.position.items() if p >= 1}
+
+    def candidates(self, graph: BipartiteGraph) -> List[int]:
+        """Candidate anchors: own-layer vertices present in the order."""
+        if self.side == "upper":
+            return [v for v in self.position if graph.is_upper(v)]
+        return [v for v in self.position if graph.is_lower(v)]
+
+    def deleted_in_order(self) -> List[int]:
+        """Shell vertices sorted by increasing deletion position."""
+        shell = [(p, v) for v, p in self.position.items() if p >= 1]
+        shell.sort()
+        return [v for _, v in shell]
+
+    def max_position(self) -> int:
+        """Largest position in use (0 when the order is empty)."""
+        return max(self.position.values(), default=0)
+
+
+def _zero_order_anchors(
+    graph: BipartiteGraph,
+    side: str,
+    shell_sequence: Collection[int],
+    relaxed_core: Set[int],
+    placed_anchors: Collection[int],
+) -> Set[int]:
+    """Own-layer vertices adjacent to the shell but outside the relaxed core.
+
+    These are the promising anchors of Definition 6 that are not themselves
+    potential followers; they enter the order with position 0 (Algorithm 2,
+    Lines 23 and 25).
+    """
+    placed = set(placed_anchors)
+    want_upper = side == "upper"
+    zeros: Set[int] = set()
+    for v in shell_sequence:
+        for w in graph.neighbors(v):
+            if (w < graph.n_upper) != want_upper:
+                continue
+            if w in relaxed_core or w in placed:
+                continue
+            zeros.add(w)
+    return zeros
+
+
+def compute_order(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    side: str,
+    anchors: Collection[int] = (),
+    start_position: int = 1,
+    subset: Optional[Collection[int]] = None,
+    relaxed_core: Optional[Set[int]] = None,
+    include_zero_anchors: bool = True,
+) -> DeletionOrder:
+    """Compute one side's deletion order (Algorithm 2, ``OrderComputation``).
+
+    ``start_position`` and ``subset`` support the order-maintenance
+    optimization: maintenance recomputes only the affected region and numbers
+    it with fresh positions above everything already assigned.
+    """
+    if side not in ("upper", "lower"):
+        raise ValueError("side must be 'upper' or 'lower', got %r" % (side,))
+    if side == "upper":
+        relaxed_alpha, relaxed_beta = alpha, beta - 1
+    else:
+        relaxed_alpha, relaxed_beta = alpha - 1, beta
+
+    if relaxed_core is None:
+        relaxed_core = anchored_abcore(graph, relaxed_alpha, relaxed_beta,
+                                       anchors, subset)
+    core, sequence = peel_with_order(graph, alpha, beta, anchors, relaxed_core)
+
+    position: Dict[int, int] = {}
+    for offset, v in enumerate(sequence):
+        position[v] = start_position + offset
+    if include_zero_anchors:
+        for z in _zero_order_anchors(graph, side, sequence, relaxed_core, anchors):
+            position[z] = 0
+    return DeletionOrder(side=side, position=position, core=core,
+                         relaxed_core=relaxed_core, alpha=alpha, beta=beta)
+
+
+def compute_orders(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    anchors: Collection[int] = (),
+) -> "tuple[DeletionOrder, DeletionOrder]":
+    """Both deletion orders of the (possibly anchored) graph."""
+    upper = compute_order(graph, alpha, beta, "upper", anchors)
+    lower = compute_order(graph, alpha, beta, "lower", anchors)
+    return upper, lower
+
+
+def r_scores(graph: BipartiteGraph, order: DeletionOrder) -> Dict[int, int]:
+    """The recursive r-score upper bound for every vertex in the order.
+
+    ``r-score(x) = Σ_{u ∈ W(x)} (r-score(u) + 1)`` where ``W(x)`` are the
+    neighbors of ``x`` directly order-reachable from it.  Computed in one
+    reverse-deletion-order pass (zero-position anchors last, since they
+    precede everything).
+    """
+    position = order.position
+    scores: Dict[int, int] = {}
+    zeros: List[int] = []
+    by_position = sorted(order.position.items(), key=lambda item: -item[1])
+    for v, pv in by_position:
+        if pv == 0:
+            zeros.append(v)
+            continue
+        total = 0
+        for w in graph.neighbors(v):
+            pw = position.get(w)
+            if pw is not None and pw > pv:
+                total += scores[w] + 1
+        scores[v] = total
+    for v in zeros:
+        total = 0
+        for w in graph.neighbors(v):
+            pw = position.get(w)
+            if pw is not None and pw > 0:
+                total += scores[w] + 1
+        scores[v] = total
+    return scores
+
+
+def reachable_from(graph: BipartiteGraph, order: DeletionOrder,
+                   x: int) -> Set[int]:
+    """``rf(x)``: all vertices order-reachable from ``x`` (Definition 7).
+
+    A vertex ``u`` is order-reachable from ``x`` when some path
+    ``x = v0, v1, ..., vk = u`` has strictly increasing positions.  By
+    Lemma 1 this set contains every follower of ``x``.
+    """
+    position = order.position
+    px = position[x]
+    reached: Set[int] = set()
+    stack = [(x, px)]
+    while stack:
+        v, pv = stack.pop()
+        for w in graph.neighbors(v):
+            pw = position.get(w)
+            if pw is None or pw <= pv or w in reached:
+                continue
+            reached.add(w)
+            stack.append((w, pw))
+    return reached
+
+
+def signature(graph: BipartiteGraph, order: DeletionOrder, x: int) -> Set[int]:
+    """``sig(x)``: the neighbors of ``x`` order-reachable from it (Def. 8)."""
+    position = order.position
+    px = position[x]
+    return {w for w in graph.neighbors(x)
+            if position.get(w, -1) > px}

@@ -1,0 +1,257 @@
+"""The shared filter–verification greedy engine behind the FILVER family.
+
+FILVER, FILVER+ and FILVER++ differ only in which optimizations are switched
+on; this module implements the common loop once, parameterized by
+:class:`EngineOptions`:
+
+==================  ==========  ==========  ===========
+option              FILVER      FILVER+     FILVER++
+==================  ==========  ==========  ===========
+two-hop filter      off         on          on
+order maintenance   off (full   on (Alg. 4) on (batched)
+                    recompute)
+candidate bound     r-score     ``|rf(x)|`` ``|rf(x)|``
+anchors/iteration   1           1           ``t``
+==================  ==========  ==========  ===========
+
+Keeping one engine also gives the ablation benchmarks intermediate
+configurations (e.g. the two-hop filter without order maintenance) for free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.abcore.decomposition import abcore, anchored_abcore
+from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.validation import validate_problem
+from repro.core.anchor_set import AnchorSetMaintainer
+from repro.core.deletion_order import DeletionOrder, r_scores, reachable_from
+from repro.core.followers import compute_followers
+from repro.core.order_maintenance import OrderState
+from repro.core.result import AnchoredCoreResult, IterationRecord
+from repro.core.signatures import two_hop_filter
+
+__all__ = ["EngineOptions", "run_engine"]
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Feature switches distinguishing the FILVER variants."""
+
+    use_two_hop_filter: bool = False
+    maintain_orders: bool = False
+    use_rf_bound: bool = False
+    anchors_per_iteration: int = 1
+
+
+#: Signature of the optional per-iteration observer: it receives the
+#: iteration's record right after the anchors are placed.  Exceptions from
+#: the callback propagate (an observer that wants to abort may raise).
+ProgressCallback = Callable[[IterationRecord], None]
+
+
+def run_engine(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    b1: int,
+    b2: int,
+    options: EngineOptions,
+    algorithm: str,
+    deadline: Optional[float] = None,
+    on_iteration: Optional[ProgressCallback] = None,
+) -> AnchoredCoreResult:
+    """Run the greedy filter–verification loop to completion.
+
+    The loop ends when both budgets are exhausted or no remaining candidate
+    can produce a follower (placing further anchors would not change the
+    objective).  ``deadline`` is an absolute ``time.perf_counter()`` value;
+    when exceeded the partial result is returned with ``timed_out=True``.
+    ``on_iteration`` is invoked with each finished :class:`IterationRecord`
+    — long runs can stream progress to a UI or log.
+    """
+    validate_problem(graph, alpha, beta, b1, b2)
+    t = options.anchors_per_iteration
+    if t < 1:
+        raise ValueError("anchors_per_iteration must be >= 1")
+
+    start = time.perf_counter()
+    base_core = abcore(graph, alpha, beta)
+    state = OrderState(graph, alpha, beta, maintain=options.maintain_orders)
+
+    anchors: List[int] = []
+    iterations: List[IterationRecord] = []
+    timed_out = False
+
+    while not timed_out:
+        upper_left = b1 - sum(1 for a in anchors if graph.is_upper(a))
+        lower_left = b2 - (len(anchors) - sum(1 for a in anchors
+                                              if graph.is_upper(a)))
+        if upper_left <= 0 and lower_left <= 0:
+            break
+        iter_start = time.perf_counter()
+
+        scored, candidates_total = _filter_stage(
+            graph, state, upper_left, lower_left, options)
+        maintainer = AnchorSetMaintainer(graph, min(t, upper_left + lower_left),
+                                         upper_left, lower_left)
+        verifications, timed_out = _verification_stage(
+            graph, state, scored, maintainer, t, deadline)
+
+        chosen = [x for x in maintainer.anchors
+                  if maintainer.followers_of(x)]
+        if not chosen:
+            # Algorithm 2 initializes x* to the highest-bound candidate, so
+            # the paper's greedy spends budget even when no candidate yields
+            # followers this round — and doing so matters: anchors placed
+            # "for free" can combine with later ones (the cumulative effect
+            # of Section V).  Mirror that by falling back to the top-ranked
+            # candidates within the remaining budgets.
+            chosen = _fallback_anchors(graph, scored, maintainer.t,
+                                       upper_left, lower_left)
+        if not chosen:
+            record = IterationRecord(
+                anchors=[], marginal_followers=0,
+                candidates_total=candidates_total,
+                candidates_after_filter=len(scored),
+                verifications=verifications,
+                elapsed=time.perf_counter() - iter_start)
+            iterations.append(record)
+            if on_iteration is not None:
+                on_iteration(record)
+            break
+
+        core_before = len(state.core)
+        state.apply_anchors(chosen)
+        anchors.extend(chosen)
+        record = IterationRecord(
+            anchors=list(chosen),
+            marginal_followers=len(state.core) - core_before - len(chosen),
+            candidates_total=candidates_total,
+            candidates_after_filter=len(scored),
+            verifications=verifications,
+            elapsed=time.perf_counter() - iter_start)
+        iterations.append(record)
+        if on_iteration is not None:
+            on_iteration(record)
+
+    # Authoritative objective: recompute the anchored core globally once.
+    final_core = anchored_abcore(graph, alpha, beta, anchors)
+    follower_set = final_core - base_core - set(anchors)
+    return AnchoredCoreResult(
+        algorithm=algorithm, alpha=alpha, beta=beta, b1=b1, b2=b2,
+        anchors=anchors, followers=follower_set,
+        base_core_size=len(base_core), final_core_size=len(final_core),
+        elapsed=time.perf_counter() - start, iterations=iterations,
+        timed_out=timed_out)
+
+
+def _fallback_anchors(
+    graph: BipartiteGraph,
+    scored: List[Tuple[int, int, DeletionOrder]],
+    t: int,
+    upper_left: int,
+    lower_left: int,
+) -> List[int]:
+    """Top-bound candidates within budget, for zero-follower iterations."""
+    chosen: List[int] = []
+    for _bound, x, _order in scored:
+        if len(chosen) >= t:
+            break
+        if graph.is_upper(x):
+            if upper_left <= 0:
+                continue
+            upper_left -= 1
+        else:
+            if lower_left <= 0:
+                continue
+            lower_left -= 1
+        chosen.append(x)
+    return chosen
+
+
+def _filter_stage(
+    graph: BipartiteGraph,
+    state: OrderState,
+    upper_left: int,
+    lower_left: int,
+    options: EngineOptions,
+) -> Tuple[List[Tuple[int, int, DeletionOrder]], int]:
+    """Build the ranked candidate list ``[(bound, x, order), ...]``.
+
+    Returns the list sorted by non-increasing bound (ties by vertex id) and
+    the pre-filter pool size.
+    """
+    scored: List[Tuple[int, int, DeletionOrder]] = []
+    candidates_total = 0
+    sides: List[Tuple[DeletionOrder, int]] = []
+    if upper_left > 0:
+        sides.append((state.upper, upper_left))
+    if lower_left > 0:
+        sides.append((state.lower, lower_left))
+
+    for order, _budget in sides:
+        candidates = order.candidates(graph)
+        candidates_total += len(candidates)
+        if not candidates:
+            continue
+        if options.use_two_hop_filter:
+            survivors, _sigs = two_hop_filter(graph, order, candidates)
+        else:
+            survivors = candidates
+        if options.use_rf_bound:
+            for x in survivors:
+                bound = len(reachable_from(graph, order, x))
+                if bound > 0:
+                    scored.append((bound, x, order))
+        else:
+            scores = r_scores(graph, order)
+            for x in survivors:
+                bound = scores.get(x, 0)
+                if bound > 0:
+                    scored.append((bound, x, order))
+
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return scored, candidates_total
+
+
+def _verification_stage(
+    graph: BipartiteGraph,
+    state: OrderState,
+    scored: List[Tuple[int, int, DeletionOrder]],
+    maintainer: AnchorSetMaintainer,
+    t: int,
+    deadline: Optional[float],
+) -> Tuple[int, bool]:
+    """Scan ranked candidates, computing followers and updating ``T``.
+
+    Returns the number of Algorithm-1 invocations and whether the deadline
+    fired.  Two skip rules apply (Sections III-B and V-B):
+
+    * a candidate inside a verified anchor's follower set is dominated;
+    * a candidate whose bound cannot beat the maintainer's threshold is
+      skipped — and since bounds are sorted, for ``t = 1`` the scan stops
+      outright (the threshold ``|F(x*)|`` only ever grows), while for
+      ``t > 1`` it continues because replacements may lower the threshold.
+    """
+    covered: Set[int] = set()
+    verifications = 0
+    core = state.core
+    for bound, x, order in scored:
+        if deadline is not None and time.perf_counter() > deadline:
+            return verifications, True
+        if x in covered:
+            continue
+        if bound <= maintainer.skip_threshold():
+            if t == 1:
+                break
+            continue
+        follower_set = compute_followers(graph, order, x, core=core)
+        verifications += 1
+        covered |= follower_set
+        if follower_set:
+            maintainer.offer(x, follower_set)
+    return verifications, False

@@ -1,0 +1,37 @@
+"""FILVER — the basic filter–verification algorithm (Section III, Algorithm 2).
+
+Each of the ``b1 + b2`` iterations recomputes the upper/lower deletion orders
+from scratch, prunes candidates whose r-score bound is 0, then verifies the
+survivors in non-increasing bound order with the local follower computation
+(Algorithm 1), placing the single best anchor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.engine import EngineOptions, run_engine
+from repro.core.result import AnchoredCoreResult
+
+__all__ = ["run_filver", "FILVER_OPTIONS"]
+
+FILVER_OPTIONS = EngineOptions(
+    use_two_hop_filter=False,
+    maintain_orders=False,
+    use_rf_bound=False,
+    anchors_per_iteration=1,
+)
+
+
+def run_filver(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    b1: int,
+    b2: int,
+    deadline: Optional[float] = None,
+) -> AnchoredCoreResult:
+    """Solve the anchored (α,β)-core problem with FILVER."""
+    return run_engine(graph, alpha, beta, b1, b2, FILVER_OPTIONS,
+                      algorithm="filver", deadline=deadline)

@@ -1,0 +1,41 @@
+"""FILVER+ — FILVER with the filter-stage optimizations (Section IV, Alg. 5).
+
+Two additions over FILVER:
+
+* the two-hop domination filter (Algorithm 3) removes candidates whose
+  follower signatures are covered by another candidate's, and the surviving
+  candidates are ranked by the tighter ``|rf(x)|`` bound;
+* the upper/lower deletion orders are *maintained* across iterations
+  (Algorithm 4) instead of recomputed — only the affected graph of the last
+  placed anchor is renumbered.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.engine import EngineOptions, run_engine
+from repro.core.result import AnchoredCoreResult
+
+__all__ = ["run_filver_plus", "FILVER_PLUS_OPTIONS"]
+
+FILVER_PLUS_OPTIONS = EngineOptions(
+    use_two_hop_filter=True,
+    maintain_orders=True,
+    use_rf_bound=True,
+    anchors_per_iteration=1,
+)
+
+
+def run_filver_plus(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    b1: int,
+    b2: int,
+    deadline: Optional[float] = None,
+) -> AnchoredCoreResult:
+    """Solve the anchored (α,β)-core problem with FILVER+."""
+    return run_engine(graph, alpha, beta, b1, b2, FILVER_PLUS_OPTIONS,
+                      algorithm="filver+", deadline=deadline)

@@ -1,0 +1,269 @@
+"""Connectivity-based order maintenance across greedy iterations (Section IV-B).
+
+Recomputing the upper/lower deletion orders from scratch after every placed
+anchor costs ``O(m)`` per iteration.  Algorithm 4 avoids this by confining the
+update to the *affected graph* of the new anchor ``x*``:
+
+* ``AG_U(x*)`` — the connected component of the ``(α, core_U(x*))``-core that
+  contains ``x*`` (and symmetrically ``AG_L`` with ``core_L``).
+
+Anchoring ``x*`` only adds support, and that support can only change core
+membership at levels above ``core_U(x*)``, propagating along edges inside
+``x*``'s component of the ``(α, core_U(x*))``-core.  Whole components of the
+``(α,β-1)``-core lie inside the affected graph, so renumbering the affected
+region with fresh positions (above every existing position) still yields a
+valid deletion order: an order-increasing path never crosses between the old
+and new regions, because adjacent shell vertices always share an
+``(α,β-1)``-core component.
+
+:class:`OrderState` bundles both orders, the capped upper/lower core numbers
+(Definition 10), and the current anchored core, and keeps them all consistent
+as anchors are placed one at a time (FILVER+) or in batches (FILVER++).
+Equivalence with full recomputation is property-tested in
+``tests/test_order_maintenance.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.abcore.core_numbers import lower_core_numbers, upper_core_numbers
+from repro.abcore.decomposition import anchored_abcore
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.deletion_order import DeletionOrder, compute_order
+
+__all__ = ["OrderState"]
+
+
+class OrderState:
+    """Deletion orders, core numbers and anchored core, maintained incrementally.
+
+    Parameters
+    ----------
+    graph, alpha, beta:
+        The problem instance.  The graph is never mutated.
+    maintain:
+        When ``False`` the state falls back to full recomputation on every
+        :meth:`apply_anchor` call — used by plain FILVER and by the
+        order-maintenance ablation benchmark.
+    """
+
+    def __init__(self, graph: BipartiteGraph, alpha: int, beta: int,
+                 maintain: bool = True) -> None:
+        self.graph = graph
+        self.alpha = alpha
+        self.beta = beta
+        self.maintain = maintain
+        self.anchors: Set[int] = set()
+        self.upper: DeletionOrder
+        self.lower: DeletionOrder
+        self.core_u: Dict[int, int]
+        self.core_l: Dict[int, int]
+        self._counter_u = 0
+        self._counter_l = 0
+        self._level0_core: Optional[Set[int]] = None
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Full recomputation
+    # ------------------------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Recompute everything from the graph and the current anchor set."""
+        g, a, b = self.graph, self.alpha, self.beta
+        self.upper = compute_order(g, a, b, "upper", self.anchors)
+        self.lower = compute_order(g, a, b, "lower", self.anchors)
+        if self.maintain:
+            self.core_u = upper_core_numbers(g, a, b, self.anchors)
+            self.core_l = lower_core_numbers(g, a, b, self.anchors)
+        else:
+            self.core_u = {}
+            self.core_l = {}
+        self._counter_u = self.upper.max_position()
+        self._counter_l = self.lower.max_position()
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def core(self) -> Set[int]:
+        """Vertex set of the current anchored (α,β)-core."""
+        return self.upper.core
+
+    def apply_anchor(self, x: int) -> None:
+        """Register one new anchor and repair both orders (Algorithm 4)."""
+        self.apply_anchors([x])
+
+    def apply_anchors(self, new_anchors: Sequence[int]) -> None:
+        """Register a batch of anchors (FILVER++'s per-iteration set ``T``).
+
+        Per Section V-B, each side processes the batch in non-decreasing core
+        number; an anchor that falls inside an earlier anchor's affected
+        graph is skipped because its own affected graph is contained in the
+        already-repaired region.
+        """
+        fresh = [x for x in new_anchors if x not in self.anchors]
+        if not fresh:
+            return
+        if not self.maintain:
+            self.anchors.update(fresh)
+            self.rebuild()
+            return
+
+        start_core_u = {x: self.core_u.get(x, 0) for x in fresh}
+        start_core_l = {x: self.core_l.get(x, 0) for x in fresh}
+        self.anchors.update(fresh)
+
+        new_core = self._repair_side("upper", fresh, start_core_u)
+        lower_core = self._repair_side("lower", fresh, start_core_l)
+        # Both repairs independently arrive at the anchored (α,β)-core; share
+        # one set object so the two orders can never drift apart.
+        self.upper.core = new_core
+        self.lower.core = new_core
+        self._rebuild_zero_entries("upper")
+        self._rebuild_zero_entries("lower")
+
+    # ------------------------------------------------------------------
+    # The actual Algorithm-4 machinery
+    # ------------------------------------------------------------------
+
+    def _repair_side(self, side: str, fresh: Sequence[int],
+                     start_levels: Dict[int, int]) -> Set[int]:
+        """Repair one side's order and core numbers; return the new core."""
+        covered: Set[int] = set()
+        ordered = sorted(fresh, key=lambda x: (start_levels[x], x))
+        core = self.upper.core if side == "upper" else self.lower.core
+        self._level0_core = None  # per-batch cache for _affected_graph
+        for x in ordered:
+            if x in covered:
+                continue
+            level = max(1, start_levels[x])
+            region = self._affected_graph(side, x, start_levels[x])
+            core = self._repair_region(side, region, core, level=level)
+            covered |= region
+        self._level0_core = None
+        return core
+
+    def _affected_graph(self, side: str, x: int, level: int) -> Set[int]:
+        """BFS from ``x`` restricted to core numbers ≥ ``level`` (Line 2).
+
+        For ``level = 0`` the stored core numbers are vacuous, so the walk is
+        instead confined to the (α,1)-core (upper side) / (1,β)-core (lower
+        side) of the *anchored* graph: ``x``'s core number can only rise to
+        ≥ 1, every vertex whose order or core number changes sits in that
+        core, influence chains from ``x`` run inside it, and whole
+        relaxed-core components lie inside its components.  This costs one
+        extra peel but typically shrinks the region from "the whole connected
+        component" to a small neighborhood.
+        """
+        graph = self.graph
+        adjacency = graph.adjacency
+
+        if level >= 1:
+            numbers = self.core_u if side == "upper" else self.core_l
+
+            def member(w: int) -> bool:
+                return numbers.get(w, 0) >= level
+        else:
+            # The anchored graph is fixed for the whole batch, so the level-0
+            # core peel is shared across the batch's anchors.
+            if self._level0_core is None:
+                if side == "upper":
+                    self._level0_core = anchored_abcore(
+                        graph, self.alpha, 1, self.anchors)
+                else:
+                    self._level0_core = anchored_abcore(
+                        graph, 1, self.beta, self.anchors)
+            member = self._level0_core.__contains__
+
+        region = {x}
+        stack = [x]
+        while stack:
+            v = stack.pop()
+            for w in adjacency[v]:
+                if w in region or not member(w):
+                    continue
+                region.add(w)
+                stack.append(w)
+        return region
+
+    def _repair_region(self, side: str, region: Set[int],
+                       core: Set[int], level: int = 0) -> Set[int]:
+        """Recompute core numbers and order positions inside one region.
+
+        ``level`` is the placed anchor's old core number: every region member
+        has a core number ≥ ``level``, so the core-number sweep starts there
+        (Algorithm 4, Line 4) and the relaxed core falls out of the sweep for
+        free instead of needing another peel.
+        """
+        g, a, b = self.graph, self.alpha, self.beta
+        order = self.upper if side == "upper" else self.lower
+
+        # Core numbers within the region (capped; anchors get the cap).
+        if side == "upper":
+            local_numbers = upper_core_numbers(g, a, b, self.anchors, region,
+                                               start_level=level)
+            self.core_u.update(local_numbers)
+            relaxed_level = b - 1
+        else:
+            local_numbers = lower_core_numbers(g, a, b, self.anchors, region,
+                                               start_level=level)
+            self.core_l.update(local_numbers)
+            relaxed_level = a - 1
+        if relaxed_level >= 1:
+            local_relaxed = {v for v, k in local_numbers.items()
+                             if k >= relaxed_level}
+        else:
+            # β = 1 (resp. α = 1): the relaxed core is the (α,0)-core, which
+            # core numbers cannot express; fall back to a direct peel.
+            local_relaxed = None
+
+        # Fresh order positions for the region, numbered above everything.
+        if side == "upper":
+            start = self._counter_u + 1
+        else:
+            start = self._counter_l + 1
+        local = compute_order(g, a, b, side, self.anchors,
+                              start_position=start, subset=region,
+                              relaxed_core=local_relaxed,
+                              include_zero_anchors=False)
+
+        position = order.position
+        for v in list(position):
+            if v in region:
+                del position[v]
+        position.update(local.position)
+        if side == "upper":
+            self._counter_u = max(self._counter_u, local.max_position())
+        else:
+            self._counter_l = max(self._counter_l, local.max_position())
+
+        order.relaxed_core = (order.relaxed_core - region) | local.relaxed_core
+        new_core = (core - region) | local.core
+        order.core = new_core
+        return new_core
+
+    def _rebuild_zero_entries(self, side: str) -> None:
+        """Refresh the position-0 promising-anchor entries globally.
+
+        Zero entries are cheap to rebuild (one pass over the shell's
+        adjacency) and doing it globally sidesteps the bookkeeping of which
+        old zero entries became stale when the shell moved.
+        """
+        order = self.upper if side == "upper" else self.lower
+        graph = self.graph
+        position = order.position
+        for v in [v for v, p in position.items() if p == 0]:
+            del position[v]
+        want_upper = side == "upper"
+        relaxed = order.relaxed_core
+        anchors = self.anchors
+        shell = [v for v, p in position.items() if p >= 1]
+        for v in shell:
+            for w in graph.neighbors(v):
+                if (w < graph.n_upper) != want_upper:
+                    continue
+                if w in relaxed or w in anchors or w in position:
+                    continue
+                position[w] = 0

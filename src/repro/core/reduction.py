@@ -1,0 +1,242 @@
+"""The Theorem-1 hardness gadgets: Maximum Coverage → anchored (α,β)-core.
+
+The NP-hardness proof reduces a Maximum Coverage (MC) instance — sets
+``T_1..T_c`` over elements ``e_1..e_d``, budget ``b`` — to an anchored
+(α,β)-core instance built from three gadget families:
+
+* ``B_i`` (one per element): ``(α-1)(β-1)`` upper vertices, ``α-1`` lower
+  vertices ``L*`` adjacent to every upper vertex, and ``α-1`` lower vertices
+  ``L'`` of degree ``β-1`` (the only vertices violating their constraint, so
+  the whole gadget sits just outside the core);
+* ``R_j`` (one per set): an all-or-nothing tree rooted at an upper vertex
+  ``u_j`` in which every vertex *except the root and the leaves* meets its
+  degree constraint exactly — anchoring the root pulls the entire tree in,
+  and through its leaves every connected ``B_i``;
+* ``J``: one ``K_{β,α}`` biclique that is a core by itself and props up the
+  leaves left unused by the element wiring.
+
+Anchoring root ``u_j`` therefore rescues ``R_j`` plus every ``B_i`` with
+``e_i ∈ T_j``; since all trees have equal size and all element gadgets equal
+size, choosing ``b`` roots to maximize followers is exactly MC.  (The paper's
+prose swaps the child counts of the two layers; the construction here uses
+the orientation that makes every internal vertex meet its constraint exactly,
+which is what the proof requires.)
+
+This module exists so the hardness argument is *executable*: tests build
+small MC instances, run the exact solver on the reduced graph, and check the
+optimum matches brute-force MC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.bigraph.builder import GraphBuilder
+from repro.bigraph.graph import BipartiteGraph
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["MaxCoverageInstance", "ReducedInstance", "reduce_max_coverage",
+           "solve_max_coverage_exact"]
+
+
+@dataclass(frozen=True)
+class MaxCoverageInstance:
+    """A Maximum Coverage instance: ``sets`` over ``0..n_elements-1``."""
+
+    n_elements: int
+    sets: Tuple[FrozenSet[int], ...]
+    budget: int
+
+    def __post_init__(self) -> None:
+        for s in self.sets:
+            for e in s:
+                if not (0 <= e < self.n_elements):
+                    raise InvalidParameterError(
+                        "element %d out of range [0, %d)" % (e, self.n_elements))
+        if not (0 <= self.budget <= len(self.sets)):
+            raise InvalidParameterError("budget %d out of range" % self.budget)
+
+
+@dataclass
+class ReducedInstance:
+    """The bipartite graph produced by the reduction plus its bookkeeping."""
+
+    graph: BipartiteGraph
+    alpha: int
+    beta: int
+    roots: List[int]            # vertex id of u_j for each set T_j
+    element_gadgets: List[Set[int]]  # vertex ids of each B_i
+    tree_vertices: List[Set[int]]    # vertex ids of each R_j (incl. root)
+    tree_size: int              # |R_j| (identical across j)
+    gadget_size: int            # |B_i| (identical across i)
+
+    def followers_if_roots(self, chosen: Sequence[int]) -> int:
+        """Predicted follower count when anchoring the given root indices.
+
+        Each anchored root contributes its tree minus itself, plus one
+        element gadget for every newly covered element.
+        """
+        covered_elements = self._covered_elements(chosen)
+        return (len(chosen) * (self.tree_size - 1)
+                + len(covered_elements) * self.gadget_size)
+
+    def _covered_elements(self, chosen: Sequence[int]) -> Set[int]:
+        covered: Set[int] = set()
+        for j in chosen:
+            covered |= self._set_elements[j]
+        return covered
+
+    _set_elements: List[FrozenSet[int]] = field(default_factory=list)
+
+
+def solve_max_coverage_exact(instance: MaxCoverageInstance) -> Tuple[int, Tuple[int, ...]]:
+    """Brute-force MC optimum: (covered count, chosen set indices)."""
+    best = (-1, ())
+    indices = range(len(instance.sets))
+    for pick in combinations(indices, instance.budget):
+        covered: Set[int] = set()
+        for j in pick:
+            covered |= instance.sets[j]
+        if len(covered) > best[0]:
+            best = (len(covered), pick)
+    return best
+
+
+def reduce_max_coverage(
+    instance: MaxCoverageInstance,
+    alpha: int = 3,
+    beta: int = 2,
+) -> ReducedInstance:
+    """Build the Theorem-1 graph for an MC instance (requires α≥3, β≥2)."""
+    if alpha < 3 or beta < 2:
+        raise InvalidParameterError(
+            "the reduction gadget needs alpha >= 3 and beta >= 2, got (%d, %d)"
+            % (alpha, beta))
+    builder = GraphBuilder()
+
+    # --- biclique J: K_{β,α}; in the core on its own. -------------------
+    j_upper = [("J", "u", i) for i in range(beta)]
+    j_lower = [("J", "v", i) for i in range(alpha)]
+    for u in j_upper:
+        for v in j_lower:
+            builder.add_edge(u, v)
+
+    # --- element gadgets B_i. -------------------------------------------
+    n_upper_b = (alpha - 1) * (beta - 1)
+    element_lprime: List[List[tuple]] = []
+    for i in range(instance.n_elements):
+        uppers = [("B", i, "u", k) for k in range(n_upper_b)]
+        lstar = [("B", i, "s", k) for k in range(alpha - 1)]
+        lprime = [("B", i, "p", k) for k in range(alpha - 1)]
+        for u in uppers:
+            for v in lstar:
+                builder.add_edge(u, v)
+        # Each L' vertex takes β-1 distinct upper vertices; every upper
+        # vertex receives exactly one L' edge, giving it degree exactly α.
+        for k, v in enumerate(lprime):
+            for u in uppers[k * (beta - 1):(k + 1) * (beta - 1)]:
+                builder.add_edge(u, v)
+        element_lprime.append(lprime)
+
+    # --- set trees R_j. ---------------------------------------------------
+    # All-or-nothing tree: the root (upper) has α-1 lower children and by
+    # itself violates its constraint; internal lower vertices have β-1 upper
+    # children (+ parent = β); internal upper vertices have α-1 lower
+    # children (+ parent = α).  Leaves are upper vertices propped up by
+    # either an element gadget or the biclique J.
+    leaves_needed = max((len(s) for s in instance.sets), default=1)
+    leaves_needed = max(leaves_needed, 1)
+
+    tree_edges: List[Tuple[tuple, tuple]] = []
+    tree_nodes: List[tuple] = []
+    leaf_templates: List[tuple] = []
+    counter = [0]
+
+    def fresh(kind: str) -> tuple:
+        counter[0] += 1
+        return ("R", kind, counter[0])
+
+    root_template = ("R", "root", 0)
+    tree_nodes.append(root_template)
+    frontier_upper = [root_template]
+    expanded = False
+    while True:
+        # Expand every current upper leaf one double-level; stop as soon as
+        # the upper frontier is big enough to serve as leaves.  The root is
+        # never a leaf (an unanchored root must violate its constraint), so
+        # at least one expansion always happens.
+        if expanded and len(frontier_upper) >= leaves_needed:
+            break
+        expanded = True
+        next_frontier: List[tuple] = []
+        for u in frontier_upper:
+            for _ in range(alpha - 1):
+                low = fresh("low")
+                tree_nodes.append(low)
+                tree_edges.append((u, low))
+                for _ in range(beta - 1):
+                    up = fresh("up")
+                    tree_nodes.append(up)
+                    tree_edges.append((up, low))
+                    next_frontier.append(up)
+        frontier_upper = next_frontier
+    leaf_templates = frontier_upper
+
+    set_elements = [frozenset(s) for s in instance.sets]
+    roots: List[int] = []
+    tree_vertex_labels: List[List[tuple]] = []
+    for j in range(len(instance.sets)):
+        mapping: Dict[tuple, tuple] = {}
+
+        def localized(node: tuple) -> tuple:
+            if node not in mapping:
+                mapping[node] = ("T", j) + node
+            return mapping[node]
+
+        for u, v in tree_edges:
+            builder.add_edge(localized(u), localized(v))
+        local_leaves = [localized(l) for l in leaf_templates]
+        # Wire leaves: one leaf per element of T_j, leftovers go to J.
+        elements = sorted(set_elements[j])
+        for idx, leaf in enumerate(local_leaves):
+            if idx < len(elements):
+                for v in element_lprime[elements[idx]]:
+                    builder.add_edge(leaf, v)
+            else:
+                for v in j_lower[:alpha - 1]:
+                    builder.add_edge(leaf, v)
+        tree_vertex_labels.append([localized(n) for n in tree_nodes])
+
+    graph = builder.build()
+
+    def upper_id(label: tuple) -> int:
+        return graph.vertex_of("upper", label)
+
+    def any_id(label: tuple) -> int:
+        try:
+            return graph.vertex_of("upper", label)
+        except KeyError:
+            return graph.vertex_of("lower", label)
+
+    roots = [graph.vertex_of("upper", ("T", j, "R", "root", 0))
+             for j in range(len(instance.sets))]
+    element_gadgets: List[Set[int]] = []
+    for i in range(instance.n_elements):
+        ids: Set[int] = set()
+        for k in range(n_upper_b):
+            ids.add(graph.vertex_of("upper", ("B", i, "u", k)))
+        for k in range(alpha - 1):
+            ids.add(graph.vertex_of("lower", ("B", i, "s", k)))
+            ids.add(graph.vertex_of("lower", ("B", i, "p", k)))
+        element_gadgets.append(ids)
+    tree_vertices = [set(any_id(lbl) for lbl in labels)
+                     for labels in tree_vertex_labels]
+
+    reduced = ReducedInstance(
+        graph=graph, alpha=alpha, beta=beta, roots=roots,
+        element_gadgets=element_gadgets, tree_vertices=tree_vertices,
+        tree_size=len(tree_nodes), gadget_size=n_upper_b + 2 * (alpha - 1))
+    reduced._set_elements = set_elements
+    return reduced

@@ -1,0 +1,109 @@
+"""Result types shared by every anchored (α,β)-core algorithm.
+
+All algorithms — ``Exact``, ``Naive``, the baselines, and the FILVER family —
+return an :class:`AnchoredCoreResult` so the experiment harness can compare
+them uniformly.  Per-iteration :class:`IterationRecord` entries expose the
+internal counters (candidate-pool sizes, verification counts) that the
+paper's filter-stage claims are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set
+
+__all__ = ["IterationRecord", "AnchoredCoreResult"]
+
+
+@dataclass
+class IterationRecord:
+    """Bookkeeping for one greedy iteration.
+
+    Attributes
+    ----------
+    anchors:
+        The anchors placed in this iteration (one for FILVER/FILVER+, up to
+        ``t`` for FILVER++).
+    marginal_followers:
+        How many new followers this iteration's anchors brought in, including
+        cumulative effects among them.
+    candidates_total:
+        Size of the candidate pool before any filtering.
+    candidates_after_filter:
+        Pool size after the filter stage (r-score pruning and, for FILVER+
+        and FILVER++, two-hop domination filtering).
+    verifications:
+        Number of follower-set computations performed (Algorithm 1 calls for
+        the FILVER family; global peels for Naive).
+    elapsed:
+        Wall-clock seconds spent in this iteration.
+    """
+
+    anchors: List[int]
+    marginal_followers: int
+    candidates_total: int
+    candidates_after_filter: int
+    verifications: int
+    elapsed: float
+
+
+@dataclass
+class AnchoredCoreResult:
+    """Outcome of one reinforcement run.
+
+    ``followers`` is measured against the *original* graph, exactly as in
+    Definition 3: ``F(A) = C_{α,β}(G_A) \\ (C_{α,β}(G) ∪ A)``.
+    """
+
+    algorithm: str
+    alpha: int
+    beta: int
+    b1: int
+    b2: int
+    anchors: List[int]
+    followers: Set[int]
+    base_core_size: int
+    final_core_size: int
+    elapsed: float
+    iterations: List[IterationRecord] = field(default_factory=list)
+    timed_out: bool = False
+
+    @property
+    def n_followers(self) -> int:
+        """``|F(A)|`` — the objective value of the problem."""
+        return len(self.followers)
+
+    @property
+    def n_anchors(self) -> int:
+        """How many anchors were actually placed (≤ ``b1 + b2``)."""
+        return len(self.anchors)
+
+    @property
+    def total_verifications(self) -> int:
+        """Total follower-set computations across all iterations."""
+        return sum(record.verifications for record in self.iterations)
+
+    def upper_anchors(self, n_upper: int) -> List[int]:
+        """The placed anchors that belong to the upper layer."""
+        return [a for a in self.anchors if a < n_upper]
+
+    def lower_anchors(self, n_upper: int) -> List[int]:
+        """The placed anchors that belong to the lower layer."""
+        return [a for a in self.anchors if a >= n_upper]
+
+    def cumulative_follower_counts(self) -> List[int]:
+        """Running follower totals after each iteration (Fig. 10 series)."""
+        totals: List[int] = []
+        running = 0
+        for record in self.iterations:
+            running += record.marginal_followers
+            totals.append(running)
+        return totals
+
+    def summary(self) -> str:
+        """One-line human-readable summary used by examples and the CLI."""
+        return ("%s: %d anchors -> %d followers "
+                "(core %d -> %d, %.3fs%s)" % (
+                    self.algorithm, self.n_anchors, self.n_followers,
+                    self.base_core_size, self.final_core_size, self.elapsed,
+                    ", TIMED OUT" if self.timed_out else ""))

@@ -1,0 +1,85 @@
+"""Independent verification of reinforcement results.
+
+``verify_result`` re-derives everything an :class:`AnchoredCoreResult`
+claims — from nothing but the graph and the anchor list — and reports any
+discrepancy.  The experiment harness runs it behind the scenes; users can
+run it on results they loaded from JSON or received from elsewhere before
+acting on a plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.abcore.decomposition import abcore, anchored_abcore
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.result import AnchoredCoreResult
+
+__all__ = ["VerificationReport", "verify_result"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_result`."""
+
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "result verified: no discrepancies"
+        return "result has %d problem(s):\n%s" % (
+            len(self.problems),
+            "\n".join("  - " + p for p in self.problems))
+
+
+def verify_result(graph: BipartiteGraph,
+                  result: AnchoredCoreResult) -> VerificationReport:
+    """Recompute and cross-check every claim in ``result``."""
+    report = VerificationReport()
+    say = report.problems.append
+
+    # anchors must be valid vertices and respect the budgets
+    for a in result.anchors:
+        if not (0 <= a < graph.n_vertices):
+            say("anchor %d is not a vertex of the graph" % a)
+    if len(set(result.anchors)) != len(result.anchors):
+        say("anchor list contains duplicates")
+    uppers = sum(1 for a in result.anchors
+                 if 0 <= a < graph.n_upper)
+    lowers = len(result.anchors) - uppers
+    if uppers > result.b1:
+        say("%d upper anchors exceed budget b1=%d" % (uppers, result.b1))
+    if lowers > result.b2:
+        say("%d lower anchors exceed budget b2=%d" % (lowers, result.b2))
+    if report.problems:
+        return report  # core recomputation would be meaningless
+
+    base = abcore(graph, result.alpha, result.beta)
+    final = anchored_abcore(graph, result.alpha, result.beta, result.anchors)
+    expected_followers = final - base - set(result.anchors)
+
+    if result.base_core_size != len(base):
+        say("base core size is %d, result claims %d"
+            % (len(base), result.base_core_size))
+    if result.final_core_size != len(final):
+        say("final core size is %d, result claims %d"
+            % (len(final), result.final_core_size))
+    if set(result.followers) != expected_followers:
+        missing = expected_followers - set(result.followers)
+        extra = set(result.followers) - expected_followers
+        say("follower set mismatch (missing %d, extra %d)"
+            % (len(missing), len(extra)))
+    if result.iterations:
+        claimed = sum(r.marginal_followers for r in result.iterations)
+        if claimed != len(expected_followers):
+            say("iteration marginals sum to %d, actual followers %d"
+                % (claimed, len(expected_followers)))
+        placed = [a for r in result.iterations for a in r.anchors]
+        if sorted(placed) != sorted(result.anchors):
+            say("iteration trace places different anchors than the result")
+    return report

@@ -1,0 +1,13 @@
+"""Engagement dynamics: cascades and heterogeneous-threshold equilibria."""
+
+from repro.dynamics.cascade import CascadeResult, resilience_gain, simulate_cascade
+from repro.dynamics.engagement import ThresholdProfile, anchored_gain, equilibrium
+
+__all__ = [
+    "CascadeResult",
+    "ThresholdProfile",
+    "anchored_gain",
+    "equilibrium",
+    "resilience_gain",
+    "simulate_cascade",
+]

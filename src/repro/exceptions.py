@@ -1,0 +1,28 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from :class:`ReproError`
+so that callers can catch library failures with a single ``except`` clause
+while letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when a bipartite graph cannot be built from the given input."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when algorithm parameters (alpha, beta, budgets, t) are invalid."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset surrogate cannot be generated or located."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is misconfigured."""

@@ -1,0 +1,67 @@
+"""Experiment harness: one driver per table/figure of the paper's §VI."""
+
+from repro.experiments.case_study import CaseStudy, fig6_case_study, render_fig6
+from repro.experiments.figures import (
+    fig4_inshell_ratio,
+    fig7a_effectiveness,
+    fig7b_exact_comparison,
+    fig8_runtime,
+    fig9_budgets,
+    fig9_degree_constraints,
+    fig10_t_followers,
+    render_fig4,
+    render_fig7a,
+    render_fig7b,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+)
+from repro.experiments.reporting import (
+    bound_tightness_report,
+    cumulative_effect_report,
+    filter_power_report,
+)
+from repro.experiments.runner import (
+    DEFAULTS,
+    ExperimentDefaults,
+    MethodRun,
+    default_constraints,
+    run_method,
+)
+from repro.experiments.tables import (
+    render_table2,
+    render_table3,
+    table2_datasets,
+    table3_t_runtime,
+)
+
+__all__ = [
+    "DEFAULTS",
+    "CaseStudy",
+    "ExperimentDefaults",
+    "MethodRun",
+    "bound_tightness_report",
+    "cumulative_effect_report",
+    "default_constraints",
+    "fig10_t_followers",
+    "fig4_inshell_ratio",
+    "fig6_case_study",
+    "fig7a_effectiveness",
+    "fig7b_exact_comparison",
+    "fig8_runtime",
+    "fig9_budgets",
+    "fig9_degree_constraints",
+    "filter_power_report",
+    "render_fig10",
+    "render_fig4",
+    "render_fig6",
+    "render_fig7a",
+    "render_fig7b",
+    "render_fig8",
+    "render_fig9",
+    "render_table2",
+    "render_table3",
+    "run_method",
+    "table2_datasets",
+    "table3_t_runtime",
+]

@@ -1,0 +1,143 @@
+"""CLI for the experiment harness: ``python -m repro.experiments <target>``.
+
+Targets mirror DESIGN.md's experiment index::
+
+    table2  fig4  fig6  fig7a  fig7b  fig8  fig9a  fig9b  fig10  table3
+    bounds  filter-power  cumulative  all
+    report                  # run everything + automated shape checks
+    compare OLD.csv NEW.csv # regression diff of two exports
+
+Common flags: ``--scale`` (surrogate size multiplier), ``--seed``,
+``--time-limit`` (per-run seconds), ``--csv`` (export measurement rows).
+Example::
+
+    python -m repro.experiments fig8 --scale 0.3 --csv fig8.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List
+
+from repro.experiments import case_study, figures, reporting, tables
+from repro.experiments.runner import DEFAULTS
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation tables and figures "
+                    "on dataset surrogates.")
+    parser.add_argument("target", choices=[
+        "table2", "fig4", "fig6", "fig7a", "fig7b", "fig8", "fig9a",
+        "fig9b", "fig10", "table3", "bounds", "filter-power", "cumulative",
+        "all", "compare", "report"])
+    parser.add_argument("--out", default="report.md",
+                        help="for 'report': output markdown path")
+    parser.add_argument("files", nargs="*", metavar="CSV",
+                        help="for 'compare': OLD.csv NEW.csv")
+    parser.add_argument("--scale", type=float, default=DEFAULTS.scale,
+                        help="surrogate size multiplier (default 1.0)")
+    parser.add_argument("--seed", type=int, default=DEFAULTS.seed)
+    parser.add_argument("--time-limit", type=float,
+                        default=DEFAULTS.time_limit,
+                        help="per-run timeout in seconds")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="also write raw measurement rows as CSV "
+                             "(fig8/fig9a/fig9b targets)")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.target == "compare":
+        from repro.experiments.compare import compare_csv
+
+        if len(args.files) != 2:
+            print("compare needs exactly two CSV paths")
+            return 2
+        report = compare_csv(args.files[0], args.files[1])
+        print(report.render())
+        return 0 if report.clean else 1
+    defaults = replace(DEFAULTS, scale=args.scale, seed=args.seed,
+                       time_limit=args.time_limit)
+    if args.target == "report":
+        from repro.experiments.suite import run_full_suite
+
+        result = run_full_suite(defaults, output_path=args.out)
+        passed = sum(1 for c in result.checks if c.passed)
+        print("wrote %s — %d/%d shape checks passed (%.1fs)"
+              % (args.out, passed, len(result.checks), result.elapsed))
+        return 0 if result.all_passed else 1
+    targets = [args.target] if args.target != "all" else [
+        "table2", "fig4", "fig6", "fig7a", "fig7b", "fig8", "fig9a",
+        "fig9b", "fig10", "table3", "bounds", "filter-power", "cumulative"]
+    exported_rows = []
+    for target in targets:
+        text, rows = _run(target, defaults)
+        print(text)
+        print()
+        exported_rows.extend(rows)
+    if args.csv:
+        from repro.experiments.export import write_csv
+
+        write_csv(exported_rows, args.csv)
+        print("wrote %d measurement rows to %s"
+              % (len(exported_rows), args.csv))
+    return 0
+
+
+def _run(target: str, defaults):
+    """Return ``(rendered text, MethodRun rows for CSV export)``."""
+    text = _render(target, defaults)
+    if isinstance(text, tuple):
+        return text
+    return text, []
+
+
+def _render(target: str, defaults):
+    scale, seed = defaults.scale, defaults.seed
+    if target == "table2":
+        return tables.render_table2(tables.table2_datasets(scale=scale,
+                                                           seed=seed))
+    if target == "fig4":
+        return figures.render_fig4(figures.fig4_inshell_ratio(
+            scale=scale, seed=seed))
+    if target == "fig6":
+        return case_study.render_fig6(case_study.fig6_case_study(
+            scale=scale, seed=seed))
+    if target == "fig7a":
+        budgets = (5, 10, 15, 20, 25)
+        return figures.render_fig7a(figures.fig7a_effectiveness(
+            budgets=budgets, scale=scale, seed=seed,
+            time_limit=defaults.time_limit), budgets)
+    if target == "fig7b":
+        return figures.render_fig7b(figures.fig7b_exact_comparison(seed=seed))
+    if target == "fig8":
+        rows = figures.fig8_runtime(defaults=defaults)
+        return figures.render_fig8(rows), rows
+    if target == "fig9a":
+        rows = figures.fig9_degree_constraints(defaults=defaults)
+        return figures.render_fig9(rows, "constraints"), rows
+    if target == "fig9b":
+        rows = figures.fig9_budgets(defaults=defaults)
+        return figures.render_fig9(rows, "budgets"), rows
+    if target == "fig10":
+        return figures.render_fig10(figures.fig10_t_followers(
+            defaults=defaults))
+    if target == "table3":
+        return tables.render_table3(tables.table3_t_runtime(
+            defaults=defaults))
+    if target == "bounds":
+        return reporting.bound_tightness_report(scale=scale, seed=seed)
+    if target == "filter-power":
+        return reporting.filter_power_report(scale=scale, seed=seed)
+    if target == "cumulative":
+        return reporting.cumulative_effect_report(scale=scale, seed=seed)
+    raise ValueError(target)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

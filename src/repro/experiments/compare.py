@@ -1,0 +1,123 @@
+"""Regression comparison between two exported measurement CSVs.
+
+Long-running sweeps (Fig. 8/9) are worth tracking across commits: export
+each run with ``python -m repro.experiments fig8 --csv runs.csv`` and diff
+two exports here.  The comparison is keyed on
+``(dataset, method, alpha, beta, b1, b2)`` and reports
+
+* runtime ratios (new / old) with a configurable noise tolerance,
+* follower-count changes (these should normally be *exactly* stable for the
+  deterministic algorithms),
+* rows present on only one side.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.utils.tables import render_table
+
+__all__ = ["ComparisonReport", "load_rows", "compare_csv"]
+
+Key = Tuple[str, str, str, str, str, str]
+
+
+@dataclass
+class ComparisonReport:
+    """Structured outcome of one CSV-vs-CSV comparison."""
+
+    regressions: List[Dict[str, object]] = field(default_factory=list)
+    improvements: List[Dict[str, object]] = field(default_factory=list)
+    follower_changes: List[Dict[str, object]] = field(default_factory=list)
+    only_old: List[Key] = field(default_factory=list)
+    only_new: List[Key] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing regressed and follower counts are unchanged."""
+        return not self.regressions and not self.follower_changes
+
+    def render(self) -> str:
+        blocks = ["compared %d measurement rows" % self.compared]
+        if self.follower_changes:
+            blocks.append(render_table(
+                ["dataset", "method", "old F", "new F"],
+                [[c["dataset"], c["method"], c["old"], c["new"]]
+                 for c in self.follower_changes],
+                title="FOLLOWER-COUNT CHANGES (should be empty)"))
+        if self.regressions:
+            blocks.append(render_table(
+                ["dataset", "method", "old s", "new s", "ratio"],
+                [[r["dataset"], r["method"], "%.3f" % r["old"],
+                  "%.3f" % r["new"], "%.2fx" % r["ratio"]]
+                 for r in self.regressions],
+                title="RUNTIME REGRESSIONS"))
+        if self.improvements:
+            blocks.append(render_table(
+                ["dataset", "method", "old s", "new s", "ratio"],
+                [[r["dataset"], r["method"], "%.3f" % r["old"],
+                  "%.3f" % r["new"], "%.2fx" % r["ratio"]]
+                 for r in self.improvements],
+                title="runtime improvements"))
+        if self.only_old or self.only_new:
+            blocks.append("rows only in old: %d, only in new: %d"
+                          % (len(self.only_old), len(self.only_new)))
+        if self.clean and not self.improvements:
+            blocks.append("no changes beyond noise tolerance")
+        return "\n\n".join(blocks)
+
+
+def load_rows(path: Union[str, os.PathLike]) -> Dict[Key, Dict[str, str]]:
+    """Index an exported CSV by its configuration key."""
+    rows: Dict[Key, Dict[str, str]] = {}
+    with open(path, newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            key = (row["dataset"], row["method"], row["alpha"], row["beta"],
+                   row["b1"], row["b2"])
+            rows[key] = row
+    return rows
+
+
+def compare_csv(
+    old_path: Union[str, os.PathLike],
+    new_path: Union[str, os.PathLike],
+    tolerance: float = 1.25,
+) -> ComparisonReport:
+    """Compare two exports; ratios beyond ``tolerance`` count as changes."""
+    old_rows = load_rows(old_path)
+    new_rows = load_rows(new_path)
+    report = ComparisonReport()
+    report.only_old = sorted(set(old_rows) - set(new_rows))
+    report.only_new = sorted(set(new_rows) - set(old_rows))
+
+    for key in sorted(set(old_rows) & set(new_rows)):
+        old, new = old_rows[key], new_rows[key]
+        report.compared += 1
+        if old["n_followers"] != new["n_followers"]:
+            report.follower_changes.append({
+                "dataset": key[0], "method": key[1],
+                "old": old["n_followers"], "new": new["n_followers"]})
+        old_time = _parse_time(old)
+        new_time = _parse_time(new)
+        if old_time is None or new_time is None:
+            continue
+        if old_time <= 0:
+            continue
+        ratio = new_time / old_time
+        entry = {"dataset": key[0], "method": key[1],
+                 "old": old_time, "new": new_time, "ratio": ratio}
+        if ratio > tolerance:
+            report.regressions.append(entry)
+        elif ratio < 1.0 / tolerance:
+            report.improvements.append(entry)
+    return report
+
+
+def _parse_time(row: Dict[str, str]) -> Optional[float]:
+    if row.get("timed_out") == "True" or not row.get("elapsed"):
+        return None
+    return float(row["elapsed"])

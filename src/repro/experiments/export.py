@@ -1,0 +1,102 @@
+"""Machine-readable export of experiment results (JSON / CSV).
+
+The render helpers print the paper-style tables; this module persists the
+underlying data so downstream analysis (plotting, regression tracking across
+commits) does not have to re-run hours of sweeps.
+
+* :func:`result_to_dict` — one :class:`AnchoredCoreResult` as plain data;
+* :func:`runs_to_rows` / :func:`write_csv` — flatten ``MethodRun`` lists
+  into spreadsheet rows;
+* :func:`write_json` — dump any exported structure with a stable layout.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, Iterable, List, Sequence, TextIO, Union
+
+from repro.core.result import AnchoredCoreResult
+from repro.experiments.runner import MethodRun
+
+__all__ = ["result_to_dict", "runs_to_rows", "write_csv", "write_json"]
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+CSV_COLUMNS = ("dataset", "method", "alpha", "beta", "b1", "b2",
+               "n_followers", "elapsed", "timed_out")
+
+
+def result_to_dict(result: AnchoredCoreResult) -> Dict[str, object]:
+    """Full, JSON-safe dump of one reinforcement run."""
+    return {
+        "algorithm": result.algorithm,
+        "alpha": result.alpha,
+        "beta": result.beta,
+        "b1": result.b1,
+        "b2": result.b2,
+        "anchors": list(result.anchors),
+        "followers": sorted(result.followers),
+        "n_followers": result.n_followers,
+        "base_core_size": result.base_core_size,
+        "final_core_size": result.final_core_size,
+        "elapsed": result.elapsed,
+        "timed_out": result.timed_out,
+        "iterations": [
+            {
+                "anchors": list(record.anchors),
+                "marginal_followers": record.marginal_followers,
+                "candidates_total": record.candidates_total,
+                "candidates_after_filter": record.candidates_after_filter,
+                "verifications": record.verifications,
+                "elapsed": record.elapsed,
+            }
+            for record in result.iterations
+        ],
+    }
+
+
+def runs_to_rows(runs: Iterable[MethodRun]) -> List[Dict[str, object]]:
+    """Flatten measurement rows (Fig. 8/9 style) for CSV export."""
+    rows: List[Dict[str, object]] = []
+    for run in runs:
+        rows.append({
+            "dataset": run.dataset,
+            "method": run.method,
+            "alpha": run.alpha,
+            "beta": run.beta,
+            "b1": run.b1,
+            "b2": run.b2,
+            "n_followers": run.n_followers,
+            "elapsed": None if run.timed_out else round(run.elapsed, 6),
+            "timed_out": run.timed_out,
+        })
+    return rows
+
+
+def write_csv(runs: Iterable[MethodRun], target: PathOrFile) -> None:
+    """Write measurement rows as CSV with a fixed, documented column set."""
+    rows = runs_to_rows(runs)
+
+    def _emit(handle: TextIO) -> None:
+        writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS)
+        writer.writeheader()
+        writer.writerows(rows)
+
+    if isinstance(target, (str, os.PathLike)):
+        with open(target, "w", newline="", encoding="utf-8") as handle:
+            _emit(handle)
+    else:
+        _emit(target)
+
+
+def write_json(data: object, target: PathOrFile) -> None:
+    """Dump exported data as stable, human-diffable JSON."""
+    if isinstance(target, (str, os.PathLike)):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    else:
+        json.dump(data, target, indent=2, sort_keys=True)
+        target.write("\n")

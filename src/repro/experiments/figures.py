@@ -1,0 +1,388 @@
+"""Drivers that regenerate each *figure* of the paper's evaluation (§VI).
+
+Each ``figN_*`` function returns plain data (series/rows) and has a
+``render_*`` companion that prints the same rows/series the paper plots.
+Benchmarks under ``benchmarks/`` wrap these with pytest-benchmark; the CLI
+(``python -m repro.experiments``) exposes them directly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.abcore.decomposition import abcore, anchored_abcore, delta
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.api import reinforce
+from repro.experiments.runner import (
+    DEFAULTS,
+    ExperimentDefaults,
+    MethodRun,
+    default_constraints,
+    run_method,
+)
+from repro.generators.datasets import dataset_codes, load_dataset
+from repro.utils.tables import render_series, render_table
+
+__all__ = [
+    "fig4_inshell_ratio",
+    "fig7a_effectiveness",
+    "fig7b_exact_comparison",
+    "fig8_runtime",
+    "fig9_degree_constraints",
+    "fig9_budgets",
+    "fig10_t_followers",
+    "render_fig4",
+    "render_fig7a",
+    "render_fig7b",
+    "render_fig8",
+    "render_fig9",
+    "render_fig10",
+]
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — |F_sh(T)| versus |F(T)| on random anchor sets
+# ----------------------------------------------------------------------
+
+@dataclass
+class InShellSample:
+    """One random anchor set's collective vs in-shell follower counts."""
+
+    anchors: Tuple[int, ...]
+    f_collective: int
+    f_in_shell: int
+
+    @property
+    def ratio(self) -> float:
+        """``|F_sh(T)| / |F(T)|`` (1.0 when both are empty)."""
+        if self.f_collective == 0:
+            return 1.0
+        return self.f_in_shell / self.f_collective
+
+
+def fig4_inshell_ratio(
+    dataset: str = "WC",
+    n_sets: int = 100,
+    set_size: int = 5,
+    alpha: Optional[int] = None,
+    beta: Optional[int] = None,
+    scale: float = DEFAULTS.scale,
+    seed: int = DEFAULTS.seed,
+) -> List[InShellSample]:
+    """Sample random anchor sets ``T`` and compare ``|F_sh(T)|`` with ``|F(T)|``.
+
+    Reproduces Fig. 4: ``F_sh(T) = ∪_{x∈T} F(x)`` is a tight lower bound of
+    the collective follower set ``F(T)`` and highly correlated with it.
+    """
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    if alpha is None or beta is None:
+        alpha, beta = default_constraints(graph)
+    rng = random.Random(seed)
+    base = abcore(graph, alpha, beta)
+    # Sample anchor sets among *promising* anchors — arbitrary vertices have
+    # empty follower sets with overwhelming probability, which would make
+    # both |F_sh(T)| and |F(T)| zero and the figure vacuous.  The paper's
+    # random sets are drawn in the same regime (its anchors produce dozens
+    # of followers).
+    from repro.core.deletion_order import compute_orders
+
+    upper_order, lower_order = compute_orders(graph, alpha, beta)
+    pool = sorted(set(upper_order.candidates(graph))
+                  | set(lower_order.candidates(graph)))
+    samples: List[InShellSample] = []
+    if len(pool) < set_size:
+        return samples
+    for _ in range(n_sets):
+        team = tuple(sorted(rng.sample(pool, set_size)))
+        collective = anchored_abcore(graph, alpha, beta, team) - base - set(team)
+        in_shell: Set[int] = set()
+        for x in team:
+            in_shell |= anchored_abcore(graph, alpha, beta, [x]) - base - {x}
+        # F(T) excludes every anchor of T (Definition 3); a single anchor's
+        # follower set may contain *another* anchor of T, so the union must
+        # be trimmed the same way or it would not be a lower bound.
+        in_shell -= set(team)
+        samples.append(InShellSample(team, len(collective), len(in_shell)))
+    return samples
+
+
+def render_fig4(samples: Sequence[InShellSample]) -> str:
+    """Summary table for Fig. 4 (mean/min ratio and correlation)."""
+    if not samples:
+        return "fig4: no anchor-set samples (core covers the graph?)"
+    ratios = [s.ratio for s in samples]
+    mean_ratio = sum(ratios) / len(ratios)
+    rows = [["samples", len(samples)],
+            ["mean |F_sh|/|F|", "%.3f" % mean_ratio],
+            ["min  |F_sh|/|F|", "%.3f" % min(ratios)],
+            ["max  |F|", max(s.f_collective for s in samples)]]
+    return render_table(["metric", "value"], rows,
+                        title="Fig. 4 — in-shell follower ratio")
+
+
+# ----------------------------------------------------------------------
+# Fig. 7(a) — effectiveness against the baselines
+# ----------------------------------------------------------------------
+
+def fig7a_effectiveness(
+    dataset: str = "WC",
+    budgets: Sequence[int] = (5, 10, 15, 20, 25),
+    alpha: Optional[int] = None,
+    beta: Optional[int] = None,
+    methods: Sequence[str] = ("random", "top-degree", "degree-greedy", "filver"),
+    scale: float = DEFAULTS.scale,
+    seed: int = DEFAULTS.seed,
+    time_limit: Optional[float] = DEFAULTS.time_limit,
+) -> Dict[str, List[int]]:
+    """Follower counts of each method as ``b1 = b2`` sweeps (Fig. 7(a)).
+
+    The paper fixes (α, β) = (10, 7) on the full 3.8M-edge WC; surrogates
+    carry their own δ, so constraints default to the same relative position
+    (0.6δ, 0.4δ) unless given explicitly.
+    """
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    if delta(graph) < 2:
+        raise ValueError("dataset %s surrogate too sparse for fig7a" % dataset)
+    if alpha is None or beta is None:
+        alpha, beta = default_constraints(graph)
+    series: Dict[str, List[int]] = {m: [] for m in methods}
+    for b in budgets:
+        b1 = min(b, graph.n_upper)
+        b2 = min(b, graph.n_lower)
+        for m in methods:
+            run = run_method(graph, dataset, m, alpha, beta, b1, b2,
+                             time_limit=time_limit, seed=seed)
+            series[m].append(run.n_followers)
+    return series
+
+
+def render_fig7a(series: Dict[str, List[int]],
+                 budgets: Sequence[int] = (5, 10, 15, 20, 25)) -> str:
+    return render_series(series, "b1=b2", list(budgets),
+                         title="Fig. 7(a) — followers vs budgets")
+
+
+# ----------------------------------------------------------------------
+# Fig. 7(b) — FILVER versus the exact algorithm
+# ----------------------------------------------------------------------
+
+def fig7b_exact_comparison(
+    alpha: int = 4,
+    beta: int = 3,
+    budget_grid: Sequence[Tuple[int, int]] = ((1, 1), (1, 2), (2, 1), (2, 2)),
+    n_chains: int = 8,
+    max_chain_length: int = 6,
+    seed: int = DEFAULTS.seed,
+) -> List[Dict[str, object]]:
+    """FILVER vs Exact follower counts on a small instance (Fig. 7(b)).
+
+    The paper evaluates Exact on the 1.26K-edge Unicode dataset with small
+    budgets; exhaustive search in pure Python needs a smaller instance, so
+    this driver uses a UL-sized planted-core graph (a guaranteed (4,3)-core
+    plus collapsing support chains — see
+    :func:`repro.generators.planted.planted_core_graph`), which exercises the
+    same comparison in the same regime.
+    """
+    from repro.generators.planted import planted_core_graph
+
+    graph = planted_core_graph(alpha, beta, n_chains=n_chains,
+                               max_chain_length=max_chain_length, seed=seed)
+    dataset = "planted(UL-like)"
+    rows: List[Dict[str, object]] = []
+    for b1, b2 in budget_grid:
+        filver = run_method(graph, dataset, "filver", alpha, beta, b1, b2)
+        exact = run_method(graph, dataset, "exact", alpha, beta, b1, b2)
+        rows.append({
+            "b1": b1, "b2": b2,
+            "filver": filver.n_followers,
+            "exact": exact.n_followers,
+            "optimal": filver.n_followers == exact.n_followers,
+        })
+    return rows
+
+
+def render_fig7b(rows: List[Dict[str, object]]) -> str:
+    return render_table(
+        ["b1", "b2", "FILVER", "Exact", "optimal?"],
+        [[r["b1"], r["b2"], r["filver"], r["exact"], r["optimal"]]
+         for r in rows],
+        title="Fig. 7(b) — FILVER vs Exact")
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — runtime across all datasets
+# ----------------------------------------------------------------------
+
+def fig8_runtime(
+    datasets: Optional[Sequence[str]] = None,
+    methods: Sequence[str] = ("naive", "filver", "filver+", "filver++"),
+    defaults: ExperimentDefaults = DEFAULTS,
+    naive_edge_limit: int = 5000,
+) -> List[MethodRun]:
+    """Runtime of every algorithm on every dataset surrogate (Fig. 8).
+
+    ``naive`` is only run on surrogates up to ``naive_edge_limit`` edges and
+    reported ``TIMEOUT`` beyond that, mirroring the paper's finding that it
+    cannot finish on datasets larger than SO.
+    """
+    if datasets is None:
+        datasets = [c for c in dataset_codes() if c != "UL"]
+    rows: List[MethodRun] = []
+    for code in datasets:
+        graph = load_dataset(code, scale=defaults.scale, seed=defaults.seed)
+        alpha, beta = default_constraints(graph, defaults)
+        b1 = min(defaults.b1, graph.n_upper)
+        b2 = min(defaults.b2, graph.n_lower)
+        for method in methods:
+            if method == "naive" and graph.n_edges > naive_edge_limit:
+                rows.append(MethodRun(
+                    dataset=code, method=method, alpha=alpha, beta=beta,
+                    b1=b1, b2=b2, n_followers=-1,
+                    elapsed=float("inf"), timed_out=True, result=None))
+                continue
+            rows.append(run_method(
+                graph, code, method, alpha, beta, b1, b2,
+                t=defaults.t, time_limit=defaults.time_limit))
+    return rows
+
+
+def render_fig8(rows: Sequence[MethodRun]) -> str:
+    from repro.utils.ascii_chart import bar_chart
+
+    datasets: List[str] = []
+    for r in rows:
+        if r.dataset not in datasets:
+            datasets.append(r.dataset)
+    methods: List[str] = []
+    for r in rows:
+        if r.method not in methods:
+            methods.append(r.method)
+    table = []
+    index = {(r.dataset, r.method): r for r in rows}
+    for code in datasets:
+        row: List[object] = [code]
+        for m in methods:
+            r = index.get((code, m))
+            row.append(r.display_time if r else "-")
+        table.append(row)
+    text = render_table(["dataset"] + methods, table,
+                        title="Fig. 8 — running time (s) on all datasets")
+    # Shape at a glance: total runtime per method, log-scaled bars.
+    totals: Dict[str, float] = {}
+    for m in methods:
+        per = [index[(c, m)].elapsed for c in datasets if (c, m) in index]
+        totals[m] = float("inf") if any(t == float("inf") for t in per) \
+            else sum(per)
+    chart = bar_chart(totals, title="total runtime by method (log bars)",
+                      log=True)
+    return text + "\n\n" + chart
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — effect of degree constraints and budgets
+# ----------------------------------------------------------------------
+
+def fig9_degree_constraints(
+    datasets: Sequence[str] = ("SO", "AZ", "WC"),
+    fractions: Sequence[Tuple[float, float]] = (
+        (0.4, 0.4), (0.5, 0.4), (0.6, 0.4), (0.6, 0.3), (0.6, 0.5)),
+    methods: Sequence[str] = ("filver", "filver+", "filver++"),
+    defaults: ExperimentDefaults = DEFAULTS,
+) -> List[MethodRun]:
+    """Runtime as α and β vary around the defaults (Fig. 9 row 1)."""
+    rows: List[MethodRun] = []
+    for code in datasets:
+        graph = load_dataset(code, scale=defaults.scale, seed=defaults.seed)
+        d = delta(graph)
+        b1 = min(defaults.b1, graph.n_upper)
+        b2 = min(defaults.b2, graph.n_lower)
+        for fa, fb in fractions:
+            alpha = max(2, int(fa * d))
+            beta = max(2, int(fb * d))
+            for method in methods:
+                rows.append(run_method(
+                    graph, code, method, alpha, beta,
+                    b1, b2, t=defaults.t,
+                    time_limit=defaults.time_limit))
+    return rows
+
+
+def fig9_budgets(
+    datasets: Sequence[str] = ("SO", "AZ", "WC"),
+    budgets: Sequence[int] = (5, 10, 15, 20, 25),
+    methods: Sequence[str] = ("filver", "filver+", "filver++"),
+    defaults: ExperimentDefaults = DEFAULTS,
+) -> List[MethodRun]:
+    """Runtime as ``b1 = b2`` sweeps (Fig. 9 row 2)."""
+    rows: List[MethodRun] = []
+    for code in datasets:
+        graph = load_dataset(code, scale=defaults.scale, seed=defaults.seed)
+        alpha, beta = default_constraints(graph, defaults)
+        for b in budgets:
+            # tiny surrogates can have layers smaller than the swept budget
+            b1 = min(b, graph.n_upper)
+            b2 = min(b, graph.n_lower)
+            for method in methods:
+                rows.append(run_method(
+                    graph, code, method, alpha, beta, b1, b2, t=defaults.t,
+                    time_limit=defaults.time_limit))
+    return rows
+
+
+def render_fig9(rows: Sequence[MethodRun], varying: str) -> str:
+    table = []
+    for r in rows:
+        label = ("a=%d,b=%d" % (r.alpha, r.beta)) if varying == "constraints" \
+            else ("b1=b2=%d" % r.b1)
+        table.append([r.dataset, label, r.method, r.display_time,
+                      r.n_followers])
+    return render_table(
+        ["dataset", varying, "method", "time (s)", "followers"], table,
+        title="Fig. 9 — effect of %s" % varying)
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — effect of t on follower quality
+# ----------------------------------------------------------------------
+
+def fig10_t_followers(
+    datasets: Sequence[str] = ("WC", "DB"),
+    t_values: Sequence[int] = (1, 2, 4, 8, 16),
+    budget: int = 8,
+    defaults: ExperimentDefaults = DEFAULTS,
+) -> Dict[str, Dict[int, List[int]]]:
+    """Cumulative follower counts as anchors accumulate, per ``t`` (Fig. 10).
+
+    Returns ``{dataset: {t: cumulative_followers_after_each_iteration}}``;
+    ``b1 = b2 = 8`` as in the paper's sweep.
+    """
+    curves: Dict[str, Dict[int, List[int]]] = {}
+    for code in datasets:
+        graph = load_dataset(code, scale=defaults.scale, seed=defaults.seed)
+        alpha, beta = default_constraints(graph, defaults)
+        curves[code] = {}
+        for t in t_values:
+            result = reinforce(graph, alpha, beta, budget, budget,
+                               method="filver++", t=t,
+                               time_limit=defaults.time_limit)
+            curves[code][t] = result.cumulative_follower_counts()
+    return curves
+
+
+def render_fig10(curves: Dict[str, Dict[int, List[int]]]) -> str:
+    from repro.utils.ascii_chart import sparkline
+
+    blocks = []
+    for code, per_t in curves.items():
+        rows = [["t=%d" % t, sparkline(series) or "-",
+                 " -> ".join(map(str, series)) or "(none)",
+                 series[-1] if series else 0]
+                for t, series in sorted(per_t.items())]
+        blocks.append(render_table(
+            ["setting", "trend", "cumulative followers per iteration",
+             "final"],
+            rows, title="Fig. 10 — %s" % code))
+    return "\n\n".join(blocks)

@@ -1,0 +1,96 @@
+"""Shared plumbing for the per-figure/table experiment drivers.
+
+Centralizes the conventions from Section VI-A of the paper:
+
+* default degree constraints ``α = 0.6δ`` and ``β = 0.4δ`` (computed on the
+  actual input graph, so surrogates use their own δ);
+* default budgets ``b1 = b2 = 10`` and ``t = 5``;
+* a per-run time limit standing in for the paper's 10⁵-second cutoff —
+  algorithms that exceed it are reported as ``TIMEOUT`` rather than hanging
+  the harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.abcore.decomposition import delta
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.api import reinforce
+from repro.core.result import AnchoredCoreResult
+from repro.generators.datasets import load_dataset
+
+__all__ = ["ExperimentDefaults", "default_constraints", "run_method",
+           "MethodRun"]
+
+
+@dataclass(frozen=True)
+class ExperimentDefaults:
+    """Section VI-A defaults, overridable per experiment."""
+
+    b1: int = 10
+    b2: int = 10
+    t: int = 5
+    alpha_fraction: float = 0.6
+    beta_fraction: float = 0.4
+    time_limit: float = 60.0
+    scale: float = 1.0
+    seed: int = 2022
+
+
+DEFAULTS = ExperimentDefaults()
+
+
+def default_constraints(graph: BipartiteGraph,
+                        defaults: ExperimentDefaults = DEFAULTS) -> Tuple[int, int]:
+    """``(α, β) = (0.6 δ, 0.4 δ)`` with a floor of 2, as in the paper."""
+    d = delta(graph)
+    alpha = max(2, int(defaults.alpha_fraction * d))
+    beta = max(2, int(defaults.beta_fraction * d))
+    return alpha, beta
+
+
+@dataclass
+class MethodRun:
+    """One (dataset, method) measurement row."""
+
+    dataset: str
+    method: str
+    alpha: int
+    beta: int
+    b1: int
+    b2: int
+    n_followers: int
+    elapsed: float
+    timed_out: bool
+    result: Optional[AnchoredCoreResult]
+
+    @property
+    def display_time(self) -> str:
+        """Runtime cell: seconds, or ``TIMEOUT`` past the limit."""
+        if self.timed_out:
+            return "TIMEOUT"
+        return "%.3f" % self.elapsed
+
+
+def run_method(
+    graph: BipartiteGraph,
+    dataset: str,
+    method: str,
+    alpha: int,
+    beta: int,
+    b1: int,
+    b2: int,
+    t: int = 5,
+    time_limit: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> MethodRun:
+    """Run one algorithm with timing and timeout accounting."""
+    result = reinforce(graph, alpha, beta, b1, b2, method=method, t=t,
+                       seed=seed, time_limit=time_limit)
+    return MethodRun(
+        dataset=dataset, method=method, alpha=alpha, beta=beta,
+        b1=b1, b2=b2, n_followers=result.n_followers,
+        elapsed=result.elapsed, timed_out=result.timed_out, result=result)

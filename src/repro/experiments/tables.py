@@ -1,0 +1,80 @@
+"""Drivers that regenerate each *table* of the paper's evaluation (§VI).
+
+* Table II — dataset statistics (here: of the surrogates, next to the
+  paper's original numbers so the substitution is transparent);
+* Table III — FILVER++ runtime as ``t`` varies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bigraph.stats import summarize
+from repro.core.api import reinforce
+from repro.experiments.runner import DEFAULTS, ExperimentDefaults, default_constraints
+from repro.generators.datasets import DATASETS, dataset_codes, load_dataset
+from repro.utils.tables import render_table
+
+__all__ = ["table2_datasets", "render_table2",
+           "table3_t_runtime", "render_table3"]
+
+
+def table2_datasets(
+    datasets: Optional[Sequence[str]] = None,
+    scale: float = DEFAULTS.scale,
+    seed: int = DEFAULTS.seed,
+) -> List[Dict[str, object]]:
+    """Surrogate statistics beside the paper's Table II numbers."""
+    codes = list(datasets) if datasets is not None else list(dataset_codes())
+    rows: List[Dict[str, object]] = []
+    for code in codes:
+        spec = DATASETS[code]
+        graph = load_dataset(code, scale=scale, seed=seed)
+        s = summarize(graph)
+        rows.append({
+            "code": code,
+            "name": spec.name,
+            "E": s.n_edges, "U": s.n_upper, "L": s.n_lower,
+            "d_max": s.max_degree, "delta": s.delta,
+            "paper_E": spec.paper_edges, "paper_U": spec.paper_upper,
+            "paper_L": spec.paper_lower, "paper_d_max": spec.paper_dmax,
+            "paper_delta": spec.paper_delta,
+        })
+    return rows
+
+
+def render_table2(rows: Sequence[Dict[str, object]]) -> str:
+    table = [[r["code"], r["name"], r["E"], r["U"], r["L"], r["d_max"],
+              r["delta"], r["paper_E"], r["paper_delta"]] for r in rows]
+    return render_table(
+        ["code", "dataset", "|E|", "|U|", "|L|", "d_max", "delta",
+         "paper |E|", "paper delta"],
+        table, title="Table II — dataset surrogates")
+
+
+def table3_t_runtime(
+    datasets: Sequence[str] = ("WC", "DB"),
+    t_values: Sequence[int] = (1, 2, 4, 8, 16),
+    budget: int = 8,
+    defaults: ExperimentDefaults = DEFAULTS,
+) -> Dict[str, Dict[int, float]]:
+    """FILVER++ runtime for each ``t`` (Table III; ``b1 = b2 = 8``)."""
+    out: Dict[str, Dict[int, float]] = {}
+    for code in datasets:
+        graph = load_dataset(code, scale=defaults.scale, seed=defaults.seed)
+        alpha, beta = default_constraints(graph, defaults)
+        out[code] = {}
+        for t in t_values:
+            result = reinforce(graph, alpha, beta, budget, budget,
+                               method="filver++", t=t,
+                               time_limit=defaults.time_limit)
+            out[code][t] = result.elapsed
+    return out
+
+
+def render_table3(times: Dict[str, Dict[int, float]]) -> str:
+    t_values = sorted({t for per in times.values() for t in per})
+    rows = [[code] + ["%.3f" % times[code][t] for t in t_values]
+            for code in times]
+    return render_table(["t"] + ["t=%d" % t for t in t_values], rows,
+                        title="Table III — FILVER++ runtime (s) vs t")

@@ -1,0 +1,28 @@
+"""Synthetic workload generators and the Table-II dataset surrogate registry."""
+
+from repro.generators.configuration import (
+    balance_degree_sequences,
+    configuration_model,
+)
+from repro.generators.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_codes,
+    load_dataset,
+)
+from repro.generators.planted import planted_core_graph
+from repro.generators.powerlaw import chung_lu_bipartite, powerlaw_degree_sequence
+from repro.generators.random_bipartite import erdos_renyi_bipartite
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "balance_degree_sequences",
+    "chung_lu_bipartite",
+    "configuration_model",
+    "dataset_codes",
+    "erdos_renyi_bipartite",
+    "load_dataset",
+    "planted_core_graph",
+    "powerlaw_degree_sequence",
+]

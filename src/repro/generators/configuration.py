@@ -1,0 +1,72 @@
+"""Bipartite configuration model: wire two degree sequences together.
+
+Used by the power-law generator: once per-layer degree sequences are drawn,
+the configuration model pairs their stubs uniformly at random.  Duplicate
+pairings are collapsed (the resulting simple graph then has slightly fewer
+edges than stubs, as is standard), so callers that need an exact edge count
+over-provision slightly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+from repro.bigraph.builder import from_edge_list
+from repro.bigraph.graph import BipartiteGraph
+from repro.exceptions import InvalidParameterError
+from repro.utils.rng import make_rng
+
+__all__ = ["configuration_model", "balance_degree_sequences"]
+
+
+def balance_degree_sequences(
+    upper_degrees: Sequence[int],
+    lower_degrees: Sequence[int],
+    rng: random.Random,
+) -> "tuple[List[int], List[int]]":
+    """Adjust both sequences in place-copies so their sums match.
+
+    The surplus side loses one stub at a time from random positive entries;
+    this preserves the shape of the distribution far better than truncating
+    the tail.
+    """
+    up = list(upper_degrees)
+    low = list(lower_degrees)
+    diff = sum(up) - sum(low)
+    surplus = up if diff > 0 else low
+    for _ in range(abs(diff)):
+        while True:
+            i = rng.randrange(len(surplus))
+            if surplus[i] > 0:
+                surplus[i] -= 1
+                break
+    return up, low
+
+
+def configuration_model(
+    upper_degrees: Sequence[int],
+    lower_degrees: Sequence[int],
+    seed: Optional[Union[int, random.Random]] = None,
+) -> BipartiteGraph:
+    """Random bipartite graph with (approximately) the given degree sequences.
+
+    Stub sums must match (use :func:`balance_degree_sequences` first if they
+    may not); parallel stub pairings collapse to single edges.
+    """
+    if sum(upper_degrees) != sum(lower_degrees):
+        raise InvalidParameterError(
+            "stub counts differ: %d vs %d"
+            % (sum(upper_degrees), sum(lower_degrees)))
+    rng = make_rng(seed)
+    upper_stubs: List[int] = []
+    for u, d in enumerate(upper_degrees):
+        upper_stubs.extend([u] * d)
+    lower_stubs: List[int] = []
+    for v, d in enumerate(lower_degrees):
+        lower_stubs.extend([v] * d)
+    rng.shuffle(lower_stubs)
+    edges = set(zip(upper_stubs, lower_stubs))
+    return from_edge_list(sorted(edges),
+                          n_upper=len(upper_degrees),
+                          n_lower=len(lower_degrees))

@@ -1,0 +1,109 @@
+"""Planted-core instances: a known (α,β)-core plus collapsing support chains.
+
+Random surrogates at very small scale often have *no* (α,β)-core at all,
+which makes exact-vs-greedy comparisons degenerate.  This generator plants
+the structure the anchored (α,β)-core problem is about:
+
+* a complete ``K_{core_upper, core_lower}`` biclique that is exactly the
+  base (α,β)-core;
+* *support chains* hanging off the core.  A chain alternates layers; its
+  head has one support less than its constraint (only core attachments), and
+  every later vertex has ``α-1`` (or ``β-1``) core attachments plus its chain
+  predecessor.
+
+Without anchors every chain unravels head-first — the support structure is
+acyclic, so nothing in the periphery can sustain itself (this is exactly the
+all-or-nothing tree idea from the paper's Theorem-1 gadget).  Anchoring any
+chain vertex rescues the rest of its chain (and, via the head's edge to its
+successor, usually the head too), so follower sets are non-trivial, nested
+along each chain, and of varying sizes across chains: the regime Fig. 7(b)
+compares Exact and FILVER in, at sizes where exhaustive search is tractable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+from repro.bigraph.builder import from_edge_list
+from repro.bigraph.graph import BipartiteGraph
+from repro.exceptions import InvalidParameterError
+from repro.utils.rng import make_rng
+
+__all__ = ["planted_core_graph"]
+
+
+def planted_core_graph(
+    alpha: int = 4,
+    beta: int = 3,
+    core_upper: Optional[int] = None,
+    core_lower: Optional[int] = None,
+    n_chains: int = 8,
+    max_chain_length: int = 6,
+    seed: Optional[Union[int, random.Random]] = None,
+) -> BipartiteGraph:
+    """Build a planted-core instance (see module docstring).
+
+    ``core_upper`` defaults to ``β + 1`` and ``core_lower`` to ``α + 1`` —
+    the smallest biclique that is an (α,β)-core with one support to spare.
+    Chain lengths are drawn uniformly from ``1..max_chain_length``.
+    """
+    if alpha < 2 or beta < 2:
+        raise InvalidParameterError(
+            "planted cores need alpha, beta >= 2, got (%d, %d)" % (alpha, beta))
+    rng = make_rng(seed)
+    cu = core_upper if core_upper is not None else beta + 1
+    cl = core_lower if core_lower is not None else alpha + 1
+    if cu < beta or cl < alpha:
+        raise InvalidParameterError(
+            "core %dx%d cannot satisfy (alpha=%d, beta=%d)"
+            % (cu, cl, alpha, beta))
+    if alpha - 1 > cl or beta - 1 > cu:
+        raise InvalidParameterError("core too small for chain attachments")
+
+    edges = set()
+    for u in range(cu):
+        for v in range(cl):
+            edges.add((u, v))
+
+    # Chain degree budget: every chain vertex must sit at *exactly* its
+    # threshold when its predecessor is alive and strictly below it when the
+    # predecessor is gone — that makes support strictly forward-flowing:
+    #
+    #   head      threshold-2 core edges (+ successor)  -> threshold-1: dies
+    #   interior  threshold-2 core edges (+ pred + succ) -> threshold
+    #   tail      threshold-1 core edges (+ pred)        -> threshold
+    #
+    # Unanchored, the head dies and the loss cascades down the chain; an
+    # anchored vertex re-solidifies its entire suffix.
+    next_upper = cu
+    next_lower = cl
+    for _ in range(n_chains):
+        length = rng.randint(1, max_chain_length)
+        on_upper = rng.random() < 0.5
+        prev: Optional[int] = None
+        for position in range(length):
+            is_tail = position == length - 1
+            threshold = alpha if on_upper else beta
+            core_edges = threshold - 1 if is_tail and prev is not None \
+                else threshold - 2 if not is_tail \
+                else threshold - 1  # length-1 chain: lone deficient vertex
+            if on_upper:
+                vertex = next_upper
+                next_upper += 1
+                for v in rng.sample(range(cl), core_edges):
+                    edges.add((vertex, v))
+                if prev is not None:
+                    edges.add((vertex, prev))
+            else:
+                vertex = next_lower
+                next_lower += 1
+                for u in rng.sample(range(cu), core_edges):
+                    edges.add((u, vertex))
+                if prev is not None:
+                    edges.add((prev, vertex))
+            prev = vertex
+            on_upper = not on_upper
+
+    return from_edge_list(sorted(edges), n_upper=next_upper,
+                          n_lower=next_lower)

@@ -1,0 +1,58 @@
+"""Erdős–Rényi bipartite generation (the GTgraph-ER substitute).
+
+The paper's billion-scale ``Synthetic`` dataset is produced by GTgraph under
+the Erdős–Rényi model; :func:`erdos_renyi_bipartite` reproduces that model at
+configurable scale, sampling exactly ``n_edges`` distinct edges uniformly
+from ``U × L`` (or each edge independently with probability ``p``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple, Union
+
+from repro.bigraph.builder import from_edge_list
+from repro.bigraph.graph import BipartiteGraph
+from repro.exceptions import InvalidParameterError
+from repro.utils.rng import make_rng
+
+__all__ = ["erdos_renyi_bipartite"]
+
+
+def erdos_renyi_bipartite(
+    n_upper: int,
+    n_lower: int,
+    n_edges: Optional[int] = None,
+    p: Optional[float] = None,
+    seed: Optional[Union[int, random.Random]] = None,
+) -> BipartiteGraph:
+    """Uniform random bipartite graph ``G(n_upper, n_lower, m)`` or ``G(n, p)``.
+
+    Exactly one of ``n_edges`` (the G(n, m) model, what GTgraph's ER mode
+    uses) and ``p`` (the G(n, p) model) must be given.
+    """
+    if (n_edges is None) == (p is None):
+        raise InvalidParameterError("give exactly one of n_edges or p")
+    rng = make_rng(seed)
+    possible = n_upper * n_lower
+    if n_edges is None:
+        if not (0.0 <= p <= 1.0):
+            raise InvalidParameterError("p must be in [0, 1], got %r" % (p,))
+        n_edges = sum(1 for _ in range(possible) if rng.random() < p) \
+            if possible < 1 << 20 else int(possible * p)
+    if n_edges > possible:
+        raise InvalidParameterError(
+            "cannot place %d edges in a %dx%d biclique" % (n_edges, n_upper, n_lower))
+
+    edges: List[Tuple[int, int]]
+    if n_edges * 3 >= possible:
+        # Dense regime: sample positions without replacement.
+        chosen = rng.sample(range(possible), n_edges)
+        edges = [(idx // n_lower, idx % n_lower) for idx in chosen]
+    else:
+        # Sparse regime: rejection sampling.
+        seen = set()
+        while len(seen) < n_edges:
+            seen.add((rng.randrange(n_upper), rng.randrange(n_lower)))
+        edges = sorted(seen)
+    return from_edge_list(edges, n_upper=n_upper, n_lower=n_lower)

@@ -1,0 +1,74 @@
+"""Terminal-friendly charts for the experiment harness.
+
+The paper's figures are line/bar plots; the harness prints their data as
+tables (exact) plus these ASCII charts (shape at a glance, no plotting
+dependency).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence
+
+__all__ = ["bar_chart", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(values: Mapping[str, float], width: int = 40,
+              title: str = "", log: bool = False) -> str:
+    """Horizontal bar chart; ``log=True`` scales bars logarithmically.
+
+    >>> print(bar_chart({"a": 2.0, "b": 4.0}, width=4))
+    a | ██   2
+    b | ████ 4
+    """
+    if not values:
+        return title or "(no data)"
+    label_width = max(len(str(k)) for k in values)
+    finite = [v for v in values.values() if v == v and v != float("inf")]
+    peak = max(finite, default=0.0)
+    lines = [title] if title else []
+    for key, value in values.items():
+        if value != value or value == float("inf"):
+            bar, shown = "∞", "TIMEOUT"
+        elif peak <= 0:
+            bar, shown = "", _fmt(value)
+        else:
+            if log:
+                floor = min(v for v in finite if v > 0) if any(
+                    v > 0 for v in finite) else 1.0
+                span = math.log10(peak / floor) if peak > floor else 1.0
+                frac = (math.log10(max(value, floor) / floor) / span
+                        if span else 1.0)
+            else:
+                frac = value / peak
+            bar = "█" * max(1 if value > 0 else 0, int(round(frac * width)))
+            shown = _fmt(value)
+        lines.append("%-*s | %-*s %s" % (label_width, key, width, bar, shown))
+    return "\n".join(lines)
+
+
+def sparkline(series: Sequence[float]) -> str:
+    """One-line trend glyph for a numeric series.
+
+    >>> sparkline([1, 2, 3])
+    '▁▄█'
+    """
+    if not series:
+        return ""
+    low = min(series)
+    high = max(series)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(series)
+    out = []
+    for value in series:
+        idx = int((value - low) / (high - low) * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return "%.3g" % value

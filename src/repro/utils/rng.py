@@ -1,0 +1,34 @@
+"""Deterministic randomness helpers.
+
+Every generator in :mod:`repro.generators` takes an integer seed and derives
+an isolated ``random.Random`` from it, so dataset surrogates are reproducible
+across processes and Python versions (``random.Random`` is stable for the
+methods used here).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+__all__ = ["make_rng", "derive_seed"]
+
+
+def make_rng(seed: Optional[Union[int, random.Random]]) -> random.Random:
+    """Return a ``random.Random``: pass through instances, seed integers."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def derive_seed(seed: int, *labels: object) -> int:
+    """Derive a stable child seed from a parent seed and labels.
+
+    Uses a simple polynomial hash over the label reprs; avoids ``hash()``
+    which is salted per process for strings.
+    """
+    acc = seed & 0xFFFFFFFF
+    for label in labels:
+        for ch in repr(label):
+            acc = (acc * 1000003 + ord(ch)) & 0xFFFFFFFF
+    return acc

@@ -1,0 +1,60 @@
+"""Plain-text rendering of result tables and figure series.
+
+The experiment harness prints the same rows/series the paper reports; these
+helpers keep the formatting consistent between the CLI, the examples and the
+benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2]]))
+    a | b
+    --+--
+    1 | 2
+    """
+    materialized: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(series: Mapping[str, Sequence[object]],
+                  x_label: str,
+                  x_values: Sequence[object],
+                  title: str = "") -> str:
+    """Render figure-style series as a table with the x axis first."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] if i < len(series[name]) else ""
+                           for name in series])
+    return render_table(headers, rows, title=title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return "%.1f" % cell
+        return "%.4g" % cell
+    return str(cell)

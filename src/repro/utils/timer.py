@@ -1,0 +1,67 @@
+"""Tiny timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock measurements.
+
+    >>> sw = Stopwatch()
+    >>> with sw.measure("phase-1"):
+    ...     pass
+    >>> "phase-1" in sw.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def mean(self, name: str) -> float:
+        """Average duration of one named measurement (0.0 when unseen)."""
+        count = self.counts.get(name, 0)
+        if not count:
+            return 0.0
+        return self.totals[name] / count
+
+    def report(self) -> str:
+        """Multi-line 'name: total (count)' report sorted by cost."""
+        lines = []
+        for name in sorted(self.totals, key=lambda n: -self.totals[n]):
+            lines.append("%-30s %8.3fs  x%d" % (
+                name, self.totals[name], self.counts[name]))
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed() -> Iterator[List[float]]:
+    """Context manager yielding a one-element list set to elapsed seconds.
+
+    >>> with timed() as t:
+    ...     pass
+    >>> t[0] >= 0.0
+    True
+    """
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

@@ -1,0 +1,140 @@
+"""Unit tests for the FILVER++ anchor-set maintainer (Algorithm 6)."""
+
+import pytest
+
+from repro.bigraph import from_edge_list
+from repro.core import AnchorSetMaintainer
+
+
+def graph(n_upper=10, n_lower=10):
+    # Structure is irrelevant here; the maintainer only asks layer questions.
+    return from_edge_list([], n_upper=n_upper, n_lower=n_lower)
+
+
+class TestInsertion:
+    def test_fills_up_to_t(self):
+        m = AnchorSetMaintainer(graph(), t=2, upper_budget=5, lower_budget=5)
+        assert m.offer(0, {100})
+        assert m.offer(1, {101})
+        assert len(m) == 2
+        assert m.anchors == [0, 1]
+
+    def test_rejects_duplicates(self):
+        m = AnchorSetMaintainer(graph(), t=3, upper_budget=5, lower_budget=5)
+        assert m.offer(0, {100})
+        assert not m.offer(0, {100, 101})
+
+    def test_respects_layer_budgets_on_insert(self):
+        m = AnchorSetMaintainer(graph(), t=3, upper_budget=1, lower_budget=0)
+        assert m.offer(0, {100})          # upper, fits
+        assert not m.offer(1, {101})      # upper budget exhausted
+        assert not m.offer(10, {102})     # lower budget is zero
+
+    def test_invalid_t_rejected(self):
+        with pytest.raises(ValueError):
+            AnchorSetMaintainer(graph(), t=0, upper_budget=1, lower_budget=1)
+
+
+class TestBookkeeping:
+    def test_exclusive_sizes_track_overlap(self):
+        m = AnchorSetMaintainer(graph(), t=3, upper_budget=3, lower_budget=3)
+        m.offer(0, {100, 101, 102})
+        m.offer(1, {102, 103})
+        assert m.exclusive_size(0) == 2       # 100, 101
+        assert m.exclusive_size(1) == 1       # 103
+        assert m.in_shell_size() == 4
+        assert m.in_shell_followers() == {100, 101, 102, 103}
+
+    def test_least_contribution_anchor(self):
+        m = AnchorSetMaintainer(graph(), t=3, upper_budget=3, lower_budget=3)
+        m.offer(0, {100, 101})
+        m.offer(1, {101})
+        assert m.least_contribution_anchor() == 1
+
+    def test_least_contribution_tie_breaks_by_id(self):
+        m = AnchorSetMaintainer(graph(), t=2, upper_budget=3, lower_budget=3)
+        m.offer(2, {100})
+        m.offer(1, {101})
+        assert m.least_contribution_anchor() == 1
+
+    def test_empty_maintainer(self):
+        m = AnchorSetMaintainer(graph(), t=2, upper_budget=1, lower_budget=1)
+        assert m.least_contribution_anchor() is None
+        assert m.skip_threshold() == 0
+
+
+class TestReplacement:
+    def test_fig5_example(self):
+        """The paper's Example 3: u1/u6 in T, u9 replaces u1.
+
+        F(u1) = {u2,u3,v3,v4}, F(u6) = {u3,u4,u5,v5,v6,v7},
+        F(u9) = {u7,u8,v1,v2}; |F_ex(u9,T')| = 4 > |F_ex(u1,T)| = 3.
+        """
+        g = graph(n_upper=20, n_lower=20)
+        m = AnchorSetMaintainer(g, t=2, upper_budget=5, lower_budget=5)
+        f_u1 = {2, 3, 23, 24}          # u2,u3 upper; v3,v4 lower
+        f_u6 = {3, 4, 5, 25, 26, 27}
+        f_u9 = {7, 8, 21, 22}
+        m.offer(1, f_u1)
+        m.offer(6, f_u6)
+        assert m.least_contribution_anchor() == 1
+        assert m.offer(9, f_u9)
+        assert m.anchors == [6, 9]
+        assert m.in_shell_followers() == f_u6 | f_u9
+
+    def test_rejects_non_improving_replacement(self):
+        m = AnchorSetMaintainer(graph(), t=1, upper_budget=2, lower_budget=2)
+        m.offer(0, {100, 101})
+        assert not m.offer(1, {102, 103})  # equal gain: strict > required
+        assert m.anchors == [0]
+
+    def test_accepts_strictly_better_replacement(self):
+        m = AnchorSetMaintainer(graph(), t=1, upper_budget=2, lower_budget=2)
+        m.offer(0, {100})
+        assert m.offer(1, {101, 102})
+        assert m.anchors == [1]
+
+    def test_replacement_gain_accounts_for_shared_followers(self):
+        m = AnchorSetMaintainer(graph(), t=2, upper_budget=3, lower_budget=3)
+        m.offer(0, {100, 101})
+        m.offer(1, {102})
+        # candidate overlaps entirely with anchor 0's followers: replacing
+        # x_min (=1, exclusive 1) with it would add nothing new.
+        assert not m.offer(2, {100, 101})
+        # a candidate with 2 fresh followers beats x_min's exclusive 1
+        assert m.offer(3, {103, 104})
+        assert m.anchors == [0, 3]
+
+    def test_replacement_respects_budgets(self):
+        g = graph()
+        m = AnchorSetMaintainer(g, t=2, upper_budget=1, lower_budget=1)
+        m.offer(0, {100, 105})  # upper, exclusive 2
+        m.offer(10, {101})      # lower, exclusive 1 -> x_min
+        # new upper anchor would displace the lower x_min -> 2 uppers: illegal
+        assert m.least_contribution_anchor() == 10
+        assert not m.offer(1, {102, 103, 104})
+        assert m.anchors == [0, 10]
+
+    def test_exclusive_counts_restored_after_removal(self):
+        m = AnchorSetMaintainer(graph(), t=2, upper_budget=3, lower_budget=3)
+        m.offer(0, {100, 101})
+        m.offer(1, {101, 102})
+        assert m.exclusive_size(0) == 1
+        # replace x_min (=0 or 1? both exclusive 1, tie -> 0) with richer set
+        assert m.offer(2, {103, 104, 105})
+        survivor = [a for a in m.anchors if a != 2][0]
+        # the survivor regains follower 101 as exclusive
+        assert m.exclusive_size(survivor) == 2
+
+
+class TestSkipThreshold:
+    def test_zero_until_full(self):
+        m = AnchorSetMaintainer(graph(), t=2, upper_budget=3, lower_budget=3)
+        m.offer(0, {100, 101, 102})
+        assert m.skip_threshold() == 0
+
+    def test_equals_min_exclusive_when_full(self):
+        m = AnchorSetMaintainer(graph(), t=2, upper_budget=3, lower_budget=3)
+        m.offer(0, {100, 101, 102})
+        m.offer(1, {103})
+        assert m.skip_threshold() == 1

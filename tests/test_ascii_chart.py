@@ -1,0 +1,51 @@
+"""Tests for the ASCII chart helpers."""
+
+from repro.utils import bar_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 3
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_peak_in_middle(self):
+        line = sparkline([0, 10, 0])
+        assert line[1] == "█"
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart({"a": 2.0, "b": 4.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_timeout_cell(self):
+        text = bar_chart({"ok": 1.0, "slow": float("inf")}, width=5)
+        assert "TIMEOUT" in text and "∞" in text
+
+    def test_log_scale_compresses_ratios(self):
+        text = bar_chart({"fast": 0.01, "slow": 100.0}, width=40, log=True)
+        lines = text.splitlines()
+        fast_bar = lines[0].count("█")
+        slow_bar = lines[1].count("█")
+        # linear would make fast invisible; log keeps it visible
+        assert fast_bar >= 1
+        assert slow_bar > fast_bar
+
+    def test_title_and_empty(self):
+        assert bar_chart({}, title="x") == "x"
+        assert bar_chart({}) == "(no data)"
+
+    def test_zero_values(self):
+        text = bar_chart({"none": 0.0, "some": 3.0}, width=6)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 0
+        assert lines[1].count("█") == 6

@@ -1,0 +1,106 @@
+"""Tests for maximal biclique enumeration."""
+
+from itertools import chain, combinations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bigraph import from_biadjacency, from_edge_list
+from repro.cohesion.biclique import Biclique, maximal_bicliques, maximum_biclique
+from repro.exceptions import InvalidParameterError
+
+from conftest import bipartite_graphs
+
+
+def brute_force_maximal_bicliques(graph, min_upper=1, min_lower=1):
+    """Reference: closures of all non-empty upper subsets, kept if maximal."""
+    uppers = [u for u in graph.upper_vertices() if graph.degree(u) > 0]
+    neighbors = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    seen = set()
+    for r in range(1, len(uppers) + 1):
+        for subset in combinations(uppers, r):
+            common_lowers = set.intersection(*(neighbors[u] for u in subset)) \
+                if subset else set()
+            if not common_lowers:
+                continue
+            # close the upper side
+            closed_uppers = set.intersection(
+                *(neighbors[v] for v in common_lowers))
+            if len(closed_uppers) >= min_upper \
+                    and len(common_lowers) >= min_lower:
+                seen.add((frozenset(closed_uppers), frozenset(common_lowers)))
+    return {Biclique(u, l) for u, l in seen}
+
+
+class TestSmallCases:
+    def test_single_butterfly(self):
+        g = from_biadjacency([[1, 1], [1, 1]])
+        found = maximal_bicliques(g)
+        assert len(found) == 1
+        assert found[0].uppers == frozenset({0, 1})
+        assert found[0].lowers == frozenset({2, 3})
+
+    def test_two_overlapping_bicliques(self):
+        g = from_biadjacency([
+            [1, 1, 0],
+            [1, 1, 1],
+            [0, 1, 1],
+        ])
+        found = maximal_bicliques(g)
+        assert set(found) == brute_force_maximal_bicliques(g)
+
+    def test_size_thresholds(self):
+        g = from_biadjacency([[1, 1], [1, 1], [1, 0]])
+        big_only = maximal_bicliques(g, min_upper=2, min_lower=2)
+        assert all(len(b.uppers) >= 2 and len(b.lowers) >= 2
+                   for b in big_only)
+
+    def test_empty_graph(self):
+        g = from_edge_list([], n_upper=3, n_lower=3)
+        assert maximal_bicliques(g) == []
+        assert maximum_biclique(g) is None
+
+    def test_invalid_thresholds(self):
+        g = from_biadjacency([[1]])
+        with pytest.raises(InvalidParameterError):
+            maximal_bicliques(g, min_upper=0)
+
+    def test_limit_guard(self):
+        # a crown-like graph with many maximal bicliques
+        rows = [[1 if i != j else 0 for j in range(6)] for i in range(6)]
+        g = from_biadjacency(rows)
+        with pytest.raises(InvalidParameterError):
+            maximal_bicliques(g, limit=2)
+
+    def test_maximum_biclique_is_edge_max(self):
+        g = from_biadjacency([
+            [1, 1, 1, 0],
+            [1, 1, 1, 0],
+            [0, 0, 1, 1],
+        ])
+        best = maximum_biclique(g)
+        assert best.n_edges == 6  # the 2x3 block
+
+
+@settings(max_examples=25, deadline=None)
+@given(bipartite_graphs(max_upper=6, max_lower=6))
+def test_matches_brute_force(g):
+    found = set(maximal_bicliques(g))
+    reference = brute_force_maximal_bicliques(g)
+    assert found == reference
+
+
+@settings(max_examples=20, deadline=None)
+@given(bipartite_graphs(max_upper=6, max_lower=6))
+def test_results_are_bicliques_and_maximal(g):
+    neighbors = {v: set(g.neighbors(v)) for v in g.vertices()}
+    for b in maximal_bicliques(g):
+        for u in b.uppers:
+            assert b.lowers <= neighbors[u]
+        # maximal: no vertex can be added on either side
+        for u in g.upper_vertices():
+            if u not in b.uppers:
+                assert not b.lowers <= neighbors[u]
+        for v in g.lower_vertices():
+            if v not in b.lowers:
+                assert not b.uppers <= neighbors[v]

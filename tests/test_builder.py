@@ -1,0 +1,76 @@
+"""Tests for GraphBuilder and the edge-list constructors."""
+
+import pytest
+
+from repro.bigraph import GraphBuilder, from_edge_list
+from repro.exceptions import GraphConstructionError
+
+
+class TestGraphBuilder:
+    def test_incremental_build(self):
+        b = GraphBuilder()
+        b.add_edge("alice", "bread")
+        b.add_edge("alice", "milk")
+        b.add_edge("bob", "milk")
+        g = b.build()
+        assert (g.n_upper, g.n_lower, g.n_edges) == (2, 2, 3)
+        assert g.label_of(g.vertex_of("upper", "bob")) == "bob"
+
+    def test_layers_have_separate_namespaces(self):
+        b = GraphBuilder()
+        b.add_edge("x", "x")  # same label on both layers is fine
+        g = b.build()
+        assert g.n_upper == 1 and g.n_lower == 1
+        assert g.vertex_of("upper", "x") != g.vertex_of("lower", "x")
+
+    def test_add_vertex_idempotent(self):
+        b = GraphBuilder()
+        assert b.add_upper("u") == b.add_upper("u") == 0
+        assert b.add_lower("v") == b.add_lower("v") == 0
+
+    def test_duplicate_edges_deduped_by_default(self):
+        b = GraphBuilder()
+        b.add_edges([("a", "x"), ("a", "x")])
+        assert b.n_edges_staged == 2
+        assert b.build().n_edges == 1
+
+    def test_duplicate_edges_rejected_when_strict(self):
+        b = GraphBuilder()
+        b.add_edges([("a", "x"), ("a", "x")])
+        with pytest.raises(GraphConstructionError):
+            b.build(dedupe=False)
+
+    def test_isolated_vertices_kept(self):
+        b = GraphBuilder()
+        b.add_upper("lonely")
+        b.add_edge("a", "x")
+        g = b.build()
+        assert g.n_upper == 2
+        assert g.degree(g.vertex_of("upper", "lonely")) == 0
+
+
+class TestFromEdgeList:
+    def test_layer_sizes_inferred(self):
+        g = from_edge_list([(0, 0), (2, 1)])
+        assert (g.n_upper, g.n_lower) == (3, 2)
+
+    def test_explicit_layer_sizes_allow_isolated(self):
+        g = from_edge_list([(0, 0)], n_upper=5, n_lower=4)
+        assert g.n_vertices == 9
+        assert g.degree(4) == 0
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            from_edge_list([(3, 0)], n_upper=2, n_lower=1)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            from_edge_list([(-1, 0)])
+
+    def test_empty_edge_list(self):
+        g = from_edge_list([])
+        assert g.n_vertices == 0 and g.n_edges == 0
+
+    def test_adjacency_is_sorted(self):
+        g = from_edge_list([(0, 2), (0, 0), (0, 1)])
+        assert g.neighbors(0) == [1, 2, 3]

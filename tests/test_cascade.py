@@ -1,0 +1,80 @@
+"""Tests for the departure-cascade simulator."""
+
+from hypothesis import given, settings
+
+from repro.abcore import abcore
+from repro.bigraph import from_biadjacency
+from repro.dynamics import resilience_gain, simulate_cascade
+
+from conftest import K34, graphs_with_constraints
+
+
+class TestCascadeMechanics:
+    def test_no_shock_no_departures(self, k34_with_periphery):
+        result = simulate_cascade(k34_with_periphery, 4, 3, [])
+        assert result.departed == 0
+        assert result.survivors == set(k34_with_periphery.vertices())
+
+    def test_shock_waves_are_ordered(self, k34_with_periphery):
+        g = k34_with_periphery
+        # removing core upper u0 should trigger cascading waves
+        result = simulate_cascade(g, 4, 3, [0])
+        assert result.rounds[0] == [0]
+        assert result.n_rounds >= 2
+        # each wave's members actually violated after the previous waves
+        gone = set()
+        for wave in result.rounds:
+            for v in wave:
+                if v in gone:
+                    continue
+            gone.update(wave)
+        assert gone | result.survivors == set(g.vertices())
+        assert gone.isdisjoint(result.survivors)
+
+    def test_anchor_never_leaves_even_if_shocked(self, k34_with_periphery):
+        g = k34_with_periphery
+        result = simulate_cascade(g, 4, 3, [0], anchors=[0])
+        assert 0 in result.survivors
+        assert result.departed == 0 or 0 not in [v for r in result.rounds
+                                                 for v in r]
+
+    def test_total_collapse(self):
+        # a bare 4-cycle at thresholds (2,2) collapses entirely once one
+        # vertex leaves
+        g = from_biadjacency([[1, 1], [1, 1]])
+        result = simulate_cascade(g, 2, 2, [0])
+        assert result.survivors == set()
+        assert result.departed == 4
+
+    def test_anchoring_stops_the_collapse(self):
+        g = from_biadjacency([[1, 1], [1, 1]])
+        result = simulate_cascade(g, 2, 2, [0], anchors=[1])
+        # upper 1 is retained; lowers keep only 1 < 2 supports and leave
+        assert 1 in result.survivors
+
+
+class TestFixedPoint:
+    @settings(max_examples=30, deadline=None)
+    @given(graphs_with_constraints())
+    def test_shocking_all_violators_yields_the_core(self, data):
+        """Seeding the cascade with every under-threshold vertex must
+        converge exactly to the (α,β)-core — the model's central tie-in."""
+        g, alpha, beta = data
+        shock = [v for v in g.vertices()
+                 if g.degree(v) < (alpha if g.is_upper(v) else beta)]
+        result = simulate_cascade(g, alpha, beta, shock)
+        assert result.survivors == abcore(g, alpha, beta)
+
+
+class TestResilienceGain:
+    def test_gain_is_non_negative_on_fixture(self, k34_with_periphery):
+        g = k34_with_periphery
+        report = resilience_gain(g, 4, 3, [0], anchors=[K34["l4"]])
+        assert set(report) == {"unprotected", "protected", "gain"}
+        assert report["gain"] >= 0
+
+    def test_anchors_do_not_count_themselves(self):
+        g = from_biadjacency([[1, 1], [1, 1]])
+        report = resilience_gain(g, 2, 2, [0], anchors=[1])
+        # only vertex 1 survives and it is an anchor: no counted gain
+        assert report["protected"] == report["unprotected"] == 0

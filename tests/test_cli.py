@@ -1,0 +1,63 @@
+"""Tests for the top-level CLI (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestGenerateAndStats:
+    def test_generate_then_stats(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        assert main(["generate", "--model", "er", "--upper", "50",
+                     "--lower", "40", "--edges", "300",
+                     "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert main(["stats", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "|E| = 300" in out
+        assert "delta" in out
+
+    def test_generate_planted(self, tmp_path, capsys):
+        path = tmp_path / "p.txt"
+        assert main(["generate", "--model", "planted", "--alpha", "3",
+                     "--beta", "3", "--out", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_generate_powerlaw_gz(self, tmp_path, capsys):
+        path = tmp_path / "pl.txt.gz"
+        assert main(["generate", "--model", "powerlaw", "--upper", "80",
+                     "--lower", "60", "--edges", "400",
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--input", str(path)]) == 0
+        assert "|U| = 80" in capsys.readouterr().out
+
+
+class TestReinforce:
+    def test_reinforce_dataset(self, capsys):
+        assert main(["reinforce", "--dataset", "AC", "--scale", "0.2",
+                     "--b1", "2", "--b2", "2", "--method", "filver"]) == 0
+        out = capsys.readouterr().out
+        assert "constraints:" in out
+        assert "anchors" in out
+
+    def test_reinforce_file_with_json(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.txt"
+        main(["generate", "--model", "planted", "--alpha", "4", "--beta", "3",
+              "--out", str(graph_path)])
+        capsys.readouterr()
+        json_path = tmp_path / "plan.json"
+        assert main(["reinforce", "--input", str(graph_path),
+                     "--alpha", "4", "--beta", "3", "--b1", "1", "--b2", "1",
+                     "--method", "filver", "--json", str(json_path)]) == 0
+        capsys.readouterr()
+        data = json.loads(json_path.read_text())
+        assert data["algorithm"] == "filver"
+        assert data["n_followers"] >= 0
+
+    def test_dataset_error_is_reported(self, capsys):
+        assert main(["stats", "--dataset", "NOPE"]) == 2
+        assert "error:" in capsys.readouterr().err

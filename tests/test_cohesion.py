@@ -1,0 +1,134 @@
+"""Tests for butterfly counting and the k-bitruss."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bigraph import from_biadjacency, from_edge_list
+from repro.cohesion import (
+    bitruss_number,
+    butterflies_per_vertex,
+    count_butterflies,
+    edge_support,
+    k_bitruss,
+)
+from repro.exceptions import InvalidParameterError
+
+from conftest import bipartite_graphs, random_bigraph
+
+
+def brute_force_butterflies(graph) -> int:
+    """Count butterflies by enumerating upper pairs (reference)."""
+    total = 0
+    for u1, u2 in combinations(graph.upper_vertices(), 2):
+        common = len(set(graph.neighbors(u1)) & set(graph.neighbors(u2)))
+        total += common * (common - 1) // 2
+    return total
+
+
+class TestCounting:
+    def test_single_butterfly(self):
+        g = from_biadjacency([[1, 1], [1, 1]])
+        assert count_butterflies(g) == 1
+
+    def test_k33_butterflies(self):
+        # K_{3,3}: C(3,2) upper pairs x C(3,2) lower pairs = 9
+        g = from_biadjacency([[1, 1, 1]] * 3)
+        assert count_butterflies(g) == 9
+
+    def test_path_has_none(self):
+        g = from_edge_list([(0, 0), (1, 0), (1, 1), (2, 1)])
+        assert count_butterflies(g) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(bipartite_graphs())
+    def test_matches_brute_force(self, g):
+        assert count_butterflies(g) == brute_force_butterflies(g)
+
+    @settings(max_examples=25, deadline=None)
+    @given(bipartite_graphs())
+    def test_vertex_counts_sum_to_4x(self, g):
+        per_vertex = butterflies_per_vertex(g)
+        assert sum(per_vertex.values()) == 4 * count_butterflies(g)
+
+    @settings(max_examples=25, deadline=None)
+    @given(bipartite_graphs())
+    def test_edge_support_sums_to_4x(self, g):
+        support = edge_support(g)
+        assert sum(support.values()) == 4 * count_butterflies(g)
+
+    def test_edge_support_on_biclique(self):
+        g = from_biadjacency([[1, 1, 1]] * 3)
+        support = edge_support(g)
+        # each edge of K_{3,3} is in 2x2 = 4 butterflies
+        assert set(support.values()) == {4}
+
+
+class TestBitruss:
+    def test_k_zero_keeps_all_edges(self, k34_with_periphery):
+        g = k34_with_periphery
+        assert len(k_bitruss(g, 0)) == g.n_edges
+
+    def test_negative_k_rejected(self, k34_with_periphery):
+        with pytest.raises(InvalidParameterError):
+            k_bitruss(k34_with_periphery, -1)
+
+    def test_biclique_survives_up_to_its_support(self):
+        g = from_biadjacency([[1, 1, 1]] * 3)
+        assert len(k_bitruss(g, 4)) == 9
+        assert k_bitruss(g, 5) == set()
+
+    def test_tail_edges_peel_first(self):
+        # butterfly + pendant edge
+        g = from_edge_list([(0, 0), (0, 1), (1, 0), (1, 1), (2, 1)])
+        truss = k_bitruss(g, 1)
+        # lowers occupy global ids 3 and 4; the butterfly's four edges stay
+        assert truss == {(0, 3), (0, 4), (1, 3), (1, 4)}
+
+    def test_result_is_self_supporting(self):
+        """Every surviving edge has >= k butterflies inside the result."""
+        for seed in range(4):
+            g = random_bigraph(seed, density=0.45)
+            for k in (1, 2):
+                truss = k_bitruss(g, k)
+                if not truss:
+                    continue
+                sub = from_edge_list(
+                    [(u, v - g.n_upper) for u, v in truss],
+                    n_upper=g.n_upper, n_lower=g.n_lower)
+                inner = edge_support(sub)
+                for edge in truss:
+                    assert inner[edge] >= k, (seed, k, edge)
+
+    def test_trusses_are_nested(self):
+        for seed in range(4):
+            g = random_bigraph(seed, density=0.5)
+            previous = k_bitruss(g, 0)
+            for k in (1, 2, 3):
+                current = k_bitruss(g, k)
+                assert current <= previous
+                previous = current
+
+    def test_bitruss_numbers_consistent(self):
+        g = from_biadjacency([[1, 1, 1], [1, 1, 1], [1, 1, 0]])
+        numbers = bitruss_number(g)
+        for edge, k in numbers.items():
+            assert edge in k_bitruss(g, k)
+            assert edge not in k_bitruss(g, k + 1)
+
+
+class TestCoreVsTruss:
+    def test_bitruss_is_stricter_than_core_edges(self):
+        """Edges of the k-bitruss connect vertices that easily clear modest
+        core thresholds — the truss is the tighter structure."""
+        from repro.abcore import abcore
+
+        for seed in range(3):
+            g = random_bigraph(seed, density=0.5)
+            truss = k_bitruss(g, 2)
+            if not truss:
+                continue
+            core = abcore(g, 2, 2)
+            touched = {u for u, _ in truss} | {v for _, v in truss}
+            assert touched <= core

@@ -1,0 +1,98 @@
+"""Tests for the collapsed (α,β)-core (attack-dual) utilities."""
+
+import pytest
+
+from repro.abcore import abcore
+from repro.bigraph import from_biadjacency
+from repro.core import collapse_size, critical_edges, critical_vertices
+from repro.exceptions import InvalidParameterError
+
+from conftest import random_bigraph
+
+
+class TestCollapseSize:
+    def test_no_removal_is_the_core(self, k34_with_periphery):
+        g = k34_with_periphery
+        assert collapse_size(g, 4, 3) == len(abcore(g, 4, 3))
+
+    def test_vertex_removal_cascades(self):
+        # K_{2,2} at (2,2): removing any vertex collapses everything.
+        g = from_biadjacency([[1, 1], [1, 1]])
+        assert collapse_size(g, 2, 2) == 4
+        assert collapse_size(g, 2, 2, removed_vertices=[0]) == 0
+
+    def test_edge_removal_cascades(self):
+        g = from_biadjacency([[1, 1], [1, 1]])
+        # cutting one edge of the 4-cycle drops both endpoints below 2
+        assert collapse_size(g, 2, 2, removed_edges=[(0, 2)]) == 0
+
+    def test_redundant_edge_removal_is_absorbed(self):
+        # K_{3,3} at (2,2): one missing edge leaves degree 2 everywhere.
+        g = from_biadjacency([[1, 1, 1]] * 3)
+        assert collapse_size(g, 2, 2, removed_edges=[(0, 3)]) == 6
+
+    def test_matches_abcore_on_remainder(self):
+        from repro.bigraph import remove_vertices
+
+        for seed in range(4):
+            g = random_bigraph(seed)
+            victim = g.n_vertices // 2
+            expected = len(abcore(remove_vertices(g, [victim]), 2, 2))
+            assert collapse_size(g, 2, 2, removed_vertices=[victim]) == expected
+
+
+class TestCriticalVertices:
+    def test_k22_single_vertex_collapse(self):
+        g = from_biadjacency([[1, 1], [1, 1]])
+        result = critical_vertices(g, 2, 2, budget=1)
+        assert len(result.removed) == 1
+        assert result.final_core_size == 0
+        assert result.collapsed == 4
+
+    def test_budget_zero(self, k34_with_periphery):
+        result = critical_vertices(k34_with_periphery, 4, 3, budget=0)
+        assert result.removed == []
+        assert result.collapsed == 0
+
+    def test_negative_budget_rejected(self, k34_with_periphery):
+        with pytest.raises(InvalidParameterError):
+            critical_vertices(k34_with_periphery, 4, 3, budget=-1)
+
+    def test_greedy_is_at_least_single_best(self, k34_with_periphery):
+        g = k34_with_periphery
+        core = abcore(g, 4, 3)
+        single_best = min(
+            collapse_size(g, 4, 3, [v]) for v in core)
+        result = critical_vertices(g, 4, 3, budget=1)
+        assert result.final_core_size == single_best
+
+    def test_removals_come_from_the_core(self, k34_with_periphery):
+        g = k34_with_periphery
+        core = abcore(g, 4, 3)
+        result = critical_vertices(g, 4, 3, budget=2)
+        assert set(result.removed) <= core
+
+
+class TestCriticalEdges:
+    def test_fragile_cycle(self):
+        g = from_biadjacency([[1, 1], [1, 1]])
+        result = critical_edges(g, 2, 2, budget=1)
+        assert len(result.removed) == 1
+        assert result.final_core_size == 0
+
+    def test_robust_biclique_needs_more_cuts(self):
+        g = from_biadjacency([[1, 1, 1]] * 3)  # K_{3,3} at (2,2)
+        one_cut = critical_edges(g, 2, 2, budget=1)
+        assert one_cut.final_core_size == 6  # single cut absorbed
+        more = critical_edges(g, 2, 2, budget=3)
+        assert more.final_core_size < 6
+
+    def test_attack_then_defend_round_trip(self, k34_with_periphery):
+        """The dual workflow: find the fragile spot, then reinforce it."""
+        from repro.core import reinforce
+
+        g = k34_with_periphery
+        attack = critical_vertices(g, 4, 3, budget=1)
+        assert attack.collapsed > 1  # the core has a fragile member
+        defense = reinforce(g, 4, 3, 1, 1, method="filver")
+        assert defense.n_followers > 0

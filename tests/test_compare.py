@@ -1,0 +1,73 @@
+"""Tests for the CSV regression comparison tool."""
+
+from repro.experiments.compare import compare_csv
+from repro.experiments.export import write_csv
+from repro.experiments.runner import MethodRun
+
+
+def run(dataset, method, followers, elapsed, timed_out=False):
+    return MethodRun(dataset, method, 3, 2, 5, 5, followers,
+                     elapsed, timed_out, None)
+
+
+def write(path, runs):
+    write_csv(runs, path)
+    return path
+
+
+class TestCompare:
+    def test_identical_exports_are_clean(self, tmp_path):
+        runs = [run("AC", "filver", 10, 0.1), run("WC", "filver++", 20, 0.2)]
+        old = write(tmp_path / "old.csv", runs)
+        new = write(tmp_path / "new.csv", runs)
+        report = compare_csv(old, new)
+        assert report.clean
+        assert report.compared == 2
+        assert "no changes" in report.render()
+
+    def test_runtime_regression_detected(self, tmp_path):
+        old = write(tmp_path / "old.csv", [run("AC", "filver", 10, 0.1)])
+        new = write(tmp_path / "new.csv", [run("AC", "filver", 10, 0.5)])
+        report = compare_csv(old, new, tolerance=1.25)
+        assert not report.clean
+        assert len(report.regressions) == 1
+        assert report.regressions[0]["ratio"] == 5.0
+        assert "REGRESSIONS" in report.render()
+
+    def test_improvement_detected_but_clean(self, tmp_path):
+        old = write(tmp_path / "old.csv", [run("AC", "filver", 10, 0.5)])
+        new = write(tmp_path / "new.csv", [run("AC", "filver", 10, 0.1)])
+        report = compare_csv(old, new)
+        assert report.clean
+        assert len(report.improvements) == 1
+
+    def test_follower_change_is_flagged(self, tmp_path):
+        old = write(tmp_path / "old.csv", [run("AC", "filver", 10, 0.1)])
+        new = write(tmp_path / "new.csv", [run("AC", "filver", 11, 0.1)])
+        report = compare_csv(old, new)
+        assert not report.clean
+        assert report.follower_changes
+        assert "FOLLOWER-COUNT CHANGES" in report.render()
+
+    def test_noise_within_tolerance_ignored(self, tmp_path):
+        old = write(tmp_path / "old.csv", [run("AC", "filver", 10, 0.100)])
+        new = write(tmp_path / "new.csv", [run("AC", "filver", 10, 0.110)])
+        report = compare_csv(old, new, tolerance=1.25)
+        assert report.clean and not report.improvements
+
+    def test_timeouts_are_skipped_for_ratios(self, tmp_path):
+        old = write(tmp_path / "old.csv",
+                    [run("SN", "naive", -1, float("inf"), timed_out=True)])
+        new = write(tmp_path / "new.csv", [run("SN", "naive", -1, 0.5)])
+        report = compare_csv(old, new)
+        assert not report.regressions
+        # follower counts equal (-1 both) -> no change flagged
+        assert report.clean
+
+    def test_one_sided_rows_reported(self, tmp_path):
+        old = write(tmp_path / "old.csv", [run("AC", "filver", 10, 0.1)])
+        new = write(tmp_path / "new.csv", [run("WC", "filver", 10, 0.1)])
+        report = compare_csv(old, new)
+        assert len(report.only_old) == 1
+        assert len(report.only_new) == 1
+        assert "only in old: 1" in report.render()

@@ -1,0 +1,95 @@
+"""Tests for the full (α,β)-core decomposition index."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.abcore import abcore, delta
+from repro.abcore.index import CoreIndex
+from repro.bigraph import from_biadjacency
+from repro.exceptions import InvalidParameterError
+
+from conftest import graphs_with_constraints, random_bigraph
+
+
+class TestOnFixture:
+    def test_queries_match_direct_peeling(self, k34_with_periphery):
+        g = k34_with_periphery
+        index = CoreIndex.build(g)
+        for alpha in range(1, 6):
+            for beta in range(1, 6):
+                assert index.core(alpha, beta) == abcore(g, alpha, beta), \
+                    (alpha, beta)
+
+    def test_alpha_max(self, k34_with_periphery):
+        g = k34_with_periphery
+        index = CoreIndex.build(g)
+        a_max = index.alpha_max()
+        assert abcore(g, a_max, 1)
+        assert not abcore(g, a_max + 1, 1)
+
+    def test_delta_matches(self, k34_with_periphery):
+        index = CoreIndex.build(k34_with_periphery)
+        assert index.delta() == delta(k34_with_periphery)
+
+    def test_vertex_profile_is_a_staircase(self, k34_with_periphery):
+        g = k34_with_periphery
+        index = CoreIndex.build(g)
+        for v in g.vertices():
+            profile = index.vertex_profile(v)
+            betas = [b for _, b in profile]
+            assert betas == sorted(betas, reverse=True)
+            # first alpha level is 1 and levels are consecutive
+            assert [a for a, _ in profile] == list(range(1, len(profile) + 1))
+
+    def test_max_beta_out_of_range(self, k34_with_periphery):
+        index = CoreIndex.build(k34_with_periphery)
+        assert index.max_beta(0, alpha=99) == 0
+        with pytest.raises(InvalidParameterError):
+            index.max_beta(0, alpha=0)
+
+    def test_query_validation(self, k34_with_periphery):
+        index = CoreIndex.build(k34_with_periphery)
+        with pytest.raises(InvalidParameterError):
+            index.core(0, 1)
+
+    def test_shell_sizes_sum_to_level(self, k34_with_periphery):
+        g = k34_with_periphery
+        index = CoreIndex.build(g)
+        sizes = index.shell_sizes(1)
+        assert sum(sizes.values()) == len(abcore(g, 1, 1))
+        assert index.shell_sizes(99) == {}
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_graph(self):
+        from repro.bigraph import from_edge_list
+
+        index = CoreIndex.build(from_edge_list([]))
+        assert index.alpha_max() == 0
+        assert index.core(1, 1) == set()
+        assert index.delta() == 0
+
+    def test_single_edge(self):
+        g = from_biadjacency([[1]])
+        index = CoreIndex.build(g)
+        assert index.core(1, 1) == {0, 1}
+        assert index.core(2, 1) == set()
+        assert index.delta() == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs_with_constraints(max_constraint=4))
+def test_index_equals_peeling_everywhere(data):
+    g, alpha, beta = data
+    index = CoreIndex.build(g)
+    assert index.core(alpha, beta) == abcore(g, alpha, beta)
+    assert index.delta() == delta(g)
+
+
+def test_index_on_larger_graphs():
+    for seed in range(3):
+        g = random_bigraph(seed, n1_range=(20, 30), n2_range=(20, 30),
+                           density=0.25)
+        index = CoreIndex.build(g)
+        for alpha, beta in ((1, 1), (2, 3), (4, 2), (5, 5)):
+            assert index.core(alpha, beta) == abcore(g, alpha, beta)

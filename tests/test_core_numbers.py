@@ -1,0 +1,93 @@
+"""Tests for the capped upper/lower core numbers (Definition 10)."""
+
+from hypothesis import given, settings
+
+from repro.abcore import (
+    abcore,
+    anchored_abcore,
+    lower_core_numbers,
+    upper_core_numbers,
+)
+
+from conftest import graphs_with_constraints
+
+
+def brute_force_upper_core_number(graph, v, alpha, beta, anchors=()):
+    """min(beta, max k such that v in the anchored (alpha,k)-core)."""
+    best = 0
+    for k in range(1, beta + 1):
+        if v in anchored_abcore(graph, alpha, k, anchors):
+            best = k
+    return best
+
+
+class TestOnFixture:
+    def test_core_vertices_get_the_cap(self, k34_with_periphery):
+        g = k34_with_periphery
+        numbers = upper_core_numbers(g, 4, 3)
+        for v in abcore(g, 4, 3):
+            assert numbers[v] == 3
+
+    def test_shell_vertices_sit_one_below(self, k34_with_periphery):
+        from conftest import K34
+
+        g = k34_with_periphery
+        numbers = upper_core_numbers(g, 4, 3)
+        # chain-A members are in the (4,2)-core but not the (4,3)-core
+        assert numbers[K34["u3"]] == 2
+        assert numbers[K34["l4"]] == 2
+
+    def test_isolated_vertex_is_zero(self, k34_with_periphery):
+        from conftest import K34
+
+        numbers = upper_core_numbers(k34_with_periphery, 4, 3)
+        assert numbers[K34["u6"]] == 0
+
+    def test_anchors_get_the_cap(self, k34_with_periphery):
+        from conftest import K34
+
+        g = k34_with_periphery
+        numbers = upper_core_numbers(g, 4, 3, anchors=[K34["u6"]])
+        assert numbers[K34["u6"]] == 3
+
+    def test_subset_matches_global_for_closed_regions(self, k34_with_periphery):
+        g = k34_with_periphery
+        full = upper_core_numbers(g, 4, 3)
+        # The whole vertex set as "subset" must reproduce the global numbers.
+        sub = upper_core_numbers(g, 4, 3, subset=list(g.vertices()))
+        assert sub == full
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs_with_constraints(max_constraint=3))
+def test_upper_core_numbers_match_definition(data):
+    g, alpha, beta = data
+    numbers = upper_core_numbers(g, alpha, beta)
+    for v in g.vertices():
+        assert numbers[v] == brute_force_upper_core_number(g, v, alpha, beta)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs_with_constraints(max_constraint=3))
+def test_lower_core_numbers_match_definition(data):
+    g, alpha, beta = data
+    numbers = lower_core_numbers(g, alpha, beta)
+    for v in g.vertices():
+        best = 0
+        for k in range(1, alpha + 1):
+            if v in anchored_abcore(g, k, beta, ()):
+                best = k
+        assert numbers[v] == best
+
+
+@settings(max_examples=20, deadline=None)
+@given(graphs_with_constraints(max_constraint=3))
+def test_core_numbers_never_decrease_with_anchors(data):
+    g, alpha, beta = data
+    plain = upper_core_numbers(g, alpha, beta)
+    anchor = next(iter(g.vertices()), None)
+    if anchor is None:
+        return
+    anchored = upper_core_numbers(g, alpha, beta, anchors=[anchor])
+    for v in g.vertices():
+        assert anchored[v] >= plain[v]

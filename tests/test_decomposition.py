@@ -1,0 +1,155 @@
+"""Tests for (α,β)-core peeling: unit cases plus hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abcore import abcore, anchored_abcore, delta, followers, peel_with_order
+from repro.bigraph import from_biadjacency, from_edge_list
+from repro.exceptions import InvalidParameterError
+
+from conftest import graphs_with_constraints
+
+
+class TestAbcoreUnit:
+    def test_biclique_is_its_own_core(self):
+        g = from_biadjacency([[1, 1, 1], [1, 1, 1]])
+        assert abcore(g, 3, 2) == {0, 1, 2, 3, 4}
+
+    def test_constraints_too_high_give_empty_core(self):
+        g = from_biadjacency([[1, 1, 1], [1, 1, 1]])
+        assert abcore(g, 4, 2) == set()
+        assert abcore(g, 3, 3) == set()
+
+    def test_known_core_with_periphery(self, k34_with_periphery):
+        # The planted K_{3,4}: uppers 0-2 and lowers l0..l3 (ids 8-11).
+        assert abcore(k34_with_periphery, 4, 3) == {0, 1, 2, 8, 9, 10, 11}
+
+    def test_alpha_one_keeps_popular_lowers_and_their_neighbors(self):
+        g = from_edge_list([(0, 0), (1, 0), (2, 1)], n_upper=3, n_lower=2)
+        # (1,2)-core: lower 0 has degree 2; its neighbors survive with a=1.
+        assert abcore(g, 1, 2) == {0, 1, 3}
+
+    def test_zero_constraint_means_unconstrained_layer(self):
+        g = from_edge_list([(0, 0), (1, 0)], n_upper=2, n_lower=1)
+        # (2,0)-core: uppers need 2 neighbors -> both die; lowers always stay.
+        assert abcore(g, 2, 0) == {2}
+
+    def test_negative_constraints_rejected(self):
+        g = from_biadjacency([[1]])
+        with pytest.raises(InvalidParameterError):
+            abcore(g, -1, 1)
+
+    def test_subset_restricts_computation(self, k34_with_periphery):
+        g = k34_with_periphery
+        # Restricted to the core vertices only, the core is unchanged.
+        core = abcore(g, 4, 3)
+        assert abcore(g, 4, 3, subset=core) == core
+        # Restricted to a strict subset that breaks the degrees -> empty.
+        assert abcore(g, 4, 3, subset=list(core)[:3]) == set()
+
+
+class TestAnchoredAbcore:
+    def test_anchor_survives_despite_degree(self):
+        g = from_biadjacency([[1, 1, 1], [1, 1, 1], [0, 0, 1]])
+        assert 2 not in abcore(g, 3, 2)
+        assert 2 in anchored_abcore(g, 3, 2, [2])
+
+    def test_anchoring_core_vertex_changes_nothing(self, k34_with_periphery):
+        g = k34_with_periphery
+        base = abcore(g, 4, 3)
+        assert anchored_abcore(g, 4, 3, [0]) == base
+
+    def test_chain_rescue_semantics(self, k34_with_periphery):
+        from conftest import K34
+
+        g = k34_with_periphery
+        assert followers(g, 4, 3, [K34["l4"]]) == {K34["u3"], K34["l5"],
+                                                   K34["u7"]}
+        assert followers(g, 4, 3, [K34["u3"]]) == {K34["l5"], K34["u7"]}
+        assert followers(g, 4, 3, [K34["l5"]]) == {K34["u7"]}
+        assert followers(g, 4, 3, [K34["u7"]]) == set()
+        assert followers(g, 4, 3, [K34["u4"]]) == {K34["l6"]}
+
+    def test_followers_accepts_precomputed_base(self, k34_with_periphery):
+        g = k34_with_periphery
+        base = abcore(g, 4, 3)
+        assert followers(g, 4, 3, [3], base_core=base) == followers(g, 4, 3, [3])
+
+
+class TestPeelWithOrder:
+    def test_order_covers_exactly_the_deleted(self, k34_with_periphery):
+        g = k34_with_periphery
+        survivors, order = peel_with_order(g, 4, 3, ())
+        assert set(order) & survivors == set()
+        assert set(order) | survivors == set(g.vertices())
+
+    def test_order_is_a_valid_peel(self, k34_with_periphery):
+        """Replaying the deletions must never delete a satisfied vertex late.
+
+        At the moment a vertex is deleted, its degree among the not-yet-
+        deleted vertices must be below its threshold.
+        """
+        g = k34_with_periphery
+        alpha, beta = 4, 3
+        survivors, order = peel_with_order(g, alpha, beta, ())
+        deleted = set()
+        for v in order:
+            remaining_degree = sum(1 for w in g.neighbors(v)
+                                   if w not in deleted)
+            threshold = alpha if g.is_upper(v) else beta
+            assert remaining_degree < threshold
+            deleted.add(v)
+
+
+class TestDelta:
+    def test_empty_graph(self):
+        assert delta(from_edge_list([])) == 0
+
+    def test_biclique_delta(self):
+        # K_{3,3}: the (3,3)-core exists, the (4,4)-core cannot.
+        g = from_biadjacency([[1, 1, 1]] * 3)
+        assert delta(g) == 3
+
+    def test_star_delta_is_one(self):
+        g = from_edge_list([(0, j) for j in range(5)])
+        assert delta(g) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs_with_constraints())
+def test_core_satisfies_constraints_and_is_maximal(data):
+    """Every core member meets its constraint; every outsider would fail."""
+    g, alpha, beta = data
+    core = abcore(g, alpha, beta)
+    for v in core:
+        threshold = alpha if g.is_upper(v) else beta
+        assert sum(1 for w in g.neighbors(v) if w in core) >= threshold
+    # Maximality: no single outsider can be added (it must violate its
+    # constraint even counting all core neighbors).
+    for v in g.vertices():
+        if v in core:
+            continue
+        threshold = alpha if g.is_upper(v) else beta
+        in_core = sum(1 for w in g.neighbors(v) if w in core)
+        assert in_core < threshold
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs_with_constraints())
+def test_cores_are_nested(data):
+    g, alpha, beta = data
+    core = abcore(g, alpha, beta)
+    assert core <= abcore(g, max(alpha - 1, 0), beta)
+    assert core <= abcore(g, alpha, max(beta - 1, 0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs_with_constraints(), st.sets(st.integers(0, 18), max_size=4))
+def test_anchored_core_is_monotone_in_anchors(data, anchor_seed):
+    g, alpha, beta = data
+    anchors = sorted(v % g.n_vertices for v in anchor_seed) if g.n_vertices else []
+    smaller = anchored_abcore(g, alpha, beta, anchors[:1])
+    larger = anchored_abcore(g, alpha, beta, anchors)
+    assert abcore(g, alpha, beta) <= smaller <= larger
+    assert set(anchors) <= larger

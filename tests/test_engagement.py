@@ -1,0 +1,97 @@
+"""Tests for heterogeneous-threshold engagement equilibria."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.abcore import abcore, anchored_abcore
+from repro.bigraph import from_biadjacency
+from repro.dynamics.engagement import ThresholdProfile, anchored_gain, equilibrium
+from repro.exceptions import InvalidParameterError
+
+from conftest import graphs_with_constraints
+
+
+class TestProfile:
+    def test_uniform_profile(self, k34_with_periphery):
+        profile = ThresholdProfile.uniform(4, 3)
+        g = k34_with_periphery
+        assert profile.threshold(g, 0) == 4
+        assert profile.threshold(g, g.n_upper) == 3
+
+    def test_overrides(self, k34_with_periphery):
+        profile = ThresholdProfile(4, 3, overrides={0: 1})
+        assert profile.threshold(k34_with_periphery, 0) == 1
+
+    def test_negative_thresholds_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ThresholdProfile(-1, 2)
+        with pytest.raises(InvalidParameterError):
+            ThresholdProfile(1, 1, overrides={3: -2})
+
+
+class TestEquilibrium:
+    def test_zero_thresholds_keep_everyone(self, k34_with_periphery):
+        g = k34_with_periphery
+        assert equilibrium(g, ThresholdProfile(0, 0)) == set(g.vertices())
+
+    def test_lenient_override_keeps_a_vertex(self, k34_with_periphery):
+        from conftest import K34
+
+        g = k34_with_periphery
+        strict = ThresholdProfile.uniform(4, 3)
+        assert K34["u4"] not in equilibrium(g, strict)
+        lenient = ThresholdProfile(4, 3, overrides={K34["u4"]: 2})
+        result = equilibrium(g, lenient)
+        # u4 now needs only 2 of its 3 neighbors; l0 and l1 are stable
+        assert K34["u4"] in result
+
+    def test_strict_override_expels_and_cascades(self):
+        # 4-cycle at (2,2) is stable; raising one threshold collapses it
+        g = from_biadjacency([[1, 1], [1, 1]])
+        strict = ThresholdProfile(2, 2, overrides={0: 3})
+        assert equilibrium(g, strict) == set()
+
+    def test_anchors_are_unconditional(self, k34_with_periphery):
+        from conftest import K34
+
+        g = k34_with_periphery
+        profile = ThresholdProfile.uniform(4, 3)
+        result = equilibrium(g, profile, anchors=[K34["u6"]])
+        assert K34["u6"] in result
+
+    def test_anchored_gain_matches_followers(self, k34_with_periphery):
+        from conftest import K34
+
+        g = k34_with_periphery
+        profile = ThresholdProfile.uniform(4, 3)
+        gain = anchored_gain(g, profile, [K34["l4"]])
+        assert gain == {K34["u3"], K34["l5"], K34["u7"]}
+
+
+@settings(max_examples=35, deadline=None)
+@given(graphs_with_constraints())
+def test_uniform_equilibrium_is_the_core(data):
+    g, alpha, beta = data
+    profile = ThresholdProfile.uniform(alpha, beta)
+    assert equilibrium(g, profile) == abcore(g, alpha, beta)
+    anchor = g.n_vertices // 2
+    assert equilibrium(g, profile, [anchor]) \
+        == anchored_abcore(g, alpha, beta, [anchor])
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs_with_constraints())
+def test_equilibrium_is_stable_and_maximal(data):
+    g, alpha, beta = data
+    profile = ThresholdProfile(alpha, beta,
+                               overrides={0: max(0, alpha - 1)}
+                               if g.n_upper else {})
+    stable = equilibrium(g, profile)
+    for v in stable:
+        inside = sum(1 for w in g.neighbors(v) if w in stable)
+        assert inside >= profile.threshold(g, v)
+    for v in g.vertices():
+        if v in stable:
+            continue
+        inside = sum(1 for w in g.neighbors(v) if w in stable)
+        assert inside < profile.threshold(g, v)

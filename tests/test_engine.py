@@ -1,0 +1,88 @@
+"""Tests for the shared engine: option ablations and skip-rule soundness."""
+
+from hypothesis import given, settings
+
+from repro.core import EngineOptions, run_engine
+from repro.core.filver import FILVER_OPTIONS
+from repro.core.filver_plus import FILVER_PLUS_OPTIONS
+from repro.core.filver_plus_plus import filver_plus_plus_options
+
+from conftest import graphs_with_constraints, random_bigraph
+
+ABLATIONS = {
+    "base": EngineOptions(False, False, False, 1),
+    "filter-only": EngineOptions(True, False, True, 1),
+    "maintenance-only": EngineOptions(False, True, False, 1),
+    "both": EngineOptions(True, True, True, 1),
+}
+
+
+class TestOptionPresets:
+    def test_preset_wiring(self):
+        assert FILVER_OPTIONS == ABLATIONS["base"]
+        assert FILVER_PLUS_OPTIONS == ABLATIONS["both"]
+        opts = filver_plus_plus_options(7)
+        assert opts.anchors_per_iteration == 7
+        assert opts.use_two_hop_filter and opts.maintain_orders
+
+    def test_invalid_t_rejected(self, k34_with_periphery):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_engine(k34_with_periphery, 4, 3, 1, 1,
+                       EngineOptions(anchors_per_iteration=0), "bad")
+
+
+class TestAblationAgreement:
+    def test_all_single_anchor_configs_agree(self):
+        """Every t=1 configuration implements the same greedy, so all four
+        ablation corners must produce identical follower totals."""
+        for seed in range(6):
+            g = random_bigraph(seed)
+            totals = {
+                name: run_engine(g, 2, 2, 2, 2, opts, name).n_followers
+                for name, opts in ABLATIONS.items()
+            }
+            assert len(set(totals.values())) == 1, (seed, totals)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs_with_constraints(max_constraint=3))
+    def test_filter_does_not_change_the_greedy_result(self, data):
+        g, alpha, beta = data
+        b1 = min(1, g.n_upper)
+        b2 = min(1, g.n_lower)
+        base = run_engine(g, alpha, beta, b1, b2, ABLATIONS["base"], "base")
+        both = run_engine(g, alpha, beta, b1, b2, ABLATIONS["both"], "both")
+        assert base.n_followers == both.n_followers
+
+
+class TestEngineAccounting:
+    def test_final_follower_set_is_globally_verified(self, k34_with_periphery):
+        from repro.abcore import abcore, anchored_abcore
+
+        g = k34_with_periphery
+        result = run_engine(g, 4, 3, 1, 1, ABLATIONS["both"], "x")
+        base = abcore(g, 4, 3)
+        anchored = anchored_abcore(g, 4, 3, result.anchors)
+        assert result.followers == anchored - base - set(result.anchors)
+        assert result.base_core_size == len(base)
+        assert result.final_core_size == len(anchored)
+
+    def test_filter_reduces_pool(self, k34_with_periphery):
+        g = k34_with_periphery
+        base = run_engine(g, 4, 3, 1, 1, ABLATIONS["base"], "base")
+        both = run_engine(g, 4, 3, 1, 1, ABLATIONS["both"], "both")
+        assert (both.iterations[0].candidates_after_filter
+                <= base.iterations[0].candidates_after_filter)
+
+    def test_marginal_followers_sum_to_total(self, k34_with_periphery):
+        g = k34_with_periphery
+        result = run_engine(g, 4, 3, 1, 1, ABLATIONS["both"], "x")
+        assert sum(it.marginal_followers
+                   for it in result.iterations) == result.n_followers
+
+    def test_multi_anchor_iterations_shrink_iteration_count(self):
+        g = random_bigraph(4, n1_range=(12, 18), n2_range=(12, 18))
+        single = run_engine(g, 2, 2, 3, 3, filver_plus_plus_options(1), "t1")
+        multi = run_engine(g, 2, 2, 3, 3, filver_plus_plus_options(6), "t6")
+        assert len(multi.iterations) <= len(single.iterations)

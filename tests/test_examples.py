@@ -1,0 +1,58 @@
+"""Run every example script end to end (they are part of the public surface).
+
+Each example is executed in a subprocess with reduced parameters where the
+script accepts them, so drift between the examples and the library API fails
+the suite rather than the first user who copies them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=180):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "stable community" in proc.stdout
+        assert "followers:" in proc.stdout
+
+    def test_social_group_maintenance(self):
+        proc = run_example("social_group_maintenance.py", "0.2")
+        assert proc.returncode == 0, proc.stderr
+        assert "campaign plan" in proc.stdout
+        assert "per-iteration breakdown" in proc.stdout
+
+    def test_mutualistic_network(self):
+        proc = run_example("mutualistic_network.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "conservation targets" in proc.stdout
+        assert "survivors:" in proc.stdout
+
+    def test_scalability_sweep(self):
+        proc = run_example("scalability_sweep.py", "4000")
+        assert proc.returncode == 0, proc.stderr
+        assert "filver++" in proc.stdout
+        assert "naive" in proc.stdout
+
+    def test_hardness_reduction_demo(self):
+        proc = run_example("hardness_reduction_demo.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "MC optimum" in proc.stdout
+        assert "QED" in proc.stdout
+
+    def test_attack_and_defend(self):
+        proc = run_example("attack_and_defend.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "most critical core members" in proc.stdout
+        assert "defense plan" in proc.stdout

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.exceptions import (
+    DatasetError,
+    ExperimentError,
+    GraphConstructionError,
+    InvalidParameterError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        GraphConstructionError, InvalidParameterError, DatasetError,
+        ExperimentError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_invalid_parameter_is_a_value_error(self):
+        """Callers using plain ``except ValueError`` still catch parameter
+        mistakes — the dual inheritance is part of the public contract."""
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_single_except_clause_catches_library_failures(self):
+        from repro.bigraph import from_edge_list
+
+        with pytest.raises(ReproError):
+            from_edge_list([(-1, 0)])
+        from repro.generators import load_dataset
+
+        with pytest.raises(ReproError):
+            load_dataset("UNKNOWN")
+
+    def test_programming_errors_are_not_wrapped(self):
+        """TypeErrors must escape — the library never masks caller bugs."""
+        from repro.bigraph import from_edge_list
+
+        with pytest.raises(TypeError):
+            from_edge_list(42)

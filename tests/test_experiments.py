@@ -1,0 +1,176 @@
+"""Smoke + behavior tests of the experiment harness (small scales)."""
+
+import pytest
+
+from repro.experiments import (
+    DEFAULTS,
+    ExperimentDefaults,
+    bound_tightness_report,
+    default_constraints,
+    fig4_inshell_ratio,
+    fig6_case_study,
+    fig7a_effectiveness,
+    fig7b_exact_comparison,
+    fig8_runtime,
+    fig10_t_followers,
+    filter_power_report,
+    render_fig4,
+    render_fig6,
+    render_fig7a,
+    render_fig7b,
+    render_fig8,
+    render_fig10,
+    render_table2,
+    render_table3,
+    run_method,
+    table2_datasets,
+    table3_t_runtime,
+)
+from repro.experiments.figures import fig9_budgets, render_fig9
+from repro.generators import load_dataset
+
+SMALL = ExperimentDefaults(b1=3, b2=3, t=2, scale=0.08, time_limit=30.0)
+
+
+class TestRunner:
+    def test_default_constraints_follow_delta(self):
+        g = load_dataset("AC", scale=0.3)
+        alpha, beta = default_constraints(g)
+        assert alpha >= beta >= 2
+
+    def test_run_method_row(self):
+        g = load_dataset("AC", scale=0.1)
+        row = run_method(g, "AC", "filver", 2, 2, 2, 2)
+        assert row.dataset == "AC" and row.method == "filver"
+        assert row.n_followers >= 0
+        assert row.display_time != "TIMEOUT"
+
+
+class TestFig4:
+    def test_in_shell_is_a_lower_bound(self):
+        samples = fig4_inshell_ratio("WC", n_sets=10, set_size=3,
+                                     scale=0.15, seed=3)
+        for s in samples:
+            assert s.f_in_shell <= s.f_collective
+            assert 0.0 <= s.ratio <= 1.0
+        assert render_fig4(samples)
+
+    def test_render_empty(self):
+        assert "no anchor-set samples" in render_fig4([])
+
+
+class TestFig6:
+    def test_case_study_shape(self):
+        study = fig6_case_study(scale=0.3, seed=4)
+        assert study.followers_upper + study.followers_lower \
+            == study.result.n_followers
+        assert study.indirect_followers <= study.result.n_followers
+        assert "case study" in render_fig6(study)
+
+
+class TestFig7:
+    def test_effectiveness_series_shapes(self):
+        budgets = (2, 4)
+        series = fig7a_effectiveness("WC", budgets=budgets, alpha=3, beta=2,
+                                     scale=0.12, seed=5, time_limit=30.0)
+        assert set(series) == {"random", "top-degree", "degree-greedy",
+                               "filver"}
+        assert all(len(v) == len(budgets) for v in series.values())
+        # FILVER is the strongest at the largest budget
+        assert series["filver"][-1] >= max(
+            series["random"][-1], series["top-degree"][-1])
+        assert render_fig7a(series, budgets)
+
+    def test_exact_comparison_rows(self):
+        rows = fig7b_exact_comparison(budget_grid=((1, 1), (1, 2)),
+                                      n_chains=5, max_chain_length=4, seed=6)
+        for row in rows:
+            assert row["filver"] <= row["exact"]
+        assert render_fig7b(rows)
+
+
+class TestFig8:
+    def test_runtime_rows_and_naive_timeout(self):
+        rows = fig8_runtime(datasets=("AC", "WR"),
+                            methods=("naive", "filver", "filver++"),
+                            defaults=SMALL, naive_edge_limit=100)
+        # naive marked TIMEOUT beyond the limit
+        naive_rows = [r for r in rows if r.method == "naive"]
+        assert all(r.display_time == "TIMEOUT" for r in naive_rows)
+        others = [r for r in rows if r.method != "naive"]
+        assert all(not r.timed_out for r in others)
+        text = render_fig8(rows)
+        assert "AC" in text and "TIMEOUT" in text
+
+
+class TestFig9and10:
+    def test_budget_sweep(self):
+        rows = fig9_budgets(datasets=("AC",), budgets=(1, 2),
+                            methods=("filver",), defaults=SMALL)
+        assert len(rows) == 2
+        assert render_fig9(rows, "budgets")
+
+    def test_fig10_curves_monotone(self):
+        curves = fig10_t_followers(datasets=("AC",), t_values=(1, 2),
+                                   budget=2, defaults=SMALL)
+        for per_t in curves.values():
+            for series in per_t.values():
+                assert series == sorted(series)
+        assert render_fig10(curves)
+
+
+class TestTables:
+    def test_table2_includes_paper_columns(self):
+        rows = table2_datasets(datasets=("UL", "AC"), scale=0.1)
+        assert rows[0]["code"] == "UL"
+        assert rows[0]["paper_E"] == 1260
+        assert rows[0]["E"] > 0
+        assert "Table II" in render_table2(rows)
+
+    def test_table3_runtimes(self):
+        times = table3_t_runtime(datasets=("AC",), t_values=(1, 2),
+                                 budget=2, defaults=SMALL)
+        assert set(times["AC"]) == {1, 2}
+        assert all(v >= 0 for v in times["AC"].values())
+        assert "Table III" in render_table3(times)
+
+
+class TestReports:
+    def test_bound_tightness(self):
+        text = bound_tightness_report("AC", scale=0.2, max_candidates=50)
+        assert "r-score" in text and "|rf|" in text
+
+    def test_filter_power(self):
+        text = filter_power_report("AC", scale=0.1, b1=2, b2=2)
+        assert "filver++" in text
+
+
+class TestCli:
+    def test_main_runs_a_cheap_target(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig7b", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "FILVER vs Exact" in out
+
+    def test_main_table2(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table2", "--scale", "0.05"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+
+class TestCumulativeReport:
+    def test_cumulative_effect_report_renders(self):
+        from repro.experiments import cumulative_effect_report
+
+        text = cumulative_effect_report("WC", scale=0.15, n_sets=15,
+                                        set_size=3)
+        assert "Cumulative effect" in text
+        assert "anchor sets sampled" in text
+
+    def test_cli_target(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["cumulative", "--scale", "0.1"]) == 0
+        assert "Cumulative effect" in capsys.readouterr().out

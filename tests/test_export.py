@@ -1,0 +1,72 @@
+"""Tests for result export (JSON / CSV)."""
+
+import csv
+import io
+import json
+
+from repro.core import run_filver
+from repro.experiments.export import (
+    result_to_dict,
+    runs_to_rows,
+    write_csv,
+    write_json,
+)
+from repro.experiments.runner import MethodRun
+
+
+def make_runs():
+    return [
+        MethodRun("AC", "filver", 3, 2, 5, 5, 12, 0.125, False, None),
+        MethodRun("WC", "naive", 3, 2, 5, 5, -1, float("inf"), True, None),
+    ]
+
+
+class TestResultToDict:
+    def test_round_trips_through_json(self, k34_with_periphery):
+        result = run_filver(k34_with_periphery, 4, 3, 1, 1)
+        data = result_to_dict(result)
+        text = json.dumps(data)
+        back = json.loads(text)
+        assert back["n_followers"] == result.n_followers
+        assert sorted(back["followers"]) == sorted(result.followers)
+        assert len(back["iterations"]) == len(result.iterations)
+        assert back["iterations"][0]["marginal_followers"] == \
+            result.iterations[0].marginal_followers
+
+
+class TestCsv:
+    def test_columns_and_timeout_cell(self):
+        buffer = io.StringIO()
+        write_csv(make_runs(), buffer)
+        buffer.seek(0)
+        rows = list(csv.DictReader(buffer))
+        assert len(rows) == 2
+        assert rows[0]["dataset"] == "AC"
+        assert rows[0]["elapsed"] == "0.125"
+        assert rows[1]["timed_out"] == "True"
+        assert rows[1]["elapsed"] == ""  # timeouts have no elapsed value
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "runs.csv"
+        write_csv(make_runs(), path)
+        content = path.read_text()
+        assert content.startswith("dataset,method,alpha")
+
+    def test_rows_are_plain_data(self):
+        rows = runs_to_rows(make_runs())
+        assert rows[0]["n_followers"] == 12
+        assert rows[1]["elapsed"] is None
+
+
+class TestJson:
+    def test_stable_layout(self, tmp_path):
+        path = tmp_path / "data.json"
+        write_json({"b": 1, "a": [2, 3]}, path)
+        text = path.read_text()
+        assert text.index('"a"') < text.index('"b"')  # sorted keys
+        assert text.endswith("\n")
+
+    def test_stream_target(self):
+        buffer = io.StringIO()
+        write_json([1, 2], buffer)
+        assert json.loads(buffer.getvalue()) == [1, 2]

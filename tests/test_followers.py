@@ -1,0 +1,69 @@
+"""The central correctness property: Algorithm 1 ≡ global recomputation."""
+
+from hypothesis import given, settings
+
+from repro.abcore import abcore
+from repro.abcore.decomposition import followers as global_followers
+from repro.core import compute_order, compute_orders, follower_count
+from repro.core.deletion_order import reachable_from
+from repro.core.followers import compute_followers
+
+from conftest import K34, graphs_with_constraints, random_bigraph
+
+
+class TestOnFixture:
+    def test_chain_followers_local(self, k34_with_periphery):
+        g = k34_with_periphery
+        upper, lower = compute_orders(g, 4, 3)
+        assert compute_followers(g, lower, K34["l4"]) == {
+            K34["u3"], K34["l5"], K34["u7"]}
+        assert compute_followers(g, upper, K34["u3"]) == {
+            K34["l5"], K34["u7"]}
+        assert compute_followers(g, upper, K34["u7"]) == set()
+
+    def test_follower_count_shortcut(self, k34_with_periphery):
+        g = k34_with_periphery
+        upper, _ = compute_orders(g, 4, 3)
+        assert follower_count(g, upper, K34["u3"]) == 2
+
+    def test_precomputed_candidates_accepted(self, k34_with_periphery):
+        g = k34_with_periphery
+        upper, _ = compute_orders(g, 4, 3)
+        rf = reachable_from(g, upper, K34["u3"])
+        assert compute_followers(g, upper, K34["u3"], candidates=rf) == {
+            K34["l5"], K34["u7"]}
+
+    def test_empty_candidates_mean_no_followers(self, k34_with_periphery):
+        g = k34_with_periphery
+        upper, _ = compute_orders(g, 4, 3)
+        assert compute_followers(g, upper, K34["u7"], candidates=set()) == set()
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs_with_constraints())
+def test_local_equals_global_for_every_candidate(data):
+    """Every candidate anchor's local follower set equals the global one."""
+    g, alpha, beta = data
+    core = abcore(g, alpha, beta)
+    upper, lower = compute_orders(g, alpha, beta)
+    for order in (upper, lower):
+        for x in order.candidates(g):
+            local = compute_followers(g, order, x)
+            reference = global_followers(g, alpha, beta, [x], base_core=core)
+            assert local == reference
+
+
+def test_local_equals_global_on_larger_random_graphs():
+    """Deterministic larger-scale sweep beyond hypothesis' tiny graphs."""
+    for seed in range(6):
+        g = random_bigraph(seed, n1_range=(15, 30), n2_range=(15, 30),
+                           density=0.2)
+        for alpha, beta in ((2, 2), (3, 2), (2, 4)):
+            core = abcore(g, alpha, beta)
+            upper, lower = compute_orders(g, alpha, beta)
+            for order in (upper, lower):
+                for x in order.candidates(g):
+                    local = compute_followers(g, order, x)
+                    reference = global_followers(g, alpha, beta, [x],
+                                                 base_core=core)
+                    assert local == reference, (seed, alpha, beta, x)

@@ -1,0 +1,128 @@
+"""Unit tests for the BipartiteGraph structure."""
+
+import pytest
+
+from repro.bigraph import BipartiteGraph, from_biadjacency, from_edge_list
+from repro.exceptions import GraphConstructionError
+
+
+def make_simple():
+    return from_edge_list([(0, 0), (0, 1), (1, 1)], n_upper=2, n_lower=2)
+
+
+class TestBasics:
+    def test_layer_partition(self):
+        g = make_simple()
+        assert g.n_upper == 2 and g.n_lower == 2 and g.n_vertices == 4
+        assert list(g.upper_vertices()) == [0, 1]
+        assert list(g.lower_vertices()) == [2, 3]
+        assert g.is_upper(0) and not g.is_upper(2)
+        assert g.is_lower(3) and not g.is_lower(1)
+        assert g.layer(0) == "upper" and g.layer(2) == "lower"
+
+    def test_degrees_and_neighbors(self):
+        g = make_simple()
+        assert g.degree(0) == 2
+        assert g.degree(1) == 1
+        assert g.neighbors(0) == [2, 3]
+        assert g.neighbors(3) == [0, 1]
+        assert g.n_edges == 3
+        assert g.max_degree() == 2
+
+    def test_edges_iteration_upper_to_lower(self):
+        g = make_simple()
+        assert sorted(g.edges()) == [(0, 2), (0, 3), (1, 3)]
+
+    def test_has_edge_both_directions(self):
+        g = make_simple()
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+        assert g.has_edge(1, 3) and not g.has_edge(1, 2)
+
+    def test_degree_threshold_picks_layer_constraint(self):
+        g = make_simple()
+        assert g.degree_threshold(0, alpha=5, beta=9) == 5
+        assert g.degree_threshold(3, alpha=5, beta=9) == 9
+
+    def test_equality_is_structural(self):
+        assert make_simple() == make_simple()
+        other = from_edge_list([(0, 0)], n_upper=2, n_lower=2)
+        assert make_simple() != other
+
+    def test_copy_adjacency_is_deep(self):
+        g = make_simple()
+        copy = g.copy_adjacency()
+        copy[0].append(99)
+        assert 99 not in g.neighbors(0)
+
+    def test_repr_mentions_sizes(self):
+        assert "n_edges=3" in repr(make_simple())
+
+
+class TestLabels:
+    def test_default_labels_are_ids(self):
+        g = make_simple()
+        assert g.label_of(0) == 0
+        assert g.label_of(3) == 3
+        assert g.vertex_of("upper", 1) == 1
+        assert g.vertex_of("lower", 2) == 2
+
+    def test_named_labels_round_trip(self):
+        g = from_edge_list([(0, 0)], upper_labels=["alice"],
+                           lower_labels=["bread"])
+        assert g.label_of(0) == "alice"
+        assert g.label_of(1) == "bread"
+        assert g.vertex_of("upper", "alice") == 0
+        assert g.vertex_of("lower", "bread") == 1
+
+    def test_unknown_label_raises(self):
+        g = from_edge_list([(0, 0)], upper_labels=["a"], lower_labels=["b"])
+        with pytest.raises(KeyError):
+            g.vertex_of("upper", "nope")
+        with pytest.raises(KeyError):
+            g.vertex_of("sideways", "a")
+
+    def test_unlabeled_out_of_range_raises(self):
+        g = make_simple()
+        with pytest.raises(KeyError):
+            g.vertex_of("upper", 2)  # 2 is a lower id
+        with pytest.raises(KeyError):
+            g.vertex_of("lower", 0)
+
+
+class TestValidation:
+    def test_negative_layer_sizes_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            BipartiteGraph(-1, 2, [])
+
+    def test_wrong_row_count_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            BipartiteGraph(1, 1, [[]])
+
+    def test_unsorted_adjacency_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            BipartiteGraph(1, 2, [[2, 1], [0], [0]])
+
+    def test_same_layer_edge_rejected(self):
+        # upper vertex 0 adjacent to upper vertex 1
+        with pytest.raises(GraphConstructionError):
+            BipartiteGraph(2, 1, [[1], [2], [0]])
+
+    def test_asymmetric_adjacency_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            BipartiteGraph(1, 1, [[1], []])
+
+    def test_empty_graph_is_fine(self):
+        g = BipartiteGraph(0, 0, [])
+        assert g.n_vertices == 0
+        assert g.max_degree() == 0
+
+
+class TestBiadjacency:
+    def test_biadjacency_shapes(self, small_core_graph):
+        g = small_core_graph
+        assert (g.n_upper, g.n_lower) == (4, 4)
+        assert g.n_edges == 14
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            from_biadjacency([[1, 0], [1]])

@@ -1,0 +1,101 @@
+"""End-to-end campaigns: every public workflow on every workload family.
+
+These integration tests run the complete pipeline — generate → analyze →
+reinforce → validate — over the three workload families (ER, power-law,
+planted) and assert the cross-cutting invariants that no unit test owns:
+
+* results are internally consistent (core sizes, follower accounting,
+  budgets);
+* all greedy variants agree on follower totals (t = 1) and stay close
+  (t > 1);
+* the cascade simulator, the core index, and the reinforcement results
+  tell one coherent story about the same graph.
+"""
+
+import pytest
+
+from repro.abcore import CoreIndex, abcore, anchored_abcore, delta
+from repro.core import reinforce
+from repro.dynamics import simulate_cascade
+from repro.generators import (
+    chung_lu_bipartite,
+    erdos_renyi_bipartite,
+    planted_core_graph,
+)
+
+WORKLOADS = {
+    "er": lambda: erdos_renyi_bipartite(120, 100, n_edges=700, seed=11),
+    "powerlaw": lambda: chung_lu_bipartite(150, 110, 650, seed=12),
+    "planted": lambda: planted_core_graph(3, 3, n_chains=10,
+                                          max_chain_length=5, seed=13),
+}
+
+
+def constraints_for(graph):
+    d = delta(graph)
+    return max(2, int(0.6 * d)), max(2, int(0.4 * d))
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+class TestCampaign:
+    def test_full_pipeline_consistency(self, workload):
+        graph = WORKLOADS[workload]()
+        alpha, beta = constraints_for(graph)
+        base = abcore(graph, alpha, beta)
+
+        result = reinforce(graph, alpha, beta, 3, 3, method="filver++", t=2)
+
+        # budget discipline
+        uppers = [a for a in result.anchors if graph.is_upper(a)]
+        lowers = [a for a in result.anchors if graph.is_lower(a)]
+        assert len(uppers) <= 3 and len(lowers) <= 3
+        # anchors come from outside the base core
+        assert not set(result.anchors) & base
+        # follower accounting matches a fresh global recomputation
+        final = anchored_abcore(graph, alpha, beta, result.anchors)
+        assert result.followers == final - base - set(result.anchors)
+        assert result.final_core_size == len(final)
+        assert result.base_core_size == len(base)
+
+    def test_variants_agree(self, workload):
+        graph = WORKLOADS[workload]()
+        alpha, beta = constraints_for(graph)
+        totals = {
+            method: reinforce(graph, alpha, beta, 2, 2,
+                              method=method).n_followers
+            for method in ("naive", "filver", "filver+")
+        }
+        assert len(set(totals.values())) == 1, (workload, totals)
+        multi = reinforce(graph, alpha, beta, 2, 2, method="filver++",
+                          t=2).n_followers
+        reference = totals["filver"]
+        if reference:
+            assert multi >= reference * 0.5
+
+    def test_reinforced_graph_survives_the_shock_better(self, workload):
+        graph = WORKLOADS[workload]()
+        # find a constraint setting with promising anchors on this workload
+        result = None
+        alpha = beta = None
+        for alpha, beta in (constraints_for(graph), (3, 3), (3, 2), (2, 2)):
+            candidate = reinforce(graph, alpha, beta, 3, 3, method="filver")
+            if candidate.anchors:
+                result = candidate
+                break
+        if result is None:
+            pytest.skip("no promising anchors on this workload")
+
+        # shock: everything outside the anchored core departs
+        final = anchored_abcore(graph, alpha, beta, result.anchors)
+        shock = [v for v in graph.vertices() if v not in final]
+        protected = simulate_cascade(graph, alpha, beta, shock,
+                                     anchors=result.anchors)
+        # the anchored core is cascade-stable by construction
+        assert protected.survivors == final
+
+    def test_index_agrees_with_run_constraints(self, workload):
+        graph = WORKLOADS[workload]()
+        alpha, beta = constraints_for(graph)
+        index = CoreIndex.build(graph)
+        assert index.core(alpha, beta) == abcore(graph, alpha, beta)
+        assert index.delta() == delta(graph)

@@ -1,0 +1,76 @@
+"""Tests for edge-list I/O."""
+
+import io
+
+import pytest
+
+from repro.bigraph import read_edge_list, write_edge_list
+from repro.bigraph.io import dumps, loads, parse_edge_lines
+from repro.exceptions import GraphConstructionError
+
+
+SAMPLE = """\
+% KONECT-style header
+% bip user item
+alice bread
+alice milk
+bob milk
+# trailing comment
+"""
+
+
+class TestRead:
+    def test_reads_labels_and_skips_comments(self):
+        g = loads(SAMPLE)
+        assert (g.n_upper, g.n_lower, g.n_edges) == (2, 2, 3)
+        assert g.vertex_of("upper", "alice") == 0
+
+    def test_extra_columns_ignored(self):
+        g = loads("u1 v1 5 1234567\nu2 v1 1 7654321\n")
+        assert g.n_edges == 2
+
+    def test_csv_separator_accepted(self):
+        g = loads("u1,v1\nu2,v2\n")
+        assert g.n_edges == 2
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphConstructionError):
+            loads("only-one-column\n")
+
+    def test_duplicate_edges_collapse(self):
+        g = loads("u v\nu v\n")
+        assert g.n_edges == 1
+
+    def test_read_from_path(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text(SAMPLE)
+        g = read_edge_list(path)
+        assert g.n_edges == 3
+
+
+class TestWrite:
+    def test_round_trip_preserves_structure(self):
+        g = loads(SAMPLE)
+        again = loads(dumps(g))
+        assert again.n_upper == g.n_upper
+        assert again.n_lower == g.n_lower
+        assert sorted(again.edges()) == sorted(g.edges())
+
+    def test_header_is_commented(self):
+        g = loads("a x\n")
+        text = dumps(g, header="my dataset\nsecond line")
+        assert text.startswith("% my dataset\n% second line\n")
+        assert loads(text).n_edges == 1
+
+    def test_write_to_path(self, tmp_path):
+        g = loads("a x\nb x\n")
+        path = tmp_path / "out.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path).n_edges == 2
+
+
+class TestParse:
+    def test_parse_edge_lines_reports_line_numbers(self):
+        with pytest.raises(GraphConstructionError) as err:
+            list(parse_edge_lines(["a b", "broken"]))
+        assert "line 2" in str(err.value)

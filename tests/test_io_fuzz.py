@@ -1,0 +1,64 @@
+"""Hypothesis fuzzing of the edge-list parser and serializer."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigraph.io import dumps, loads
+from repro.exceptions import GraphConstructionError
+
+token = st.text(alphabet=string.ascii_letters + string.digits + "._-",
+                min_size=1, max_size=8)
+
+
+def labeled_edges(graph):
+    return sorted((str(graph.label_of(u)), str(graph.label_of(v)))
+                  for u, v in graph.edges())
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(token, token), max_size=30))
+def test_round_trip_arbitrary_labeled_edges(pairs):
+    """Round-tripping preserves the *labeled* structure.  Raw vertex ids may
+    be permuted (serialization order need not match input order), so the
+    comparison goes through labels."""
+    text = "".join("%s %s\n" % (u, v) for u, v in pairs)
+    graph = loads(text)
+    assert graph.n_edges == len(set(pairs))
+    again = loads(dumps(graph))
+    assert again.n_upper == graph.n_upper
+    assert again.n_lower == graph.n_lower
+    assert labeled_edges(again) == labeled_edges(graph)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from([
+    "", "   ", "% comment", "# comment", "a b", "a b 3 444", "x,y",
+]), max_size=20))
+def test_parser_never_crashes_on_benign_lines(lines):
+    graph = loads("\n".join(lines))
+    assert graph.n_edges >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet=string.printable, max_size=200))
+def test_parser_raises_only_graph_errors(blob):
+    """Arbitrary text either parses or raises the library's own error."""
+    try:
+        graph = loads(blob)
+    except GraphConstructionError:
+        return
+    assert graph.n_edges >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(token, token), min_size=1, max_size=20))
+def test_labels_survive_round_trip(pairs):
+    graph = loads("".join("%s %s\n" % (u, v) for u, v in pairs))
+    again = loads(dumps(graph))
+    upper_labels = sorted(str(again.label_of(u))
+                          for u in again.upper_vertices())
+    original = sorted(str(graph.label_of(u))
+                      for u in graph.upper_vertices())
+    assert upper_labels == original

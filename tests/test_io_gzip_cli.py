@@ -1,0 +1,48 @@
+"""Tests for gzip edge-list I/O and the CLI export flag."""
+
+import csv
+import gzip
+
+from repro.bigraph import read_edge_list, write_edge_list
+from repro.bigraph.io import loads
+
+
+class TestGzipIo:
+    def test_round_trip_through_gz(self, tmp_path):
+        g = loads("a x\nb x\nb y\n")
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(g, path)
+        # the file is actually gzip-compressed
+        with gzip.open(path, "rt") as handle:
+            assert "a x" in handle.read()
+        again = read_edge_list(path)
+        assert sorted(again.edges()) == sorted(g.edges())
+
+    def test_plain_path_still_plain(self, tmp_path):
+        g = loads("a x\n")
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        assert path.read_text().endswith("a x\n")
+
+
+class TestCliCsvExport:
+    def test_fig9b_rows_exported(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "rows.csv"
+        assert main(["fig9b", "--scale", "0.03", "--csv", str(out)]) == 0
+        capsys.readouterr()
+        with open(out) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows
+        assert {"dataset", "method", "elapsed"} <= set(rows[0])
+
+    def test_non_row_targets_write_empty_csv(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "rows.csv"
+        assert main(["fig7b", "--csv", str(out)]) == 0
+        capsys.readouterr()
+        with open(out) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows == []  # fig7b has no MethodRun rows; header only

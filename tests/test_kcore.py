@@ -1,0 +1,76 @@
+"""Tests for the unipartite k-core utilities and the (2,2) ≡ 2-core bridge."""
+
+from hypothesis import given, settings
+
+from repro.abcore import abcore, anchored_abcore, core_numbers, k_core
+from repro.abcore.kcore import anchored_two_core_followers, bipartite_as_unipartite
+from repro.bigraph import from_biadjacency
+
+from conftest import bipartite_graphs
+
+
+def triangle_with_tail():
+    return {
+        "a": {"b", "c"},
+        "b": {"a", "c"},
+        "c": {"a", "b", "d"},
+        "d": {"c"},
+    }
+
+
+class TestKCore:
+    def test_two_core_drops_the_tail(self):
+        assert k_core(triangle_with_tail(), 2) == {"a", "b", "c"}
+
+    def test_k_zero_keeps_everything(self):
+        adj = triangle_with_tail()
+        assert k_core(adj, 0) == set(adj)
+
+    def test_anchored_vertex_survives(self):
+        assert "d" in k_core(triangle_with_tail(), 2, anchors=["d"])
+
+    def test_empty_graph(self):
+        assert k_core({}, 3) == set()
+
+
+class TestCoreNumbers:
+    def test_triangle_tail_numbers(self):
+        numbers = core_numbers(triangle_with_tail())
+        assert numbers == {"a": 2, "b": 2, "c": 2, "d": 1}
+
+    def test_star_numbers(self):
+        adj = {"hub": {"s1", "s2", "s3"},
+               "s1": {"hub"}, "s2": {"hub"}, "s3": {"hub"}}
+        numbers = core_numbers(adj)
+        assert numbers["hub"] == 1
+        assert all(numbers[s] == 1 for s in ("s1", "s2", "s3"))
+
+    def test_matches_iterated_kcore(self):
+        adj = triangle_with_tail()
+        numbers = core_numbers(adj)
+        for k in (1, 2, 3):
+            assert {v for v, c in numbers.items() if c >= k} == k_core(adj, k)
+
+
+@settings(max_examples=30, deadline=None)
+@given(bipartite_graphs())
+def test_22_core_equals_unipartite_2core(g):
+    """Theorem 1's polynomial case: the (2,2)-core is the 2-core."""
+    adjacency = bipartite_as_unipartite(g)
+    assert abcore(g, 2, 2) == k_core(adjacency, 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(bipartite_graphs())
+def test_anchored_22_core_matches_anchored_2core(g):
+    if g.n_vertices == 0:
+        return
+    anchor = g.n_vertices // 2
+    bip = anchored_abcore(g, 2, 2, [anchor]) - abcore(g, 2, 2) - {anchor}
+    assert bip == anchored_two_core_followers(g, [anchor])
+
+
+def test_core_numbers_consistent_with_bipartite_delta():
+    g = from_biadjacency([[1, 1, 1], [1, 1, 1], [1, 1, 1]])
+    numbers = core_numbers(bipartite_as_unipartite(g))
+    assert set(numbers.values()) == {3}

@@ -1,0 +1,146 @@
+"""Tests for structural graph transformations."""
+
+import pytest
+
+from repro.bigraph import (
+    add_edges,
+    disjoint_union,
+    from_biadjacency,
+    from_edge_list,
+    induced_subgraph,
+    relabel_compact,
+    remove_vertices,
+)
+from repro.exceptions import GraphConstructionError
+
+
+def base():
+    return from_edge_list([(0, 0), (0, 1), (1, 1), (2, 0)],
+                          n_upper=3, n_lower=2)
+
+
+class TestRemoveVertices:
+    def test_removes_vertex_and_edges(self):
+        g = remove_vertices(base(), [0])
+        assert g.n_upper == 2 and g.n_lower == 2
+        assert g.n_edges == 2  # (1,1) and (2,0) survive
+
+    def test_labels_carry_over(self):
+        g = remove_vertices(base(), [1])
+        # remaining uppers keep their original ids as labels
+        assert [g.label_of(u) for u in g.upper_vertices()] == [0, 2]
+
+    def test_remove_lower_vertex(self):
+        g = remove_vertices(base(), [3])  # lower 0
+        assert g.n_lower == 1 and g.n_edges == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            remove_vertices(base(), [99])
+
+    def test_remove_nothing_is_identity_structurally(self):
+        g = remove_vertices(base(), [])
+        assert sorted(g.edges()) == sorted(base().edges())
+
+
+class TestAddEdges:
+    def test_new_edge_appears(self):
+        g = add_edges(base(), [(2, 4)])  # upper 2 -- lower 1
+        assert g.has_edge(2, 4)
+        assert g.n_edges == 5
+
+    def test_duplicate_edge_collapses(self):
+        g = add_edges(base(), [(0, 3)])  # already present
+        assert g.n_edges == 4
+
+    def test_wrong_layer_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            add_edges(base(), [(3, 4)])  # 3 is a lower vertex
+        with pytest.raises(GraphConstructionError):
+            add_edges(base(), [(0, 1)])  # 1 is an upper vertex
+
+
+class TestInducedSubgraph:
+    def test_keeps_only_internal_edges(self):
+        g = induced_subgraph(base(), [0, 1, 4])  # uppers 0,1 + lower 1
+        assert g.n_upper == 2 and g.n_lower == 1
+        assert g.n_edges == 2  # (0,1) and (1,1) in original layer indices
+
+
+class TestDisjointUnion:
+    def test_sizes_add_up(self):
+        a = from_biadjacency([[1, 1]])
+        b = from_biadjacency([[1], [1]])
+        u = disjoint_union([a, b])
+        assert u.n_upper == 3 and u.n_lower == 3
+        assert u.n_edges == 4
+
+    def test_no_cross_edges(self):
+        a = from_biadjacency([[1]])
+        b = from_biadjacency([[1]])
+        u = disjoint_union([a, b])
+        # first component upper (0) only touches first component lower
+        assert u.neighbors(0) == [2]
+
+    def test_labels_are_tagged_by_component(self):
+        a = from_biadjacency([[1]])
+        u = disjoint_union([a, a])
+        assert u.label_of(0) == (0, 0)
+        assert u.label_of(1) == (1, 0)
+
+
+class TestRelabelCompact:
+    def test_drops_isolated_and_maps_ids(self):
+        g = from_edge_list([(0, 0)], n_upper=3, n_lower=2)
+        compact, mapping = relabel_compact(g)
+        assert compact.n_upper == 1 and compact.n_lower == 1
+        assert mapping == {0: 0, 3: 1}
+
+    def test_dense_graph_maps_identically(self):
+        g = base()
+        compact, mapping = relabel_compact(g)
+        assert compact.n_vertices == g.n_vertices
+        assert mapping == {v: v for v in g.vertices()}
+
+
+class TestSwapLayers:
+    def test_swap_exchanges_layer_sizes(self):
+        from repro.bigraph import swap_layers
+
+        g = base()
+        s = swap_layers(g)
+        assert (s.n_upper, s.n_lower) == (g.n_lower, g.n_upper)
+        assert s.n_edges == g.n_edges
+
+    def test_core_duality(self):
+        from repro.abcore import abcore
+        from repro.bigraph import swap_layers
+
+        g = from_biadjacency([[1, 1, 1], [1, 1, 0], [0, 1, 1]])
+        s = swap_layers(g)
+        original = abcore(g, 2, 3)
+        mirrored = abcore(s, 3, 2)
+        # map mirrored global ids back: swapped uppers are original lowers
+        back = set()
+        for v in mirrored:
+            if s.is_upper(v):
+                back.add(g.n_upper + v)          # original lower id
+            else:
+                back.add(v - s.n_upper)          # original upper id
+        assert back == original
+
+    def test_double_swap_is_identity_structurally(self):
+        from repro.bigraph import swap_layers
+
+        g = base()
+        twice = swap_layers(swap_layers(g))
+        assert sorted(twice.edges()) == sorted(g.edges())
+
+    def test_labels_carry_over(self):
+        from repro.bigraph import from_edge_list, swap_layers
+
+        g = from_edge_list([(0, 0)], upper_labels=["user"],
+                           lower_labels=["item"])
+        s = swap_layers(g)
+        assert s.label_of(0) == "item"
+        assert s.label_of(1) == "user"

@@ -1,0 +1,93 @@
+"""Tests for one-mode projections."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.abcore.kcore import k_core
+from repro.bigraph import from_biadjacency, from_edge_list
+from repro.bigraph.projection import co_engagement, project, weighted_project
+from repro.exceptions import InvalidParameterError
+
+from conftest import bipartite_graphs
+
+
+def small():
+    # users 0,1 share item 3; users 1,2 share item 4 (global lower ids 3,4)
+    return from_edge_list([(0, 0), (1, 0), (1, 1), (2, 1)],
+                          n_upper=3, n_lower=2)
+
+
+class TestProject:
+    def test_upper_projection_edges(self):
+        adjacency = project(small(), "upper")
+        assert adjacency[0] == {1}
+        assert adjacency[1] == {0, 2}
+        assert adjacency[2] == {1}
+
+    def test_lower_projection_edges(self):
+        adjacency = project(small(), "lower")
+        assert adjacency[3] == {4}
+        assert adjacency[4] == {3}
+
+    def test_isolated_vertices_kept(self):
+        g = from_edge_list([(0, 0)], n_upper=2, n_lower=1)
+        adjacency = project(g, "upper")
+        assert adjacency[1] == set()
+
+    def test_invalid_layer(self):
+        with pytest.raises(InvalidParameterError):
+            project(small(), "middle")
+
+    def test_projection_is_symmetric(self):
+        adjacency = project(small(), "upper")
+        for v, neighbors in adjacency.items():
+            for w in neighbors:
+                assert v in adjacency[w]
+
+
+class TestWeights:
+    def test_weights_count_shared_neighbors(self):
+        g = from_biadjacency([[1, 1, 1], [1, 1, 0], [0, 1, 1]])
+        weights = weighted_project(g, "upper")
+        assert weights[(0, 1)] == 2
+        assert weights[(0, 2)] == 2
+        assert weights[(1, 2)] == 1
+
+    def test_co_engagement_matches_weights(self):
+        g = from_biadjacency([[1, 1, 1], [1, 1, 0], [0, 1, 1]])
+        assert co_engagement(g, 0, 1) == 2
+        assert co_engagement(g, 1, 2) == 1
+
+    def test_co_engagement_cross_layer_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            co_engagement(small(), 0, 3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(bipartite_graphs())
+def test_weighted_and_unweighted_agree(g):
+    adjacency = project(g, "upper")
+    weights = weighted_project(g, "upper")
+    edges = {(v, w) for v, neigh in adjacency.items() for w in neigh if v < w}
+    assert edges == set(weights)
+    for (v, w), weight in weights.items():
+        assert weight == co_engagement(g, v, w) >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(bipartite_graphs())
+def test_projection_kcore_contains_abcore_layer(g):
+    """A vertex with α neighbors each shared with... — weaker sanity: the
+    (2,2)-core's upper vertices have projection degree >= 1 whenever they
+    share an item with another core member."""
+    from repro.abcore import abcore
+
+    core = abcore(g, 2, 2)
+    adjacency = project(g, "upper")
+    for u in core:
+        if not g.is_upper(u):
+            continue
+        # every (2,2)-core upper shares >= 1 item with some other upper in
+        # the core (its items have degree >= 2 inside the core)
+        partners = adjacency[u]
+        assert partners, u

@@ -1,0 +1,122 @@
+"""End-to-end tests of the Theorem-1 hardness reduction."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.abcore import abcore, anchored_abcore
+from repro.core import (
+    MaxCoverageInstance,
+    reduce_max_coverage,
+    solve_max_coverage_exact,
+)
+from repro.exceptions import InvalidParameterError
+
+
+def small_instance():
+    return MaxCoverageInstance(
+        n_elements=4,
+        sets=(frozenset({0, 1}), frozenset({1, 2}),
+              frozenset({2, 3}), frozenset({0, 3})),
+        budget=2)
+
+
+class TestInstanceValidation:
+    def test_element_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            MaxCoverageInstance(2, (frozenset({5}),), 1)
+
+    def test_budget_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            MaxCoverageInstance(2, (frozenset({0}),), 2)
+
+    def test_mc_brute_force(self):
+        count, pick = solve_max_coverage_exact(small_instance())
+        assert count == 4
+        assert set(pick) in ({0, 2}, {1, 3})
+
+
+class TestReduction:
+    def test_gadget_parameters_validated(self):
+        with pytest.raises(InvalidParameterError):
+            reduce_max_coverage(small_instance(), alpha=2, beta=2)
+
+    def test_base_core_is_only_the_biclique(self):
+        red = reduce_max_coverage(small_instance(), alpha=3, beta=2)
+        base = abcore(red.graph, 3, 2)
+        # J = K_{beta, alpha} = 2 + 3 vertices
+        assert len(base) == 5
+
+    def test_anchoring_one_root_rescues_tree_and_gadgets(self):
+        instance = small_instance()
+        red = reduce_max_coverage(instance, alpha=3, beta=2)
+        base = abcore(red.graph, 3, 2)
+        for j in range(len(instance.sets)):
+            root = red.roots[j]
+            f = anchored_abcore(red.graph, 3, 2, [root]) - base - {root}
+            assert len(f) == red.followers_if_roots([j])
+            # the whole tree (minus root) and each covered element gadget
+            assert red.tree_vertices[j] - {root} <= f
+            for e in instance.sets[j]:
+                assert red.element_gadgets[e] <= f
+
+    def test_optimal_roots_equal_mc_optimum(self):
+        instance = small_instance()
+        red = reduce_max_coverage(instance, alpha=3, beta=2)
+        base = abcore(red.graph, 3, 2)
+        mc_opt, _ = solve_max_coverage_exact(instance)
+        best = max(
+            len(anchored_abcore(red.graph, 3, 2,
+                                [red.roots[j] for j in pick])
+                - base - {red.roots[j] for j in pick})
+            for pick in combinations(range(len(instance.sets)),
+                                     instance.budget))
+        expected = (instance.budget * (red.tree_size - 1)
+                    + mc_opt * red.gadget_size)
+        assert best == expected
+
+    def test_larger_constraints_still_collapse(self):
+        instance = MaxCoverageInstance(
+            n_elements=2, sets=(frozenset({0}), frozenset({0, 1})), budget=1)
+        red = reduce_max_coverage(instance, alpha=4, beta=3)
+        base = abcore(red.graph, 4, 3)
+        assert len(base) == 3 + 4  # K_{beta, alpha}
+        root = red.roots[1]
+        f = anchored_abcore(red.graph, 4, 3, [root]) - base - {root}
+        assert len(f) == red.followers_if_roots([1])
+
+    def test_non_root_upper_anchors_are_never_better(self):
+        """The proof's key step: roots dominate all other upper anchors."""
+        instance = small_instance()
+        red = reduce_max_coverage(instance, alpha=3, beta=2)
+        g = red.graph
+        base = abcore(g, 3, 2)
+        best_root = max(
+            len(anchored_abcore(g, 3, 2, [r]) - base - {r})
+            for r in red.roots)
+        best_other = max(
+            (len(anchored_abcore(g, 3, 2, [u]) - base - {u})
+             for u in g.upper_vertices()
+             if u not in red.roots and u not in base), default=0)
+        assert best_root >= best_other
+
+
+class TestSymmetricCase:
+    def test_swap_layers_covers_the_mirror_case(self):
+        """Theorem 1 case (2) (β ≥ 3, α ≥ 2): reduce with the roles swapped
+        and mirror the graph — roots become lower-layer anchors."""
+        from repro.bigraph import swap_layers
+
+        instance = MaxCoverageInstance(
+            n_elements=3,
+            sets=(frozenset({0, 1}), frozenset({1, 2})), budget=1)
+        red = reduce_max_coverage(instance, alpha=3, beta=2)
+        mirrored = swap_layers(red.graph)
+        base = abcore(mirrored, 2, 3)
+        assert len(base) == len(abcore(red.graph, 3, 2))
+        # each root (upper in the original) is a lower vertex after the swap
+        for j, root in enumerate(red.roots):
+            mirrored_root = mirrored.n_upper + root
+            f = (anchored_abcore(mirrored, 2, 3, [mirrored_root])
+                 - base - {mirrored_root})
+            assert len(f) == red.followers_if_roots([j])

@@ -1,0 +1,91 @@
+"""Tests for shells, potential followers and promising anchors (Defs. 4-6)."""
+
+from hypothesis import given, settings
+
+from repro.abcore import (
+    abcore,
+    anchored_abcore,
+    lower_shell,
+    potential_followers,
+    promising_anchors,
+    upper_shell,
+)
+from repro.abcore.decomposition import followers
+
+from conftest import K34, graphs_with_constraints
+
+
+class TestShellsOnFixture:
+    def test_upper_shell_contents(self, k34_with_periphery):
+        g = k34_with_periphery
+        # (4,2)-core = core + chain A + l6; shell = that minus the (4,3)-core.
+        assert upper_shell(g, 4, 3) == {K34["u3"], K34["u7"], K34["l4"],
+                                        K34["l5"], K34["l6"]}
+
+    def test_lower_shell_contents(self, k34_with_periphery):
+        g = k34_with_periphery
+        # The (3,3)-core additionally keeps u4/chain-B? u4 has degree 3:
+        # l0, l1, l6 -> l6 needs 3 uppers: u0, u1, u4 -> mutually fine.
+        shell = lower_shell(g, 4, 3)
+        assert K34["u4"] in shell and K34["l6"] in shell
+        assert shell.isdisjoint(abcore(g, 4, 3))
+
+    def test_potential_followers_union(self, k34_with_periphery):
+        g = k34_with_periphery
+        assert potential_followers(g, 4, 3) == (upper_shell(g, 4, 3)
+                                                | lower_shell(g, 4, 3))
+
+    def test_promising_anchors_fixture(self, k34_with_periphery):
+        g = k34_with_periphery
+        upper_pa, lower_pa = promising_anchors(g, 4, 3)
+        # u5 touches only the core and u6 is isolated: not promising.
+        assert K34["u5"] not in upper_pa
+        assert K34["u6"] not in upper_pa
+        # every anchor with followers is promising
+        for v in (K34["u3"], K34["u4"]):
+            assert v in upper_pa
+        assert K34["l4"] in lower_pa
+
+    def test_placed_anchors_are_not_promising(self, k34_with_periphery):
+        g = k34_with_periphery
+        upper_pa, _ = promising_anchors(g, 4, 3, anchors=[K34["u3"]])
+        assert K34["u3"] not in upper_pa
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs_with_constraints())
+def test_shells_are_disjoint_from_core(data):
+    g, alpha, beta = data
+    core = abcore(g, alpha, beta)
+    assert upper_shell(g, alpha, beta).isdisjoint(core)
+    assert lower_shell(g, alpha, beta).isdisjoint(core)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs_with_constraints())
+def test_single_anchor_followers_come_from_the_right_shell(data):
+    """Upper anchors only rescue the upper shell and vice versa."""
+    g, alpha, beta = data
+    core = abcore(g, alpha, beta)
+    s_up = upper_shell(g, alpha, beta, core=core)
+    s_low = lower_shell(g, alpha, beta, core=core)
+    for x in g.vertices():
+        if x in core:
+            continue
+        f = followers(g, alpha, beta, [x], base_core=core)
+        if g.is_upper(x):
+            assert f <= s_up
+        else:
+            assert f <= s_low
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs_with_constraints())
+def test_unpromising_anchors_have_no_followers(data):
+    g, alpha, beta = data
+    core = abcore(g, alpha, beta)
+    upper_pa, lower_pa = promising_anchors(g, alpha, beta)
+    for x in g.vertices():
+        if x in core or x in upper_pa or x in lower_pa:
+            continue
+        assert followers(g, alpha, beta, [x], base_core=core) == set()

@@ -1,0 +1,107 @@
+"""Tests for follower signatures and the two-hop domination filter."""
+
+from hypothesis import given, settings
+
+from repro.abcore import abcore
+from repro.abcore.decomposition import followers as global_followers
+from repro.core import compute_orders, signature, two_hop_filter
+from repro.core.signatures import signatures_of
+
+from conftest import graphs_with_constraints, random_bigraph
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs_with_constraints())
+def test_lemma2_signature_containment_implies_follower_containment(data):
+    """Lemma 2: sig(x1) ⊆ sig(x2) ⟹ F(x1) ⊆ F(x2), same layer."""
+    g, alpha, beta = data
+    core = abcore(g, alpha, beta)
+    upper, lower = compute_orders(g, alpha, beta)
+    for order in (upper, lower):
+        candidates = order.candidates(g)
+        sigs = signatures_of(g, order, candidates)
+        cached = {x: global_followers(g, alpha, beta, [x], base_core=core)
+                  for x in candidates}
+        for x1 in candidates:
+            for x2 in candidates:
+                if x1 == x2 or not sigs[x1] <= sigs[x2]:
+                    continue
+                assert cached[x1] <= cached[x2], (x1, x2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs_with_constraints())
+def test_filter_preserves_the_best_follower_count(data):
+    """Discarding dominated anchors never loses the optimal single anchor."""
+    g, alpha, beta = data
+    core = abcore(g, alpha, beta)
+    upper, lower = compute_orders(g, alpha, beta)
+    for order in (upper, lower):
+        candidates = order.candidates(g)
+        if not candidates:
+            continue
+        survivors, sigs = two_hop_filter(g, order, candidates)
+        best_all = max((len(global_followers(g, alpha, beta, [x], base_core=core))
+                        for x in candidates), default=0)
+        best_kept = max((len(global_followers(g, alpha, beta, [x], base_core=core))
+                         for x in survivors), default=0)
+        assert best_kept == best_all
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs_with_constraints())
+def test_every_discarded_anchor_is_dominated_by_a_candidate(data):
+    """Lemma 3: a discarded anchor's followers are covered by some other
+    candidate's (transitively, by some survivor)."""
+    g, alpha, beta = data
+    core = abcore(g, alpha, beta)
+    upper, lower = compute_orders(g, alpha, beta)
+    for order in (upper, lower):
+        candidates = order.candidates(g)
+        survivors, sigs = two_hop_filter(g, order, candidates)
+        survivor_set = set(survivors)
+        for x in candidates:
+            if x in survivor_set:
+                continue
+            fx = global_followers(g, alpha, beta, [x], base_core=core)
+            if not fx:
+                continue  # empty-signature anchors have no followers
+            assert any(
+                fx <= global_followers(g, alpha, beta, [y], base_core=core)
+                for y in survivors), x
+
+
+class TestFilterMechanics:
+    def test_empty_signatures_never_survive(self, k34_with_periphery):
+        g = k34_with_periphery
+        upper, _ = compute_orders(g, 4, 3)
+        survivors, sigs = two_hop_filter(g, upper, upper.candidates(g))
+        for x in survivors:
+            assert sigs[x]
+
+    def test_filter_is_deterministic(self):
+        g = random_bigraph(3)
+        upper, _ = compute_orders(g, 2, 2)
+        first = two_hop_filter(g, upper, upper.candidates(g))[0]
+        second = two_hop_filter(g, upper, upper.candidates(g))[0]
+        assert first == second
+
+    def test_equal_signatures_keep_exactly_one(self):
+        # Two uppers with identical single-vertex signatures.
+        from repro.bigraph import from_biadjacency
+
+        # core: K_{2,3} with alpha=3, beta=2; one deficient lower rescued by
+        # either of two twin uppers.
+        g = from_biadjacency([
+            [1, 1, 1, 0],
+            [1, 1, 1, 0],
+            [1, 1, 0, 1],
+            [1, 1, 0, 1],
+        ])
+        upper, lower = compute_orders(g, 3, 2)
+        candidates = upper.candidates(g)
+        survivors, sigs = two_hop_filter(g, upper, candidates)
+        twins = [x for x in candidates if sigs[x]]
+        same_sig = {frozenset(sigs[x]) for x in twins}
+        if len(same_sig) == 1 and len(twins) > 1:
+            assert len(survivors) == 1

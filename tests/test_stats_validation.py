@@ -1,0 +1,85 @@
+"""Tests for graph statistics (Table II columns) and problem validation."""
+
+import pytest
+
+from repro.bigraph import (
+    degree_histogram,
+    from_biadjacency,
+    from_edge_list,
+    summarize,
+    validate_problem,
+)
+from repro.bigraph.stats import average_degrees
+from repro.bigraph.validation import check_anchor_layers, check_vertex
+from repro.exceptions import InvalidParameterError
+
+
+class TestSummarize:
+    def test_biclique_summary(self):
+        g = from_biadjacency([[1, 1, 1]] * 3)
+        s = summarize(g)
+        assert (s.n_edges, s.n_upper, s.n_lower) == (9, 3, 3)
+        assert s.max_degree == 3
+        assert s.delta == 3
+        assert s.avg_upper_degree == pytest.approx(3.0)
+
+    def test_as_row_matches_table2_columns(self):
+        g = from_biadjacency([[1, 1], [1, 0]])
+        row = summarize(g).as_row()
+        assert set(row) == {"|E|", "|U|", "|L|", "d_max", "delta"}
+
+    def test_empty_layers(self):
+        g = from_edge_list([], n_upper=0, n_lower=0)
+        s = summarize(g)
+        assert s.avg_upper_degree == 0.0 and s.delta == 0
+
+
+class TestDegreeHistogram:
+    def test_upper_histogram(self):
+        g = from_edge_list([(0, 0), (0, 1), (1, 0)], n_upper=3, n_lower=2)
+        assert degree_histogram(g, "upper") == {2: 1, 1: 1, 0: 1}
+
+    def test_lower_histogram(self):
+        g = from_edge_list([(0, 0), (0, 1), (1, 0)], n_upper=3, n_lower=2)
+        assert degree_histogram(g, "lower") == {2: 1, 1: 1}
+
+    def test_average_degrees(self):
+        g = from_edge_list([(0, 0), (1, 0)], n_upper=2, n_lower=1)
+        avg = average_degrees(g)
+        assert avg["upper"] == pytest.approx(1.0)
+        assert avg["lower"] == pytest.approx(2.0)
+
+
+class TestValidateProblem:
+    def graph(self):
+        return from_biadjacency([[1, 1], [1, 1]])
+
+    def test_valid_instance_passes(self):
+        validate_problem(self.graph(), 2, 2, 1, 1)
+
+    @pytest.mark.parametrize("alpha,beta", [(0, 2), (2, 0), (-1, 1)])
+    def test_bad_constraints(self, alpha, beta):
+        with pytest.raises(InvalidParameterError):
+            validate_problem(self.graph(), alpha, beta, 1, 1)
+
+    @pytest.mark.parametrize("b1,b2", [(-1, 0), (0, -2)])
+    def test_negative_budgets(self, b1, b2):
+        with pytest.raises(InvalidParameterError):
+            validate_problem(self.graph(), 2, 2, b1, b2)
+
+    def test_budget_exceeding_layer(self):
+        with pytest.raises(InvalidParameterError):
+            validate_problem(self.graph(), 2, 2, 3, 0)
+        with pytest.raises(InvalidParameterError):
+            validate_problem(self.graph(), 2, 2, 0, 3)
+
+    def test_check_vertex(self):
+        check_vertex(self.graph(), 3)
+        with pytest.raises(InvalidParameterError):
+            check_vertex(self.graph(), 4)
+
+    def test_check_anchor_layers(self):
+        g = self.graph()
+        check_anchor_layers(g, [0, 2], b1=1, b2=1)
+        with pytest.raises(InvalidParameterError):
+            check_anchor_layers(g, [0, 1], b1=1, b2=1)

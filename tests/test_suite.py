@@ -1,0 +1,38 @@
+"""Tests for the one-command reproduction suite."""
+
+from repro.experiments.runner import ExperimentDefaults
+from repro.experiments.suite import ShapeCheck, SuiteResult, run_full_suite
+
+TINY = ExperimentDefaults(b1=3, b2=3, t=2, scale=0.12, time_limit=60.0)
+
+
+class TestSuiteResult:
+    def test_markdown_layout(self):
+        result = SuiteResult(
+            sections=[("A section", "body text")],
+            checks=[ShapeCheck("claim one", True, "fine"),
+                    ShapeCheck("claim two", False, "broken")],
+            elapsed=1.5)
+        text = result.to_markdown()
+        assert "# Reproduction report" in text
+        assert "| claim one | ✅ | fine |" in text
+        assert "| claim two | ❌ | broken |" in text
+        assert "## A section" in text and "body text" in text
+        assert not result.all_passed
+
+
+class TestRunFullSuite:
+    def test_tiny_run_produces_all_sections(self, tmp_path):
+        out = tmp_path / "report.md"
+        result = run_full_suite(TINY, output_path=str(out))
+        titles = [title for title, _ in result.sections]
+        assert any("Table II" in t for t in titles)
+        assert any("Fig. 7(a)" in t for t in titles)
+        assert any("Fig. 8" in t for t in titles)
+        assert any("Table III" in t for t in titles)
+        assert len(result.checks) >= 8
+        text = out.read_text()
+        assert text.startswith("# Reproduction report")
+        # every section body landed in the file
+        for title, _ in result.sections:
+            assert title in text

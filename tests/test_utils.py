@@ -1,0 +1,86 @@
+"""Tests for the utility helpers (timers, RNG, table rendering)."""
+
+import time
+
+from repro.utils import (
+    Stopwatch,
+    derive_seed,
+    make_rng,
+    render_series,
+    render_table,
+    timed,
+)
+
+
+class TestStopwatch:
+    def test_accumulates_named_measurements(self):
+        sw = Stopwatch()
+        with sw.measure("a"):
+            pass
+        with sw.measure("a"):
+            pass
+        assert sw.counts["a"] == 2
+        assert sw.totals["a"] >= 0.0
+        assert sw.mean("a") >= 0.0
+
+    def test_mean_of_unknown_is_zero(self):
+        assert Stopwatch().mean("nothing") == 0.0
+
+    def test_report_sorts_by_cost(self):
+        sw = Stopwatch()
+        with sw.measure("cheap"):
+            pass
+        with sw.measure("pricey"):
+            time.sleep(0.01)
+        report = sw.report()
+        assert report.index("pricey") < report.index("cheap")
+
+    def test_timed_contextmanager(self):
+        with timed() as box:
+            time.sleep(0.005)
+        assert box[0] >= 0.004
+
+
+class TestRng:
+    def test_make_rng_passthrough(self):
+        rng = make_rng(5)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_seeds(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_derive_seed_is_stable_and_label_sensitive(self):
+        assert derive_seed(1, "AC", 0.5) == derive_seed(1, "AC", 0.5)
+        assert derive_seed(1, "AC", 0.5) != derive_seed(1, "WC", 0.5)
+        assert derive_seed(1, "AC", 0.5) != derive_seed(2, "AC", 0.5)
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["name", "n"], [["x", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", "+"}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # rectangular
+
+    def test_title_prepended(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.123456], [123.456], [0]])
+        assert "0.1235" in text
+        assert "123.5" in text
+
+    def test_render_series(self):
+        text = render_series({"alg1": [1, 2], "alg2": [3, 4]},
+                             "b", [5, 10])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "b"
+        assert "alg1" in lines[0] and "alg2" in lines[0]
+        assert lines[2].startswith("5")
+
+    def test_render_series_with_short_series(self):
+        text = render_series({"a": [1]}, "x", [1, 2])
+        assert text  # missing cells render empty, no crash
