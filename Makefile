@@ -2,13 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples clean
+.PHONY: install test lint typecheck bench report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
+
+typecheck:
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy src/repro \
+		|| echo "mypy not installed (pip install -e '.[dev]'); skipping"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -86,7 +86,7 @@ def _peel(
         for v in members:
             # sum(map(...)) keeps this hot loop in C.
             deg[v] = sum(map(alive_at, adj[v]))
-        for v in members:
+        for v in members:  # hot-loop
             if v in anchor_set:
                 continue
             threshold = alpha if v < n_upper else beta
@@ -95,7 +95,8 @@ def _peel(
                 alive[v] = 0
 
     head = 0
-    while head < len(queue):
+    push = queue.append
+    while head < len(queue):  # hot-loop
         v = queue[head]
         head += 1
         for w in adj[v]:
@@ -107,7 +108,7 @@ def _peel(
             threshold = alpha if w < n_upper else beta
             if deg[w] < threshold:
                 alive[w] = 0
-                queue.append(w)
+                push(w)
 
     if members is None:
         from itertools import compress

@@ -1,0 +1,63 @@
+"""Repo-specific static analysis for the anchored (α,β)-core codebase.
+
+Generic linters cannot check the conventions this library's correctness
+rests on: the global vertex-id layout owned by :mod:`repro.bigraph`, the
+immutability of the shared adjacency, deterministic peeling order, and the
+hand-tuned hygiene of the FILVER hot loops.  This package is an AST-based
+framework (rule registry, per-line ``# repro: ignore[rule]`` suppressions,
+``# hot-loop`` pragmas, human/JSON reporters) with five built-in rules:
+
+``layer-safety``
+    no raw ``n_upper``/``n_vertices`` boundary arithmetic outside
+    ``repro.bigraph``;
+``encapsulation``
+    no access to ``BipartiteGraph`` privates outside ``repro.bigraph``;
+``determinism``
+    seeded randomness everywhere; no bare-set iteration in the algorithm
+    packages;
+``hot-path``
+    no comprehensions/closures/repeated attribute lookups in loops marked
+    ``# hot-loop``;
+``exports``
+    ``__all__`` complete, every entry bound and docstringed.
+
+Run it with ``python -m repro.analysis src/`` (CI gates on it); see
+``docs/ANALYSIS.md`` for rule details and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.context import ModuleContext, module_name_for_path
+from repro.analysis.registry import (
+    AnalysisRule,
+    all_rules,
+    get_rule,
+    register,
+    rule_names,
+)
+from repro.analysis.reporters import format_human, format_json, report_to_dict
+from repro.analysis.runner import (
+    AnalysisReport,
+    analyze_module,
+    collect_files,
+    run_analysis,
+)
+from repro.analysis.violations import Violation
+
+__all__ = [
+    "AnalysisReport",
+    "AnalysisRule",
+    "ModuleContext",
+    "Violation",
+    "all_rules",
+    "analyze_module",
+    "collect_files",
+    "format_human",
+    "format_json",
+    "get_rule",
+    "module_name_for_path",
+    "register",
+    "report_to_dict",
+    "rule_names",
+    "run_analysis",
+]

@@ -1,0 +1,54 @@
+"""Small AST helpers shared by the analysis rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+__all__ = ["split_scope", "dotted_name"]
+
+
+def split_scope(body: List[ast.AST]) -> Tuple[List[ast.AST], List[List[ast.AST]]]:
+    """Pre-order nodes of ``body`` plus the bodies of nested scopes.
+
+    Returns ``(nodes, nested_bodies)`` where ``nodes`` contains every AST
+    node reachable from the given statements *without* crossing into a
+    nested ``def``/``class`` scope, in source order, and ``nested_bodies``
+    holds the body statement lists of those nested scopes so callers can
+    recurse with a fresh scope.  Decorators, argument defaults, and base
+    classes evaluate in the enclosing scope and therefore stay in ``nodes``.
+    Lambdas cannot contain assignments, so their bodies are not split out.
+    """
+    nodes: List[ast.AST] = []
+    nested: List[List[ast.AST]] = []
+    stack: List[ast.AST] = list(reversed(body))
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested.append(list(node.body))
+            enclosing: List[ast.AST] = list(node.decorator_list)
+            enclosing.extend(node.args.defaults)
+            enclosing.extend(d for d in node.args.kw_defaults if d is not None)
+            stack.extend(reversed(enclosing))
+        elif isinstance(node, ast.ClassDef):
+            nested.append(list(node.body))
+            enclosing = list(node.decorator_list)
+            enclosing.extend(node.bases)
+            enclosing.extend(kw.value for kw in node.keywords)
+            stack.extend(reversed(enclosing))
+        else:
+            stack.extend(reversed(list(ast.iter_child_nodes(node))))
+    return nodes, nested
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``"a.b.c"`` for a Name/Attribute chain, ``""`` when not a chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    parts.append(node.id)
+    return ".".join(reversed(parts))

@@ -1,0 +1,68 @@
+"""Command line interface: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean, 1 violations (or unanalyzable files), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.registry import all_rules, get_rule, rule_names
+from repro.analysis.reporters import format_human, format_json
+from repro.analysis.runner import run_analysis
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro.analysis`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static analysis: layer-safety, "
+                    "encapsulation, determinism, hot-path hygiene, and "
+                    "export consistency.")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to analyze (e.g. src/)")
+    parser.add_argument("--rules", metavar="NAME[,NAME...]",
+                        help="comma-separated subset of rules to run")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON report instead of text")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print("%-14s %s" % (rule.name, rule.description))
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (try: python -m repro.analysis src/)",
+              file=sys.stderr)
+        return 2
+
+    rules = None
+    if args.rules:
+        wanted: List[str] = [n.strip() for n in args.rules.split(",")
+                             if n.strip()]
+        unknown = [n for n in wanted if n not in rule_names()]
+        if unknown:
+            print("error: unknown rule(s): %s (known: %s)"
+                  % (", ".join(unknown), ", ".join(rule_names())),
+                  file=sys.stderr)
+            return 2
+        rules = [get_rule(n) for n in dict.fromkeys(wanted)]
+
+    report = run_analysis(args.paths, rules)
+    print(format_json(report) if args.json else format_human(report))
+    return 0 if report.ok else 1

@@ -1,0 +1,156 @@
+"""Per-module analysis context: source, AST, pragmas, and suppressions.
+
+Every rule receives a :class:`ModuleContext` — one parsed module together
+with the comment-level metadata rules care about:
+
+* ``# repro: ignore[rule-a,rule-b]`` on a line suppresses those rules for
+  that line (``# repro: ignore`` with no bracket suppresses every rule);
+* ``# hot-loop`` on a ``for``/``while`` header line (or the line directly
+  above it) marks the loop as performance-critical, activating the
+  hot-path hygiene rule and relaxing the layer-safety rule for hoisted
+  boundary locals inside it.
+
+Comments are recovered with :mod:`tokenize`, so pragma-looking text inside
+string literals is never misread as a pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+__all__ = ["ModuleContext", "module_name_for_path"]
+
+_IGNORE_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([^\]]*)\])?")
+_HOT_LOOP_RE = re.compile(r"#\s*hot-loop\b")
+
+#: Sentinel stored in the suppression map when every rule is ignored.
+_ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+def module_name_for_path(path: Path) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Rules scope themselves by package (``repro.bigraph`` is allowed to touch
+    graph internals, ``repro.abcore``/``repro.core`` must be deterministic,
+    ...), so the runner derives the dotted name from the last ``repro``
+    component of the path.  Files outside any ``repro`` tree fall back to
+    their bare stem.
+    """
+    parts = list(path.parts)
+    if path.suffix == ".py":
+        parts[-1] = path.stem
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            dotted = [p for p in parts[i:] if p != "__init__"]
+            return ".".join(dotted)
+    return path.stem
+
+
+@dataclass
+class ModuleContext:
+    """One module, parsed and annotated, ready to be checked by rules."""
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    #: line number -> rule names suppressed on that line ({"*"} == all).
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: line numbers carrying a ``# hot-loop`` pragma.
+    hot_loop_pragma_lines: Set[int] = field(default_factory=set)
+    #: (first_body_line, end_line) spans of loops marked ``# hot-loop``.
+    hot_loop_spans: List[Tuple[int, int]] = field(default_factory=list)
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        path: Path,
+        module: Optional[str] = None,
+    ) -> "ModuleContext":
+        """Parse ``source`` and collect pragma/suppression metadata.
+
+        Raises :class:`SyntaxError` when the module does not parse; the
+        runner converts that into a reported error rather than crashing.
+        """
+        tree = ast.parse(source, filename=str(path))
+        ctx = cls(
+            path=path,
+            module=module if module is not None else module_name_for_path(path),
+            source=source,
+            tree=tree,
+        )
+        ctx._scan_comments()
+        ctx._collect_hot_loops()
+        return ctx
+
+    @classmethod
+    def from_file(cls, path: Path, module: Optional[str] = None) -> "ModuleContext":
+        """Read and parse ``path`` (UTF-8, the repo-wide encoding)."""
+        return cls.from_source(path.read_text(encoding="utf-8"), path, module)
+
+    # ------------------------------------------------------------------
+    # Pragma scanning
+    # ------------------------------------------------------------------
+
+    def _scan_comments(self) -> None:
+        reader = io.StringIO(self.source).readline
+        try:
+            tokens = list(tokenize.generate_tokens(reader))
+        except tokenize.TokenError:  # unterminated string etc.; ast parsed, so rare
+            tokens = []
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            line = tok.start[0]
+            m = _IGNORE_RE.search(tok.string)
+            if m:
+                names = m.group(1)
+                if names is None:
+                    self.suppressions[line] = _ALL_RULES
+                else:
+                    rules = frozenset(
+                        n.strip() for n in names.split(",") if n.strip())
+                    prior = self.suppressions.get(line, frozenset())
+                    self.suppressions[line] = prior | rules
+            if _HOT_LOOP_RE.search(tok.string):
+                self.hot_loop_pragma_lines.add(line)
+
+    def _collect_hot_loops(self) -> None:
+        pragmas = self.hot_loop_pragma_lines
+        if not pragmas:
+            return
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            if node.lineno in pragmas or node.lineno - 1 in pragmas:
+                end = getattr(node, "end_lineno", node.lineno)
+                self.hot_loop_spans.append((node.lineno, end or node.lineno))
+
+    # ------------------------------------------------------------------
+    # Queries used by rules and the runner
+    # ------------------------------------------------------------------
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Is ``rule`` suppressed on ``line`` by an ignore pragma?"""
+        names = self.suppressions.get(line)
+        if names is None:
+            return False
+        return names is _ALL_RULES or "*" in names or rule in names
+
+    def in_hot_loop(self, line: int) -> bool:
+        """Does ``line`` fall inside a loop marked ``# hot-loop``?"""
+        return any(start <= line <= end for start, end in self.hot_loop_spans)
+
+    def in_package(self, *packages: str) -> bool:
+        """Is this module inside any of the given dotted packages?"""
+        for pkg in packages:
+            if self.module == pkg or self.module.startswith(pkg + "."):
+                return True
+        return False

@@ -1,0 +1,79 @@
+"""Rule base class and the global rule registry.
+
+A rule is a class with a unique ``name``, a one-line ``description``, and a
+``check(ctx)`` method yielding :class:`~repro.analysis.violations.Violation`
+objects.  Registering is a decorator away::
+
+    @register
+    class MyRule(AnalysisRule):
+        name = "my-rule"
+        description = "what it enforces"
+
+        def check(self, ctx):
+            ...
+
+The registry is what the CLI's ``--rules`` filter and ``--list-rules``
+output are built from; see ``docs/ANALYSIS.md`` for the how-to-add-a-rule
+walkthrough.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.violations import Violation
+
+__all__ = ["AnalysisRule", "register", "all_rules", "get_rule", "rule_names"]
+
+_REGISTRY: Dict[str, Type["AnalysisRule"]] = {}
+
+
+class AnalysisRule:
+    """Base class for repo-specific static-analysis rules."""
+
+    #: Unique kebab-case rule name; used in reports and ignore pragmas.
+    name: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Yield every violation of this rule found in ``ctx``."""
+        raise NotImplementedError
+
+    def violation(self, ctx: ModuleContext, line: int, col: int,
+                  message: str) -> Violation:
+        """Build a :class:`Violation` tagged with this rule's name."""
+        return Violation(path=str(ctx.path), line=line, col=col,
+                         rule=self.name, message=message)
+
+
+def register(rule_cls: Type[AnalysisRule]) -> Type[AnalysisRule]:
+    """Class decorator adding ``rule_cls`` to the global registry."""
+    if not rule_cls.name:
+        raise ValueError("rule %r has no name" % (rule_cls,))
+    if rule_cls.name in _REGISTRY and _REGISTRY[rule_cls.name] is not rule_cls:
+        raise ValueError("duplicate rule name %r" % (rule_cls.name,))
+    _REGISTRY[rule_cls.name] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[AnalysisRule]:
+    """Fresh instances of every registered rule, sorted by name."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[name]() for name in sorted(_REGISTRY)]
+
+
+def get_rule(name: str) -> AnalysisRule:
+    """Instantiate one registered rule by name (``KeyError`` if unknown)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return _REGISTRY[name]()
+
+
+def rule_names() -> List[str]:
+    """Sorted names of every registered rule."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return sorted(_REGISTRY)

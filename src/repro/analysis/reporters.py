@@ -1,0 +1,42 @@
+"""Human and machine (JSON) renderings of an analysis report."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.analysis.runner import AnalysisReport
+
+__all__ = ["format_human", "format_json", "report_to_dict"]
+
+
+def format_human(report: AnalysisReport) -> str:
+    """``path:line:col: [rule] message`` lines plus a one-line summary."""
+    lines = [v.format() for v in report.violations]
+    for path, message in report.errors:
+        lines.append("%s: error: %s" % (path, message))
+    if report.ok:
+        lines.append("repro.analysis: %d file(s) clean (%d rule(s))"
+                     % (report.checked_files, len(report.rules)))
+    else:
+        lines.append("repro.analysis: %d violation(s), %d error(s) in "
+                     "%d file(s)" % (len(report.violations),
+                                     len(report.errors),
+                                     report.checked_files))
+    return "\n".join(lines)
+
+
+def report_to_dict(report: AnalysisReport) -> Dict[str, Any]:
+    """The JSON-serializable structure behind :func:`format_json`."""
+    return {
+        "checked_files": report.checked_files,
+        "rules": list(report.rules),
+        "violations": [v.to_dict() for v in report.violations],
+        "errors": [{"path": p, "message": m} for p, m in report.errors],
+        "ok": report.ok,
+    }
+
+
+def format_json(report: AnalysisReport) -> str:
+    """Stable, indented JSON for tooling and CI artifacts."""
+    return json.dumps(report_to_dict(report), indent=2, sort_keys=True)

@@ -1,0 +1,22 @@
+"""The built-in repo-specific rules.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry`; a new rule module only needs to be added to
+the import list below (and decorated with ``@register``) to ship.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.encapsulation import EncapsulationRule
+from repro.analysis.rules.exports import ExportsRule
+from repro.analysis.rules.hot_path import HotPathRule
+from repro.analysis.rules.layer_safety import LayerSafetyRule
+
+__all__ = [
+    "DeterminismRule",
+    "EncapsulationRule",
+    "ExportsRule",
+    "HotPathRule",
+    "LayerSafetyRule",
+]

@@ -1,0 +1,139 @@
+"""Determinism: seeded randomness everywhere, ordered iteration in algorithms.
+
+Two families of nondeterminism have bitten bipartite-core implementations
+(the deletion orders ``O_U``/``O_L`` of Algorithm 2 must be reproducible for
+order-reachability to mean anything across runs):
+
+* **Unseeded randomness** — ``random.Random()`` / ``random.Random(None)``
+  seeds from OS entropy, and module-level ``random.*`` calls share the
+  process-global RNG.  Both make runs unreproducible.  Use
+  :func:`repro.utils.rng.make_rng` with an explicit or default seed.
+  Enforced everywhere under ``repro``.
+* **Bare set iteration** — ``for v in some_set`` visits vertices in hash
+  order, which varies across processes for str-keyed data and across
+  versions generally; peeling tie-breaks then differ run to run.  Iterate
+  ``sorted(s)`` (or keep a list alongside the set).  Enforced in the
+  algorithm packages ``repro.abcore`` and ``repro.core``, where iteration
+  order feeds deletion orders and anchor tie-breaking.
+
+The set-iteration check is a local heuristic: it sees set literals, set
+comprehensions, ``set(...)``/``frozenset(...)`` calls, and locals assigned
+from them — not sets returned by called functions.  It is a tripwire, not a
+proof of determinism.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List
+
+from repro.analysis.astutils import split_scope
+from repro.analysis.context import ModuleContext
+from repro.analysis.registry import AnalysisRule, register
+from repro.analysis.violations import Violation
+
+__all__ = ["DeterminismRule"]
+
+_SET_CALLS = ("set", "frozenset")
+_ORDERED_PACKAGES = ("repro.abcore", "repro.core")
+
+
+def _is_setish(node: ast.expr, aliases: Dict[str, bool]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in _SET_CALLS):
+        return True
+    if isinstance(node, ast.Name) and aliases.get(node.id, False):
+        return True
+    return False
+
+
+@register
+class DeterminismRule(AnalysisRule):
+    """Flag unseeded RNGs and hash-ordered set iteration."""
+
+    name = "determinism"
+    description = ("no unseeded/global random and no bare-set iteration in "
+                   "repro.abcore / repro.core")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        out: List[Violation] = []
+        self._check_random(ctx, out)
+        if ctx.in_package(*_ORDERED_PACKAGES):
+            self._visit_scope(ctx, list(ctx.tree.body), {}, out)
+        for v in sorted(out):
+            yield v
+
+    # ------------------------------------------------------------------
+    # Unseeded / process-global randomness (whole tree; no scoping needed)
+    # ------------------------------------------------------------------
+
+    def _check_random(self, ctx: ModuleContext, out: List[Violation]) -> None:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [a.name for a in node.names if a.name != "Random"]
+                if bad:
+                    out.append(self.violation(
+                        ctx, node.lineno, node.col_offset,
+                        "import of process-global random function(s) %s; "
+                        "use repro.utils.rng.make_rng" % ", ".join(bad)))
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"):
+                continue
+            if func.attr == "Random":
+                unseeded = not node.args or (
+                    len(node.args) == 1
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None)
+                if unseeded:
+                    out.append(self.violation(
+                        ctx, node.lineno, node.col_offset,
+                        "unseeded random.Random() draws from OS entropy; "
+                        "use repro.utils.rng.make_rng with a seed"))
+            elif func.attr != "SystemRandom":
+                out.append(self.violation(
+                    ctx, node.lineno, node.col_offset,
+                    "module-level random.%s() uses the shared global RNG; "
+                    "thread an explicit random.Random through "
+                    "repro.utils.rng.make_rng" % func.attr))
+
+    # ------------------------------------------------------------------
+    # Bare set iteration (algorithm packages only; needs alias scoping)
+    # ------------------------------------------------------------------
+
+    def _visit_scope(self, ctx: ModuleContext, body: List[ast.AST],
+                     aliases: Dict[str, bool], out: List[Violation]) -> None:
+        aliases = dict(aliases)
+        nodes, nested = split_scope(body)
+        for node in nodes:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases[target.id] = _is_setish(node.value, aliases)
+            elif isinstance(node, ast.For):
+                self._check_iter(ctx, node.iter, aliases, out)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    self._check_iter(ctx, gen.iter, aliases, out)
+        for nested_body in nested:
+            self._visit_scope(ctx, nested_body, aliases, out)
+
+    def _check_iter(self, ctx: ModuleContext, iter_node: ast.expr,
+                    aliases: Dict[str, bool], out: List[Violation]) -> None:
+        target = iter_node
+        if (isinstance(target, ast.Call) and isinstance(target.func, ast.Name)
+                and target.func.id == "enumerate" and target.args):
+            target = target.args[0]
+        if _is_setish(target, aliases):
+            out.append(self.violation(
+                ctx, iter_node.lineno, iter_node.col_offset,
+                "iteration over a bare set visits vertices in hash order; "
+                "iterate sorted(...) so peeling/tie-break order is "
+                "deterministic"))

@@ -1,0 +1,56 @@
+"""Encapsulation: no access to ``BipartiteGraph`` privates outside ``bigraph``.
+
+``BipartiteGraph._adj`` is the single mutable-looking structure the whole
+library shares; every algorithm assumes nobody writes to it.  The public
+accessors (``neighbors``, ``adjacency``, ``degree``, ``copy_adjacency``) are
+the supported surface — code outside :mod:`repro.bigraph` that reaches for
+``._adj`` (or the label internals) either mutates shared state or couples
+itself to the representation.  ``self._x`` / ``cls._x`` access is fine: a
+class touching its *own* privates is not an encapsulation break.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.registry import AnalysisRule, register
+from repro.analysis.violations import Violation
+
+__all__ = ["EncapsulationRule", "PRIVATE_GRAPH_ATTRS"]
+
+#: The private surface of :class:`repro.bigraph.graph.BipartiteGraph`.
+PRIVATE_GRAPH_ATTRS = frozenset({
+    "_adj",
+    "_upper_labels",
+    "_lower_labels",
+    "_label_index",
+    "_check_consistency",
+})
+
+
+@register
+class EncapsulationRule(AnalysisRule):
+    """Flag access to ``BipartiteGraph`` private attributes."""
+
+    name = "encapsulation"
+    description = ("no access to BipartiteGraph privates (_adj, label "
+                   "tables) outside repro.bigraph")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.in_package("repro.bigraph"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in PRIVATE_GRAPH_ATTRS:
+                continue
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id in ("self", "cls")):
+                continue
+            yield self.violation(
+                ctx, node.lineno, node.col_offset,
+                "access to BipartiteGraph private %r; use the public "
+                "accessors (neighbors/adjacency/degree/copy_adjacency, "
+                "label_of/vertex_of)" % node.attr)

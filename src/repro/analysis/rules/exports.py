@@ -1,0 +1,152 @@
+"""Export consistency: ``__all__`` is complete, defined, and documented.
+
+Every module under ``repro`` declares its public surface in ``__all__``;
+the API docs and ``from x import *`` behavior are generated from it.  This
+rule keeps the declaration honest:
+
+* a module defining public functions/classes must declare ``__all__``;
+* every public top-level ``def``/``class`` appears in ``__all__``
+  (prefix helpers with ``_`` to keep them private);
+* every ``__all__`` entry is actually bound at top level (defined,
+  assigned, or imported);
+* every ``__all__`` entry defined in the module as a ``def``/``class``
+  has a docstring.
+
+Modules named ``__main__`` are exempt (they are entry points, not APIs).
+``__all__`` values built dynamically (concatenation, ``+=``) are skipped —
+the rule only understands literal lists/tuples of strings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.registry import AnalysisRule, register
+from repro.analysis.violations import Violation
+
+__all__ = ["ExportsRule"]
+
+
+def _top_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module statements, looking through top-level ``if``/``try`` blocks."""
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, ast.If):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+            stack.extend(stmt.finalbody)
+            for handler in stmt.handlers:
+                stack.extend(handler.body)
+
+
+@register
+class ExportsRule(AnalysisRule):
+    """Cross-check ``__all__`` against the module's top-level bindings."""
+
+    name = "exports"
+    description = ("__all__ declared, complete, every entry bound and "
+                   "(for defs/classes) docstringed")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.module.rsplit(".", 1)[-1] == "__main__":
+            return
+
+        all_entries: Optional[List[Tuple[str, int, int]]] = None
+        analyzable = True
+        bound: Set[str] = set()
+        defs: Dict[str, ast.stmt] = {}
+        public_defs: List[ast.stmt] = []
+
+        for stmt in _top_level_statements(ctx.tree):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                bound.add(stmt.name)
+                defs[stmt.name] = stmt
+                if not stmt.name.startswith("_"):
+                    public_defs.append(stmt)
+            elif isinstance(stmt, ast.Assign):
+                for name in self._assigned_names(stmt.targets):
+                    if name == "__all__":
+                        all_entries = self._literal_entries(stmt.value)
+                        if all_entries is None:
+                            analyzable = False
+                    else:
+                        bound.add(name)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    bound.add(stmt.target.id)
+            elif isinstance(stmt, ast.AugAssign):
+                if (isinstance(stmt.target, ast.Name)
+                        and stmt.target.id == "__all__"):
+                    analyzable = False
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name != "*":
+                        bound.add(alias.asname or alias.name)
+
+        if not analyzable:
+            return
+        if all_entries is None:
+            if public_defs:
+                first = min(public_defs, key=lambda s: s.lineno)
+                yield self.violation(
+                    ctx, first.lineno, first.col_offset,
+                    "module defines public symbols but declares no __all__")
+            return
+
+        declared = {name for name, _, _ in all_entries}
+        out: List[Violation] = []
+        for name, line, col in all_entries:
+            if name not in bound:
+                out.append(self.violation(
+                    ctx, line, col,
+                    "__all__ entry %r is not defined in the module" % name))
+            elif name in defs and ast.get_docstring(defs[name]) is None:
+                d = defs[name]
+                out.append(self.violation(
+                    ctx, d.lineno, d.col_offset,
+                    "exported %r has no docstring" % name))
+        for stmt in public_defs:
+            name = stmt.name  # type: ignore[attr-defined]
+            if name not in declared:
+                out.append(self.violation(
+                    ctx, stmt.lineno, stmt.col_offset,
+                    "public %r missing from __all__ (export it or rename "
+                    "it with a leading underscore)" % name))
+        for v in sorted(out):
+            yield v
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _assigned_names(targets: List[ast.expr]) -> Iterator[str]:
+        for target in targets:
+            if isinstance(target, ast.Name):
+                yield target.id
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        yield elt.id
+
+    @staticmethod
+    def _literal_entries(
+            value: ast.expr) -> Optional[List[Tuple[str, int, int]]]:
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return None
+        entries: List[Tuple[str, int, int]] = []
+        for elt in value.elts:
+            if not (isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)):
+                return None
+            entries.append((elt.value, elt.lineno, elt.col_offset))
+        return entries

@@ -1,0 +1,135 @@
+"""Hot-path hygiene inside loops marked with a ``# hot-loop`` pragma.
+
+The peeling loops process every edge of the graph, often many times; at a
+billion edges, per-iteration constant factors are the whole ballgame in
+pure Python.  Marking a loop ``# hot-loop`` (on the ``for``/``while`` line
+or the line above) asserts it is one of these, and this rule then enforces
+the idioms the fast paths already use:
+
+* **no comprehensions / generator expressions** in the loop body — each one
+  allocates a new frame per evaluation; build into a pre-allocated
+  structure or use ``map`` with hoisted callables;
+* **no closures** (``def``/``lambda``) in the loop body — a function object
+  per iteration;
+* **no repeated attribute lookups** — the same ``obj.attr`` read twice per
+  iteration, or read at all inside a nested loop, must be hoisted to a
+  local before the marked loop (``push = queue.append``).
+
+Loops without the pragma are untouched: this is an opt-in contract for the
+handful of loops that dominate the profile, not a style rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.context import ModuleContext
+from repro.analysis.registry import AnalysisRule, register
+from repro.analysis.violations import Violation
+
+__all__ = ["HotPathRule"]
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+_CLOSURES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@register
+class HotPathRule(AnalysisRule):
+    """Enforce allocation/lookup hygiene in ``# hot-loop`` marked loops."""
+
+    name = "hot-path"
+    description = ("no comprehensions, closures, or repeated attribute "
+                   "lookups inside loops marked # hot-loop")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        pragmas = ctx.hot_loop_pragma_lines
+        if not pragmas:
+            return
+        marked = [
+            node for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.For, ast.While))
+            and (node.lineno in pragmas or node.lineno - 1 in pragmas)
+        ]
+        # An inner marked loop is already covered by its outer marked loop.
+        outermost = [
+            loop for loop in marked
+            if not any(other is not loop and _contains(other, loop)
+                       for other in marked)
+        ]
+        seen: Set[Tuple[int, int, str]] = set()
+        out: List[Violation] = []
+        for loop in outermost:
+            self._check_loop(ctx, loop, out)
+        for v in sorted(out):
+            key = (v.line, v.col, v.message)
+            if key not in seen:
+                seen.add(key)
+                yield v
+
+    # ------------------------------------------------------------------
+
+    def _check_loop(self, ctx: ModuleContext, loop: ast.AST,
+                    out: List[Violation]) -> None:
+        # dotted attr path -> list of (depth, node); depth 0 = marked body.
+        lookups: Dict[str, List[Tuple[int, ast.Attribute]]] = {}
+        if isinstance(loop, ast.For):
+            body = list(loop.body) + list(loop.orelse)
+        else:
+            body = [loop.test] + list(loop.body) + list(loop.orelse)  # type: ignore[attr-defined]
+        for stmt in body:
+            self._walk(ctx, stmt, 0, lookups, out)
+        for path, hits in sorted(lookups.items()):
+            nested = [n for d, n in hits if d >= 1]
+            if nested:
+                node = min(nested, key=lambda n: (n.lineno, n.col_offset))
+                out.append(self.violation(
+                    ctx, node.lineno, node.col_offset,
+                    "attribute %r looked up inside a loop nested in a "
+                    "# hot-loop; hoist it to a local before the loop" % path))
+            elif len(hits) >= 2:
+                node = min((n for _, n in hits),
+                           key=lambda n: (n.lineno, n.col_offset))
+                out.append(self.violation(
+                    ctx, node.lineno, node.col_offset,
+                    "attribute %r looked up %d times per # hot-loop "
+                    "iteration; hoist it to a local before the loop"
+                    % (path, len(hits))))
+
+    def _walk(self, ctx: ModuleContext, node: ast.AST, depth: int,
+              lookups: Dict[str, List[Tuple[int, ast.Attribute]]],
+              out: List[Violation]) -> None:
+        if isinstance(node, _COMPREHENSIONS):
+            out.append(self.violation(
+                ctx, node.lineno, node.col_offset,
+                "comprehension inside a # hot-loop allocates per "
+                "iteration; use an explicit loop or hoist it"))
+            return  # its internals are already condemned wholesale
+        if isinstance(node, _CLOSURES):
+            out.append(self.violation(
+                ctx, node.lineno, node.col_offset,
+                "closure defined inside a # hot-loop creates a function "
+                "object per iteration; define it outside"))
+            return
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            path = dotted_name(node)
+            if path:
+                lookups.setdefault(path, []).append((depth, node))
+            # still recurse: chains like a.b.c record both a.b.c and a.b
+        if isinstance(node, ast.For):
+            self._walk(ctx, node.target, depth, lookups, out)
+            self._walk(ctx, node.iter, depth, lookups, out)
+            for child in list(node.body) + list(node.orelse):
+                self._walk(ctx, child, depth + 1, lookups, out)
+            return
+        if isinstance(node, ast.While):
+            for child in [node.test] + list(node.body) + list(node.orelse):
+                self._walk(ctx, child, depth + 1, lookups, out)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(ctx, child, depth, lookups, out)
+
+
+def _contains(outer: ast.AST, inner: ast.AST) -> bool:
+    return any(inner is node for node in ast.walk(outer))

@@ -1,0 +1,142 @@
+"""Layer-safety: no raw vertex-id boundary arithmetic outside ``bigraph``.
+
+The global id layout (upper vertices ``0..n_upper-1``, lower vertices
+``n_upper..n_vertices-1``) is an implementation detail of
+:mod:`repro.bigraph.graph`.  Code elsewhere must go through the layer API —
+``is_upper``/``is_lower``/``layer``/``lower_index`` or
+:func:`repro.bigraph.validation.check_vertex` — so a future id-layout change
+(e.g. interleaved ids for cache locality) stays a one-module change.
+
+Flagged outside ``repro.bigraph``:
+
+* ordering comparisons whose operand is an ``n_upper``/``n_vertices``
+  attribute (``v < graph.n_upper``, ``0 <= a < graph.n_vertices``), or a
+  local that aliases one (``n_upper = graph.n_upper; ... v < n_upper``) —
+  equality tests (``graph.n_vertices == 0``) are size checks and stay
+  legal;
+* ``+``/``-`` arithmetic on an ``n_upper`` attribute or alias — the
+  id ↔ per-layer-index conversion (``v - graph.n_upper``).
+
+Exception: *alias* comparisons/arithmetic inside a loop marked
+``# hot-loop`` are allowed — hoisting the boundary into a local and
+branching on it is the sanctioned fast-path idiom, and the hot-path rule
+polices those loops instead.  Attribute-form access is flagged even there
+(hoist it; that is also faster).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.astutils import split_scope
+from repro.analysis.context import ModuleContext
+from repro.analysis.registry import AnalysisRule, register
+from repro.analysis.violations import Violation
+
+__all__ = ["LayerSafetyRule"]
+
+_BOUNDARY_ATTRS = ("n_upper", "n_vertices")
+#: Only ``n_upper`` participates in id ↔ layer-index offset arithmetic;
+#: sums/differences with ``n_vertices`` are ordinary size accounting.
+_OFFSET_ATTRS = ("n_upper",)
+
+
+@register
+class LayerSafetyRule(AnalysisRule):
+    """Flag raw ``n_upper``/``n_vertices`` boundary arithmetic."""
+
+    name = "layer-safety"
+    description = ("no raw n_upper/n_vertices boundary comparisons or offset "
+                   "arithmetic outside repro.bigraph")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.in_package("repro.bigraph"):
+            return
+        out: List[Violation] = []
+        self._visit_scope(ctx, list(ctx.tree.body), {}, out)
+        for v in sorted(out):
+            yield v
+
+    # ------------------------------------------------------------------
+
+    def _visit_scope(self, ctx: ModuleContext, body: List[ast.AST],
+                     aliases: Dict[str, str], out: List[Violation]) -> None:
+        aliases = dict(aliases)  # nested scopes see, but never mutate, ours
+        nodes, nested = split_scope(body)
+        for node in nodes:
+            if isinstance(node, ast.Assign):
+                self._record_aliases(node, aliases)
+            elif isinstance(node, ast.Compare):
+                self._check_compare(ctx, node, aliases, out)
+            elif isinstance(node, ast.BinOp):
+                self._check_binop(ctx, node, aliases, out)
+        for nested_body in nested:
+            self._visit_scope(ctx, nested_body, aliases, out)
+
+    @staticmethod
+    def _record_aliases(node: ast.Assign, aliases: Dict[str, str]) -> None:
+        pairs: List[Tuple[ast.expr, ast.expr]] = []
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                pairs.append((target, node.value))
+            elif (isinstance(target, ast.Tuple)
+                  and isinstance(node.value, ast.Tuple)
+                  and len(target.elts) == len(node.value.elts)):
+                pairs.extend(zip(target.elts, node.value.elts))
+        for tgt, val in pairs:
+            if not isinstance(tgt, ast.Name):
+                continue
+            if isinstance(val, ast.Attribute) and val.attr in _BOUNDARY_ATTRS:
+                aliases[tgt.id] = val.attr
+            elif tgt.id in aliases:
+                del aliases[tgt.id]  # rebound to something else
+
+    @staticmethod
+    def _boundary_name(node: ast.expr, aliases: Dict[str, str],
+                       attrs: Tuple[str, ...]) -> Optional[Tuple[str, bool]]:
+        """``(display_name, is_alias)`` when ``node`` is a boundary operand."""
+        if isinstance(node, ast.Attribute) and node.attr in attrs:
+            return node.attr, False
+        if isinstance(node, ast.Name) and aliases.get(node.id) in attrs:
+            return node.id, True
+        return None
+
+    def _check_compare(self, ctx: ModuleContext, node: ast.Compare,
+                       aliases: Dict[str, str], out: List[Violation]) -> None:
+        # Only ordering comparisons are boundary checks; ``== 0`` style
+        # size/emptiness tests against n_vertices are legitimate anywhere.
+        if not any(isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                   for op in node.ops):
+            return
+        for operand in [node.left] + list(node.comparators):
+            hit = self._boundary_name(operand, aliases, _BOUNDARY_ATTRS)
+            if hit is None:
+                continue
+            name, is_alias = hit
+            if is_alias and ctx.in_hot_loop(node.lineno):
+                continue  # hoisted boundary local inside a # hot-loop
+            out.append(self.violation(
+                ctx, node.lineno, node.col_offset,
+                "raw layer-boundary comparison against %r; use "
+                "BipartiteGraph.is_upper/is_lower or "
+                "bigraph.validation.check_vertex" % name))
+            return  # one report per comparison chain
+
+    def _check_binop(self, ctx: ModuleContext, node: ast.BinOp,
+                     aliases: Dict[str, str], out: List[Violation]) -> None:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        for operand in (node.left, node.right):
+            hit = self._boundary_name(operand, aliases, _OFFSET_ATTRS)
+            if hit is None:
+                continue
+            name, is_alias = hit
+            if is_alias and ctx.in_hot_loop(node.lineno):
+                continue
+            out.append(self.violation(
+                ctx, node.lineno, node.col_offset,
+                "raw id-offset arithmetic with %r; use "
+                "BipartiteGraph.lower_index (or move the conversion into "
+                "repro.bigraph)" % name))
+            return

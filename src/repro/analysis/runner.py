@@ -1,0 +1,94 @@
+"""Drive the rules over files and directories, applying suppressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.registry import AnalysisRule, all_rules
+from repro.analysis.violations import Violation
+
+__all__ = ["AnalysisReport", "run_analysis", "analyze_module", "collect_files"]
+
+_SKIP_DIR_SUFFIXES = (".egg-info",)
+_SKIP_DIR_NAMES = ("__pycache__", ".git", ".hypothesis", ".pytest_cache")
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    violations: List[Violation] = field(default_factory=list)
+    #: ``(path, message)`` pairs for files that could not be analyzed.
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+    checked_files: int = 0
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations and no errors were recorded."""
+        return not self.violations and not self.errors
+
+
+def collect_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = candidate.parts
+                if any(p in _SKIP_DIR_NAMES or p.endswith(_SKIP_DIR_SUFFIXES)
+                       for p in parts):
+                    continue
+                found.add(candidate)
+        elif path.suffix == ".py":
+            found.add(path)
+        else:
+            raise FileNotFoundError("not a .py file or directory: %s" % path)
+    return sorted(found)
+
+
+def analyze_module(ctx: ModuleContext,
+                   rules: Optional[Sequence[AnalysisRule]] = None
+                   ) -> List[Violation]:
+    """Run ``rules`` (default: all registered) over one parsed module.
+
+    Violations on lines carrying a matching ``# repro: ignore[...]`` pragma
+    are filtered out here, so rules never need to know about suppressions.
+    """
+    if rules is None:
+        rules = all_rules()
+    violations: List[Violation] = []
+    for rule in rules:
+        for v in rule.check(ctx):
+            if not ctx.is_suppressed(v.rule, v.line):
+                violations.append(v)
+    return sorted(violations)
+
+
+def run_analysis(paths: Sequence[Path],
+                 rules: Optional[Sequence[AnalysisRule]] = None
+                 ) -> AnalysisReport:
+    """Analyze every ``.py`` file under ``paths`` with ``rules``."""
+    if rules is None:
+        rules = all_rules()
+    report = AnalysisReport(rules=[r.name for r in rules])
+    files: List[Path] = []
+    for path in paths:
+        try:
+            files.extend(collect_files([path]))
+        except FileNotFoundError:
+            report.errors.append((str(path), "not a .py file or directory"))
+    for path in sorted(set(files)):
+        try:
+            ctx = ModuleContext.from_file(path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.errors.append((str(path), "%s: %s" % (
+                type(exc).__name__, exc)))
+            continue
+        report.checked_files += 1
+        report.violations.extend(analyze_module(ctx, rules))
+    report.violations.sort()
+    return report

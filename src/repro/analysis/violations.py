@@ -1,0 +1,34 @@
+"""The unit of analysis output: one violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Violation"]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation, ordered by location for stable reports."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: [rule] message`` — the human report line."""
+        return "%s:%d:%d: [%s] %s" % (
+            self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form used by the machine reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -97,6 +97,16 @@ class BipartiteGraph:
         """Return ``"upper"`` or ``"lower"`` for vertex ``v``."""
         return "upper" if v < self.n_upper else "lower"
 
+    def lower_index(self, v: int) -> int:
+        """Per-layer index of a lower vertex ``v`` (its offset into ``L``).
+
+        This is the sanctioned way to convert a global id back to a
+        lower-layer position; code outside :mod:`repro.bigraph` must not do
+        the ``v - n_upper`` arithmetic itself (the ``layer-safety`` analysis
+        rule enforces this).
+        """
+        return v - self.n_upper
+
     def degree(self, v: int) -> int:
         """Degree of vertex ``v`` in the full graph."""
         return len(self._adj[v])

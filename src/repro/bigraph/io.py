@@ -23,7 +23,8 @@ from repro.bigraph.builder import GraphBuilder
 from repro.bigraph.graph import BipartiteGraph
 from repro.exceptions import GraphConstructionError
 
-__all__ = ["read_edge_list", "write_edge_list", "parse_edge_lines"]
+__all__ = ["read_edge_list", "write_edge_list", "parse_edge_lines",
+           "loads", "dumps"]
 
 PathOrFile = Union[str, os.PathLike, TextIO]
 

@@ -24,6 +24,7 @@ from typing import Collection, Iterable, List, Optional, Set
 
 from repro.abcore.decomposition import abcore, anchored_abcore
 from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.validation import check_vertex
 from repro.core.deletion_order import r_scores
 from repro.core.followers import compute_followers
 from repro.core.order_maintenance import OrderState
@@ -72,9 +73,8 @@ def minimize_anchors_for_targets(
     definition is in the core).
     """
     target_set = set(targets)
-    for t in target_set:
-        if not (0 <= t < graph.n_vertices):
-            raise InvalidParameterError("target %d out of range" % t)
+    for t in sorted(target_set):
+        check_vertex(graph, t)
     return _greedy_until(
         graph, alpha, beta,
         goal=lambda state, base: target_set <= state.core | state.anchors,

@@ -58,14 +58,13 @@ def collapse_size(
     Removal is simulated on alive masks — the graph is not copied.
     """
     validate_degree_constraints(alpha, beta)
-    dead = set(removed_vertices)
     cut = {(min(u, v), max(u, v)) for u, v in removed_edges}
 
     adj = graph.adjacency
     n_upper = graph.n_upper
     n = graph.n_vertices
     alive = bytearray(b"\x01") * n
-    for v in dead:
+    for v in removed_vertices:
         alive[v] = 0
     deg = [0] * n
     for v in range(n):
@@ -78,7 +77,7 @@ def collapse_size(
         deg[v] = count
 
     queue = []
-    for v in range(n):
+    for v in range(n):  # hot-loop
         if not alive[v]:
             continue
         threshold = alpha if v < n_upper else beta
@@ -86,7 +85,8 @@ def collapse_size(
             queue.append(v)
             alive[v] = 0
     head = 0
-    while head < len(queue):
+    push = queue.append
+    while head < len(queue):  # hot-loop
         v = queue[head]
         head += 1
         for w in adj[v]:
@@ -96,7 +96,7 @@ def collapse_size(
             threshold = alpha if w < n_upper else beta
             if deg[w] < threshold:
                 alive[w] = 0
-                queue.append(w)
+                push(w)
     return sum(alive)
 
 
@@ -199,13 +199,14 @@ def _current_core(graph, alpha, beta, cut) -> Set[int]:
         deg[v] = sum(1 for w in adj[v]
                      if (min(v, w), max(v, w)) not in dead_edges)
     queue = []
-    for v in range(n):
+    for v in range(n):  # hot-loop
         threshold = alpha if v < n_upper else beta
         if deg[v] < threshold:
             queue.append(v)
             alive[v] = 0
     head = 0
-    while head < len(queue):
+    push = queue.append
+    while head < len(queue):  # hot-loop
         v = queue[head]
         head += 1
         for w in adj[v]:
@@ -215,6 +216,6 @@ def _current_core(graph, alpha, beta, cut) -> Set[int]:
             threshold = alpha if w < n_upper else beta
             if deg[w] < threshold:
                 alive[w] = 0
-                queue.append(w)
+                push(w)
     assert sum(alive) == size
     return {v for v in range(n) if alive[v]}

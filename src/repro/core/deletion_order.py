@@ -98,10 +98,11 @@ def _zero_order_anchors(
     """
     placed = set(placed_anchors)
     want_upper = side == "upper"
+    is_upper = graph.is_upper
     zeros: Set[int] = set()
     for v in shell_sequence:
         for w in graph.neighbors(v):
-            if (w < graph.n_upper) != want_upper:
+            if is_upper(w) != want_upper:
                 continue
             if w in relaxed_core or w in placed:
                 continue
@@ -172,20 +173,22 @@ def r_scores(graph: BipartiteGraph, order: DeletionOrder) -> Dict[int, int]:
     scores: Dict[int, int] = {}
     zeros: List[int] = []
     by_position = sorted(order.position.items(), key=lambda item: -item[1])
-    for v, pv in by_position:
+    neighbors = graph.neighbors
+    get = position.get
+    for v, pv in by_position:  # hot-loop
         if pv == 0:
             zeros.append(v)
             continue
         total = 0
-        for w in graph.neighbors(v):
-            pw = position.get(w)
+        for w in neighbors(v):
+            pw = get(w)
             if pw is not None and pw > pv:
                 total += scores[w] + 1
         scores[v] = total
-    for v in zeros:
+    for v in zeros:  # hot-loop
         total = 0
-        for w in graph.neighbors(v):
-            pw = position.get(w)
+        for w in neighbors(v):
+            pw = get(w)
             if pw is not None and pw > 0:
                 total += scores[w] + 1
         scores[v] = total
@@ -204,14 +207,19 @@ def reachable_from(graph: BipartiteGraph, order: DeletionOrder,
     px = position[x]
     reached: Set[int] = set()
     stack = [(x, px)]
-    while stack:
-        v, pv = stack.pop()
-        for w in graph.neighbors(v):
-            pw = position.get(w)
+    pop = stack.pop
+    push = stack.append
+    neighbors = graph.neighbors
+    get = position.get
+    mark = reached.add
+    while stack:  # hot-loop
+        v, pv = pop()
+        for w in neighbors(v):
+            pw = get(w)
             if pw is None or pw <= pv or w in reached:
                 continue
-            reached.add(w)
-            stack.append((w, pw))
+            mark(w)
+            push((w, pw))
     return reached
 
 

@@ -81,13 +81,15 @@ def compute_followers(
 
     dead: List[int] = []
     alive: Set[int] = set(candidates)
-    for u in candidates:
+    for u in candidates:  # hot-loop
         threshold = alpha if u < n_upper else beta
         if support[u] < threshold:
             dead.append(u)
             alive.discard(u)
     head = 0
-    while head < len(dead):
+    push = dead.append
+    drop = alive.discard
+    while head < len(dead):  # hot-loop
         u = dead[head]
         head += 1
         for w in adjacency[u]:
@@ -96,8 +98,8 @@ def compute_followers(
             support[w] -= 1
             threshold = alpha if w < n_upper else beta
             if support[w] < threshold:
-                alive.discard(w)
-                dead.append(w)
+                drop(w)
+                push(w)
     return alive
 
 
@@ -120,12 +122,16 @@ def _collect_reachable(adjacency, position: Dict[int, int], x: int) -> Set[int]:
     px = position[x]
     reached: Set[int] = set()
     stack = [(x, px)]
-    while stack:
-        v, pv = stack.pop()
+    pop = stack.pop
+    push = stack.append
+    get = position.get
+    mark = reached.add
+    while stack:  # hot-loop
+        v, pv = pop()
         for w in adjacency[v]:
-            pw = position.get(w)
+            pw = get(w)
             if pw is None or pw <= pv or w in reached:
                 continue
-            reached.add(w)
-            stack.append((w, pw))
+            mark(w)
+            push((w, pw))
     return reached

@@ -259,10 +259,11 @@ class OrderState:
         want_upper = side == "upper"
         relaxed = order.relaxed_core
         anchors = self.anchors
+        is_upper = graph.is_upper
         shell = [v for v, p in position.items() if p >= 1]
         for v in shell:
             for w in graph.neighbors(v):
-                if (w < graph.n_upper) != want_upper:
+                if is_upper(w) != want_upper:
                     continue
                 if w in relaxed or w in anchors or w in position:
                     continue

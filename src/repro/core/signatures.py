@@ -115,7 +115,8 @@ def _dominator_pool(
         if len(pool) * max(1.0, log2(deg_v)) < deg_v:
             # Probe each pool member against N(v) (binary-search flavor; the
             # adjacency rows are sorted so has_edge() bisects).
-            pool = {w for w in pool
+            # Order-free: filters a set into a set, no tie-breaking involved.
+            pool = {w for w in pool  # repro: ignore[determinism]
                     if position[w] < p_v and graph.has_edge(w, v)}
         else:
             neighbors_ok = {w for w in adjacency[v]

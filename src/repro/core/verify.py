@@ -44,14 +44,16 @@ def verify_result(graph: BipartiteGraph,
     say = report.problems.append
 
     # anchors must be valid vertices and respect the budgets
+    valid_anchors = []
     for a in result.anchors:
-        if not (0 <= a < graph.n_vertices):
+        if a in graph.vertices():
+            valid_anchors.append(a)
+        else:
             say("anchor %d is not a vertex of the graph" % a)
     if len(set(result.anchors)) != len(result.anchors):
         say("anchor list contains duplicates")
-    uppers = sum(1 for a in result.anchors
-                 if 0 <= a < graph.n_upper)
-    lowers = len(result.anchors) - uppers
+    uppers = sum(1 for a in valid_anchors if graph.is_upper(a))
+    lowers = len(valid_anchors) - uppers
     if uppers > result.b1:
         say("%d upper anchors exceed budget b1=%d" % (uppers, result.b1))
     if lowers > result.b2:

@@ -81,7 +81,8 @@ def simulate_cascade(
         next_wave: Set[int] = set()
         for v in wave:
             alive[v] = 0
-        for v in wave:
+        departs = next_wave.add
+        for v in wave:  # hot-loop
             for w in adjacency[v]:
                 if not alive[w]:
                     continue
@@ -90,7 +91,7 @@ def simulate_cascade(
                     continue
                 threshold = alpha if w < n_upper else beta
                 if deg[w] < threshold:
-                    next_wave.add(w)
+                    departs(w)
         wave = [w for w in next_wave if alive[w]]
     survivors = {v for v in graph.vertices() if alive[v]}
     return CascadeResult(survivors=survivors, rounds=rounds)

@@ -7,6 +7,14 @@ while letting programming errors (``TypeError`` etc.) propagate.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "GraphConstructionError",
+    "InvalidParameterError",
+    "DatasetError",
+    "ExperimentError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""

@@ -79,6 +79,7 @@ def fig6_case_study(
 
 
 def render_fig6(study: CaseStudy) -> str:
+    """Render the Fig. 6 case-study summary as a two-column table."""
     rows = [
         ["(alpha, beta)", "(%d, %d)" % (study.alpha, study.beta)],
         ["upper anchors", study.anchors_upper],

@@ -27,6 +27,7 @@ from repro.generators.datasets import dataset_codes, load_dataset
 from repro.utils.tables import render_series, render_table
 
 __all__ = [
+    "InShellSample",
     "fig4_inshell_ratio",
     "fig7a_effectiveness",
     "fig7b_exact_comparison",
@@ -161,6 +162,7 @@ def fig7a_effectiveness(
 
 def render_fig7a(series: Dict[str, List[int]],
                  budgets: Sequence[int] = (5, 10, 15, 20, 25)) -> str:
+    """Render the Fig. 7(a) followers-vs-budget series as a text table."""
     return render_series(series, "b1=b2", list(budgets),
                          title="Fig. 7(a) — followers vs budgets")
 
@@ -205,6 +207,7 @@ def fig7b_exact_comparison(
 
 
 def render_fig7b(rows: List[Dict[str, object]]) -> str:
+    """Render the Fig. 7(b) FILVER-vs-Exact comparison rows."""
     return render_table(
         ["b1", "b2", "FILVER", "Exact", "optimal?"],
         [[r["b1"], r["b2"], r["filver"], r["exact"], r["optimal"]]
@@ -250,6 +253,7 @@ def fig8_runtime(
 
 
 def render_fig8(rows: Sequence[MethodRun]) -> str:
+    """Render the Fig. 8 per-dataset runtime bars (ASCII)."""
     from repro.utils.ascii_chart import bar_chart
 
     datasets: List[str] = []
@@ -333,6 +337,7 @@ def fig9_budgets(
 
 
 def render_fig9(rows: Sequence[MethodRun], varying: str) -> str:
+    """Render Fig. 9: followers while varying constraints or budgets."""
     table = []
     for r in rows:
         label = ("a=%d,b=%d" % (r.alpha, r.beta)) if varying == "constraints" \
@@ -373,6 +378,7 @@ def fig10_t_followers(
 
 
 def render_fig10(curves: Dict[str, Dict[int, List[int]]]) -> str:
+    """Render the Fig. 10 follower-growth sparklines per dataset."""
     from repro.utils.ascii_chart import sparkline
 
     blocks = []

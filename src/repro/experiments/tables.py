@@ -44,6 +44,7 @@ def table2_datasets(
 
 
 def render_table2(rows: Sequence[Dict[str, object]]) -> str:
+    """Render the Table II dataset-statistics rows as a text table."""
     table = [[r["code"], r["name"], r["E"], r["U"], r["L"], r["d_max"],
               r["delta"], r["paper_E"], r["paper_delta"]] for r in rows]
     return render_table(
@@ -73,6 +74,7 @@ def table3_t_runtime(
 
 
 def render_table3(times: Dict[str, Dict[int, float]]) -> str:
+    """Render the Table III index-construction timing grid."""
     t_values = sorted({t for per in times.values() for t in per})
     rows = [[code] + ["%.3f" % times[code][t] for t in t_values]
             for code in times]

@@ -46,7 +46,7 @@ def powerlaw_degree_sequence(
         raise InvalidParameterError("n must be positive")
     if exponent <= 1.0:
         raise InvalidParameterError("exponent must be > 1, got %r" % exponent)
-    rng = rng or random.Random()
+    rng = make_rng(rng)
     if d_max is None:
         d_max = max(d_min, target_stubs)
     mu = 1.0 / (exponent - 1.0)
@@ -112,7 +112,7 @@ def chung_lu_bipartite(
     if graph.n_edges >= n_edges:
         return graph
 
-    edges = {(u, v - graph.n_upper) for u, v in graph.edges()}
+    edges = {(u, graph.lower_index(v)) for u, v in graph.edges()}
     missing = n_edges - len(edges)
     attempts = 0
     while missing > 0 and attempts < 50 * n_edges:

@@ -11,13 +11,25 @@ from __future__ import annotations
 import random
 from typing import Optional, Union
 
-__all__ = ["make_rng", "derive_seed"]
+__all__ = ["DEFAULT_SEED", "make_rng", "derive_seed"]
+
+#: Seed used when a caller passes ``None``: runs are reproducible by
+#: default, and nondeterminism requires an explicit opt-in (pass your own
+#: entropy-seeded ``random.Random``).
+DEFAULT_SEED = 20220509  # ICDE 2022 opening day
 
 
 def make_rng(seed: Optional[Union[int, random.Random]]) -> random.Random:
-    """Return a ``random.Random``: pass through instances, seed integers."""
+    """Return a ``random.Random``: pass through instances, seed integers.
+
+    ``None`` seeds with :data:`DEFAULT_SEED` rather than OS entropy, so
+    every generator in :mod:`repro.generators` is deterministic unless the
+    caller explicitly provides varied seeds.
+    """
     if isinstance(seed, random.Random):
         return seed
+    if seed is None:
+        seed = DEFAULT_SEED
     return random.Random(seed)
 
 

@@ -1,0 +1,41 @@
+"""Fixture: nondeterminism shapes (checked as repro.core.*)."""
+
+import random
+
+__all__ = ["unseeded", "unseeded_none", "global_rng", "set_loop",
+           "set_literal_loop", "set_comp_source"]
+
+
+def unseeded():
+    """OS-entropy RNG."""
+    return random.Random()  # violation
+
+
+def unseeded_none():
+    """Explicit None seed is still OS entropy."""
+    return random.Random(None)  # violation
+
+
+def global_rng(n):
+    """Process-global shared RNG."""
+    return random.randrange(n)  # violation
+
+
+def set_loop(vertices):
+    """Iterating a set local in hash order."""
+    survivors = set(vertices)
+    out = []
+    for v in survivors:  # violation
+        out.append(v)
+    return out
+
+
+def set_literal_loop():
+    """Iterating a set literal."""
+    return [v for v in {3, 1, 2}]  # violation
+
+
+def set_comp_source(edges):
+    """Iterating a set comprehension."""
+    touched = {u for u, _ in edges}
+    return [t for t in touched]  # violation

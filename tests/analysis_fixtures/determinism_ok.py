@@ -1,0 +1,30 @@
+"""Fixture: deterministic equivalents (checked as repro.core.*)."""
+
+import random
+
+__all__ = ["seeded", "passthrough", "sorted_loop", "membership_only"]
+
+
+def seeded(seed):
+    """Seeded RNG is fine."""
+    return random.Random(seed)
+
+
+def passthrough(rng):
+    """Threading an existing Random through is fine."""
+    return rng.randrange(10)
+
+
+def sorted_loop(vertices):
+    """sorted() turns hash order into a stable order."""
+    survivors = set(vertices)
+    out = []
+    for v in sorted(survivors):
+        out.append(v)
+    return out
+
+
+def membership_only(vertices, v):
+    """Sets used for membership (no iteration) are fine."""
+    survivors = set(vertices)
+    return v in survivors

@@ -1,0 +1,18 @@
+"""Fixture: reaching into BipartiteGraph privates from outside bigraph."""
+
+__all__ = ["peek", "mutate", "label_poke"]
+
+
+def peek(graph, v):
+    """Read through the private adjacency."""
+    return graph._adj[v]  # line 8: violation
+
+
+def mutate(graph, u, w):
+    """Worse: write through it."""
+    graph._adj[u].append(w)  # line 13: violation
+
+
+def label_poke(graph):
+    """Private label table access."""
+    return graph._upper_labels  # line 18: violation

@@ -1,0 +1,19 @@
+"""Fixture: the public accessors, plus self-access inside a class."""
+
+__all__ = ["peek", "Wrapper"]
+
+
+def peek(graph, v):
+    """Public neighbor access."""
+    return graph.neighbors(v)
+
+
+class Wrapper:
+    """A class touching its own ``_adj`` is not an encapsulation break."""
+
+    def __init__(self, rows):
+        self._adj = rows
+
+    def row(self, v):
+        """Own-private access through ``self`` is allowed."""
+        return self._adj[v]

@@ -1,0 +1,23 @@
+"""Fixture: every export-consistency violation shape."""
+
+__all__ = [
+    "documented",
+    "undocumented",
+    "ghost_entry",
+]
+
+
+def documented():
+    """Exported and documented: fine."""
+    return 1
+
+
+def undocumented():  # violation: exported without a docstring
+    return 2
+
+
+def stray():  # violation: public but missing from __all__
+    """Public, documented, but not exported."""
+    return 3
+
+# "ghost_entry" is in __all__ but never defined: violation

@@ -1,0 +1,6 @@
+"""Fixture: public symbols but no __all__ declaration at all."""
+
+
+def orphan():  # violation: module declares no __all__
+    """A public function in a module without __all__."""
+    return 1

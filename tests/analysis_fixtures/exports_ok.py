@@ -1,0 +1,20 @@
+"""Fixture: a compliant module surface."""
+
+from collections import OrderedDict
+
+__all__ = ["CONSTANT", "OrderedDict", "exported", "Thing"]
+
+CONSTANT = 42
+
+
+def exported():
+    """Exported, documented."""
+    return CONSTANT
+
+
+class Thing:
+    """Exported class with a docstring."""
+
+
+def _helper():
+    return 0  # private: allowed to stay out of __all__ and undocumented

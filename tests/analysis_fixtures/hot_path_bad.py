@@ -1,0 +1,35 @@
+"""Fixture: hygiene violations inside a # hot-loop marked loop."""
+
+__all__ = ["comprehension_in_loop", "closure_in_loop", "repeated_lookup",
+           "nested_lookup"]
+
+
+def comprehension_in_loop(rows):
+    """List comprehension allocated every iteration."""
+    out = []
+    for row in rows:  # hot-loop
+        out.append([x + 1 for x in row])  # violation: comprehension
+    return out
+
+
+def closure_in_loop(rows):
+    """Function object created every iteration."""
+    out = []
+    for row in rows:  # hot-loop
+        out.append(lambda: row)  # violation: closure
+    return out
+
+
+def repeated_lookup(state, items):
+    """Same attribute read twice per iteration."""
+    total = 0
+    for v in items:  # hot-loop
+        total += state.weight + v * state.weight  # violation: 2 lookups
+    return total
+
+
+def nested_lookup(queue, adjacency, items):
+    """Attribute read inside a nested loop (O(inner) lookups)."""
+    for v in items:  # hot-loop
+        for w in adjacency[v]:
+            queue.append(w)  # violation: lookup in nested loop

@@ -1,0 +1,16 @@
+"""Fixture: hoisted-and-clean hot loops, and unmarked loops left alone."""
+
+__all__ = ["hoisted", "unmarked"]
+
+
+def hoisted(queue, adjacency, items):
+    """The sanctioned shape: bound methods hoisted before the loop."""
+    push = queue.append
+    for v in items:  # hot-loop
+        for w in adjacency[v]:
+            push(w)
+
+
+def unmarked(state, rows):
+    """No pragma: the rule does not police ordinary loops."""
+    return [[x + state.weight for x in row] for row in rows]

@@ -1,0 +1,24 @@
+"""Fixture: every layer-safety violation shape (checked as repro.core.*)."""
+
+__all__ = ["direct_compare", "range_check", "aliased_compare", "offset_math"]
+
+
+def direct_compare(graph, v):
+    """Attribute-form boundary comparison."""
+    return v < graph.n_upper  # line 8: violation
+
+
+def range_check(graph, a):
+    """Chained range check against n_vertices."""
+    return 0 <= a < graph.n_vertices  # line 13: violation
+
+
+def aliased_compare(graph, v):
+    """Hoisted boundary local compared outside any # hot-loop."""
+    n_upper = graph.n_upper
+    return v >= n_upper  # line 19: violation
+
+
+def offset_math(graph, v):
+    """Raw id -> lower-layer index conversion."""
+    return v - graph.n_upper  # line 24: violation

@@ -1,0 +1,33 @@
+"""Fixture: layer-safe equivalents of every shape in layer_safety_bad."""
+
+__all__ = ["direct_compare", "range_check", "hot_alias", "offset_math",
+           "size_check"]
+
+
+def direct_compare(graph, v):
+    """Use the layer API instead of comparing ids."""
+    return graph.is_upper(v)
+
+
+def range_check(graph, a):
+    """Range membership instead of raw boundary comparison."""
+    return a in graph.vertices()
+
+
+def hot_alias(graph, items, alpha, beta):
+    """Hoisted boundary local is fine inside a # hot-loop."""
+    n_upper = graph.n_upper
+    total = 0
+    for v in items:  # hot-loop
+        total += alpha if v < n_upper else beta
+    return total
+
+
+def offset_math(graph, v):
+    """Sanctioned id -> lower index conversion."""
+    return graph.lower_index(v)
+
+
+def size_check(graph):
+    """Equality against n_vertices is a size check, not a boundary check."""
+    return graph.n_vertices == 0

@@ -1,0 +1,18 @@
+"""Fixture: violations silenced by ``# repro: ignore[...]`` pragmas."""
+
+__all__ = ["targeted", "blanket", "wrong_rule"]
+
+
+def targeted(graph, v):
+    """Named-rule suppression silences exactly that rule."""
+    return v < graph.n_upper  # repro: ignore[layer-safety]
+
+
+def blanket(graph, v):
+    """Bare ignore silences every rule on the line."""
+    return graph._adj[v]  # repro: ignore
+
+
+def wrong_rule(graph, v):
+    """Suppressing a different rule does NOT silence this one."""
+    return v < graph.n_upper  # repro: ignore[determinism]
