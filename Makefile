@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck bench report examples clean
+.PHONY: install test lint typecheck bench bench-smoke report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,11 @@ typecheck:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Quick CI gate: scaling shape + CSR-vs-list backend comparison only.
+# Timings land in bench_scalability.json ($$REPRO_BENCH_JSON to override).
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_scalability.py --benchmark-only -q
 
 report:
 	$(PYTHON) -m repro.experiments report --scale 0.25 --out report.md

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Collection, Optional, Set, Tuple
 
+from repro.bigraph.csr import adjacency_arrays
 from repro.bigraph.graph import BipartiteGraph
 
 try:  # pragma: no cover - exercised implicitly by available()
@@ -47,6 +48,10 @@ class CsrCache:
 
     Entries are held in a ``WeakKeyDictionary`` keyed by the (immutable)
     graph itself, so they are dropped exactly when the graph is collected.
+
+    A CSR-backed graph already holds the flat buffers; those wrap into numpy
+    zero-copy via the buffer protocol (``indptr`` stays int64, ``indices``
+    int32).  Only list-backed graphs pay the row-by-row conversion.
     """
 
     @staticmethod
@@ -56,16 +61,25 @@ class CsrCache:
             return hit
         if _np is None:  # pragma: no cover - guarded by available()
             raise RuntimeError("numpy is not available")
-        degrees = [len(row) for row in graph.adjacency]
-        indptr = _np.zeros(graph.n_vertices + 1, dtype=_np.int64)
-        _np.cumsum(_np.asarray(degrees, dtype=_np.int64), out=indptr[1:])
-        indices = _np.empty(int(indptr[-1]), dtype=_np.int64)
-        position = 0
-        for row in graph.adjacency:
-            indices[position:position + len(row)] = row
-            position += len(row)
-        edge_src = _np.repeat(_np.arange(graph.n_vertices, dtype=_np.int64),
-                              degrees)
+        arrays = adjacency_arrays(graph)
+        if arrays is not None:
+            offsets, neighbor_buf, degree_buf = arrays
+            indptr = _np.asarray(offsets)
+            indices = _np.asarray(neighbor_buf)
+            edge_src = _np.repeat(
+                _np.arange(graph.n_vertices, dtype=_np.int64),
+                _np.asarray(degree_buf, dtype=_np.int64))
+        else:
+            degrees = [len(row) for row in graph.adjacency]
+            indptr = _np.zeros(graph.n_vertices + 1, dtype=_np.int64)
+            _np.cumsum(_np.asarray(degrees, dtype=_np.int64), out=indptr[1:])
+            indices = _np.empty(int(indptr[-1]), dtype=_np.int64)
+            position = 0
+            for row in graph.adjacency:
+                indices[position:position + len(row)] = row
+                position += len(row)
+            edge_src = _np.repeat(
+                _np.arange(graph.n_vertices, dtype=_np.int64), degrees)
         entry = (indptr, indices, edge_src)
         _csr_cache[graph] = entry
         return entry
@@ -97,10 +111,10 @@ def fast_anchored_abcore(
 
     # Each round removes all violating vertices, gathers exactly their
     # adjacency slices (the multi-slice arange trick), and decrements the
-    # touched neighbors with one bincount.  Every edge is processed at most
-    # twice over the whole peel, so total work is O(m) in C — unlike a naive
-    # per-round full-edge scan, whose O(rounds · m) loses to pure Python on
-    # long cascade tails.
+    # touched neighbors via unique-with-counts.  Every edge is processed at
+    # most twice over the whole peel and each round costs O(t log t) in the
+    # round's touched edges t — not O(n) (a per-round bincount over all
+    # vertices loses badly on long cascade tails of small waves).
     removing = _np.flatnonzero(~exempt & (deg < thresholds))
     while removing.size:
         alive[removing] = False
@@ -114,8 +128,8 @@ def fast_anchored_abcore(
             seq[0] = starts[0]
             seq[boundaries[:-1]] = starts[1:] - starts[:-1] - counts[:-1] + 1
             touched = indices[_np.cumsum(seq)]
-            deg -= _np.bincount(touched, minlength=n)
-            affected = _np.unique(touched)
+            affected, hits = _np.unique(touched, return_counts=True)
+            deg[affected] -= hits
             mask = (alive[affected] & ~exempt[affected]
                     & (deg[affected] < thresholds[affected]))
             removing = affected[mask]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Collection, Dict, Iterable, List, Optional
 
-from repro.abcore.decomposition import peel_with_order, validate_degree_constraints
+from repro.abcore.decomposition import anchored_abcore, validate_degree_constraints
 from repro.bigraph.graph import BipartiteGraph
 
 __all__ = ["upper_core_numbers", "lower_core_numbers", "core_number_of"]
@@ -41,15 +41,19 @@ def _capped_core_numbers(
     graphs of Algorithm 4, whose members all have core number ≥ the placed
     anchor's) — the sweep then skips the lower levels entirely.
     """
-    members = list(graph.vertices()) if subset is None else list(subset)
-    numbers: Dict[int, int] = {v: start_level for v in members}
+    members = None if subset is None else list(subset)
+    numbers: Dict[int, int] = {
+        v: start_level
+        for v in (graph.vertices() if members is None else members)}
+    # The first round runs on the full graph when no subset was given, which
+    # keeps it eligible for the CSR/numpy fast path in anchored_abcore.
     survivors: Optional[Iterable[int]] = members
     for k in range(start_level + 1, cap + 1):
         if vary_upper_side:
             alpha, beta = fixed, k
         else:
             alpha, beta = k, fixed
-        core, _ = peel_with_order(graph, alpha, beta, anchors, survivors)
+        core = anchored_abcore(graph, alpha, beta, anchors, survivors)
         for v in core:
             numbers[v] = k
         if not core:

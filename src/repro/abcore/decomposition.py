@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Collection, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.bigraph.csr import adjacency_arrays
 from repro.bigraph.graph import BipartiteGraph
 from repro.exceptions import InvalidParameterError
 
@@ -65,7 +66,12 @@ def _peel(
 
     if subset is None:
         alive = bytearray(b"\x01") * n
-        deg = list(map(len, adj))
+        arrays = adjacency_arrays(graph)
+        if arrays is not None:
+            # CSR backend: the cached degree buffer replaces a full row scan.
+            deg = arrays[2].tolist()
+        else:
+            deg = list(map(len, adj))
         # Seed the queue layer by layer (avoids a per-vertex layer branch).
         for v in range(n_upper):
             if deg[v] < alpha and v not in anchor_set:
@@ -120,6 +126,29 @@ def _peel(
     return survivors, order
 
 
+def _fast_full_core(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    anchors: Collection[int],
+) -> Optional[Set[int]]:
+    """Vectorized full-graph core for CSR-backed graphs, or ``None``.
+
+    The CSR buffers wrap zero-copy into numpy (when installed), so routing
+    full-graph core queries through :mod:`repro.abcore.accel` costs no
+    conversion — this is where the CSR backend's decomposition speedup
+    comes from.  Subset peels stay scalar: they run over small regions
+    where numpy's per-call overhead dominates.
+    """
+    if adjacency_arrays(graph) is None:
+        return None
+    from repro.abcore import accel
+
+    if not accel.available():
+        return None
+    return accel.fast_anchored_abcore(graph, alpha, beta, anchors)
+
+
 def abcore(
     graph: BipartiteGraph,
     alpha: int,
@@ -133,6 +162,10 @@ def abcore(
     with the subset.
     """
     validate_degree_constraints(alpha, beta)
+    if subset is None:
+        fast = _fast_full_core(graph, alpha, beta, ())
+        if fast is not None:
+            return fast
     survivors, _ = _peel(graph, alpha, beta, (), subset, record_order=False)
     return survivors
 
@@ -150,6 +183,10 @@ def anchored_abcore(
     "degree set to +∞" convention).
     """
     validate_degree_constraints(alpha, beta)
+    if subset is None:
+        fast = _fast_full_core(graph, alpha, beta, anchors)
+        if fast is not None:
+            return fast
     survivors, _ = _peel(graph, alpha, beta, anchors, subset, record_order=False)
     return survivors
 
@@ -201,7 +238,12 @@ def delta(graph: BipartiteGraph) -> int:
     survivors: Optional[Set[int]] = None
     while True:
         next_k = k + 1
-        nxt, _ = _peel(graph, next_k, next_k, (), survivors, record_order=False)
+        if survivors is None:
+            # Full-graph level: eligible for the CSR/numpy fast path.
+            nxt = abcore(graph, next_k, next_k)
+        else:
+            nxt, _ = _peel(graph, next_k, next_k, (), survivors,
+                           record_order=False)
         if not nxt:
             return k
         k = next_k

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.abcore.decomposition import peel_with_order
+from repro.abcore.decomposition import abcore, peel_with_order
 from repro.bigraph.graph import BipartiteGraph
 from repro.exceptions import InvalidParameterError
 
@@ -65,7 +65,11 @@ class CoreIndex:
                       within: Optional[Set[int]]) -> Dict[int, int]:
         """``{v: max beta}`` for one α, peeling β upward until empty."""
         profile: Dict[int, int] = {}
-        current, _ = peel_with_order(graph, alpha, 1, (), within)
+        if within is None:
+            # Full-graph level (α = 1): eligible for the CSR/numpy fast path.
+            current: Set[int] = abcore(graph, alpha, 1)
+        else:
+            current, _ = peel_with_order(graph, alpha, 1, (), within)
         beta = 1
         while current:
             for v in current:

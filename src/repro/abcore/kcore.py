@@ -83,8 +83,13 @@ def core_numbers(adjacency: Adjacency) -> Dict[Hashable, int]:
 
 
 def bipartite_as_unipartite(graph: BipartiteGraph) -> Adjacency:
-    """View a bipartite graph as a generic graph on its global vertex ids."""
-    return {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    """View a bipartite graph as a generic graph on its global vertex ids.
+
+    Works for both adjacency backends: CSR rows are ``memoryview`` slices,
+    which ``set()`` consumes directly.
+    """
+    neighbors = graph.neighbors
+    return {v: set(neighbors(v)) for v in graph.vertices()}
 
 
 def anchored_two_core_followers(

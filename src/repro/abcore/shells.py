@@ -86,18 +86,21 @@ def promising_anchors(
     s_up = upper_shell(graph, alpha, beta, anchors, core)
     s_low = lower_shell(graph, alpha, beta, anchors, core)
 
+    neighbors = graph.neighbors  # hoisted: one row fetch per shell vertex
+    is_upper = graph.is_upper
+    is_lower = graph.is_lower
     upper_candidates: Set[int] = set()
     for v in s_up:
-        if graph.is_upper(v):
+        if is_upper(v):
             upper_candidates.add(v)
-        for w in graph.neighbors(v):
-            if graph.is_upper(w) and w not in core:
+        for w in neighbors(v):
+            if is_upper(w) and w not in core:
                 upper_candidates.add(w)
     lower_candidates: Set[int] = set()
     for v in s_low:
-        if graph.is_lower(v):
+        if is_lower(v):
             lower_candidates.add(v)
-        for w in graph.neighbors(v):
-            if graph.is_lower(w) and w not in core:
+        for w in neighbors(v):
+            if is_lower(w) and w not in core:
                 lower_candidates.add(w)
     return upper_candidates - placed, lower_candidates - placed

@@ -13,7 +13,10 @@ the idioms the fast paths already use:
   per iteration;
 * **no repeated attribute lookups** — the same ``obj.attr`` read twice per
   iteration, or read at all inside a nested loop, must be hoisted to a
-  local before the marked loop (``push = queue.append``).
+  local before the marked loop (``push = queue.append``);
+* **no per-vertex ``.neighbors()`` calls** — the method dispatch costs a
+  dict lookup per vertex; hoist ``neighbors = graph.neighbors`` (or go
+  flat with ``repro.bigraph.adjacency_arrays`` on CSR-backed graphs).
 
 Loops without the pragma are untouched: this is an opt-in contract for the
 handful of loops that dominate the profile, not a style rule.
@@ -40,8 +43,9 @@ class HotPathRule(AnalysisRule):
     """Enforce allocation/lookup hygiene in ``# hot-loop`` marked loops."""
 
     name = "hot-path"
-    description = ("no comprehensions, closures, or repeated attribute "
-                   "lookups inside loops marked # hot-loop")
+    description = ("no comprehensions, closures, repeated attribute "
+                   "lookups, or per-vertex .neighbors() calls inside "
+                   "loops marked # hot-loop")
 
     def check(self, ctx: ModuleContext) -> Iterator[Violation]:
         pragmas = ctx.hot_loop_pragma_lines
@@ -112,6 +116,15 @@ class HotPathRule(AnalysisRule):
                 "closure defined inside a # hot-loop creates a function "
                 "object per iteration; define it outside"))
             return
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "neighbors"):
+            out.append(self.violation(
+                ctx, node.lineno, node.col_offset,
+                "per-vertex .neighbors() method call inside a # hot-loop; "
+                "hoist 'neighbors = graph.neighbors' before the loop, or "
+                "consume the flat CSR buffers via "
+                "repro.bigraph.adjacency_arrays"))
         if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
             path = dotted_name(node)
             if path:

@@ -1,6 +1,7 @@
 """Bipartite graph substrate: structure, construction, I/O, mutation, stats."""
 
 from repro.bigraph.builder import GraphBuilder, from_biadjacency, from_edge_list
+from repro.bigraph.csr import CSRAdjacency, adjacency_arrays
 from repro.bigraph.graph import BipartiteGraph
 from repro.bigraph.io import dumps, loads, read_edge_list, write_edge_list
 from repro.bigraph.mutation import (
@@ -12,13 +13,22 @@ from repro.bigraph.mutation import (
     swap_layers,
 )
 from repro.bigraph.projection import co_engagement, project, weighted_project
-from repro.bigraph.stats import GraphSummary, degree_histogram, summarize
-from repro.bigraph.validation import validate_problem
+from repro.bigraph.stats import (
+    GraphSummary,
+    degree_histogram,
+    memory_footprint,
+    summarize,
+)
+from repro.bigraph.validation import validate_graph, validate_problem
 
 __all__ = [
     "BipartiteGraph",
+    "CSRAdjacency",
     "GraphBuilder",
     "GraphSummary",
+    "adjacency_arrays",
+    "memory_footprint",
+    "validate_graph",
     "add_edges",
     "degree_histogram",
     "disjoint_union",

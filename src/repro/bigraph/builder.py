@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.bigraph.csr import csr_from_indexed_edges
 from repro.bigraph.graph import BipartiteGraph
 from repro.exceptions import GraphConstructionError
 
@@ -72,7 +73,7 @@ class GraphBuilder:
         """Number of edge records staged so far (duplicates included)."""
         return len(self._edges)
 
-    def build(self, dedupe: bool = True) -> BipartiteGraph:
+    def build(self, dedupe: bool = True, backend: str = "list") -> BipartiteGraph:
         """Materialize the graph.
 
         Parameters
@@ -82,6 +83,10 @@ class GraphBuilder:
             how multi-interaction datasets such as Taobao are usually
             collapsed to simple graphs).  When ``False`` a duplicate edge
             raises :class:`GraphConstructionError`.
+        backend:
+            Adjacency backend: ``"list"`` (default) or ``"csr"`` for the
+            flat-array layout, built directly from the staged edges without
+            intermediate per-vertex lists.
         """
         return from_edge_list(
             self._edges,
@@ -90,6 +95,7 @@ class GraphBuilder:
             upper_labels=self._upper_labels,
             lower_labels=self._lower_labels,
             dedupe=dedupe,
+            backend=backend,
         )
 
 
@@ -100,13 +106,19 @@ def from_edge_list(
     upper_labels: Optional[Sequence[object]] = None,
     lower_labels: Optional[Sequence[object]] = None,
     dedupe: bool = True,
+    backend: str = "list",
 ) -> BipartiteGraph:
     """Build a graph from ``(upper_index, lower_index)`` pairs.
 
     Indices are per-layer (both zero-based); layer sizes default to one plus
     the largest index seen.  Isolated vertices beyond the largest index can be
-    forced by passing explicit ``n_upper`` / ``n_lower``.
+    forced by passing explicit ``n_upper`` / ``n_lower``.  ``backend="csr"``
+    packs the adjacency into flat arrays instead of per-vertex lists.
     """
+    if backend not in ("list", "csr"):
+        raise GraphConstructionError(
+            "unknown adjacency backend %r (expected 'list' or 'csr')"
+            % (backend,))
     edge_list = list(edges)
     max_u = max((e[0] for e in edge_list), default=-1)
     max_v = max((e[1] for e in edge_list), default=-1)
@@ -121,6 +133,14 @@ def from_edge_list(
     for u, v in edge_list:
         if u < 0 or v < 0:
             raise GraphConstructionError("negative vertex index in edge (%d, %d)" % (u, v))
+
+    if backend == "csr":
+        csr = csr_from_indexed_edges(
+            lambda: iter(edge_list), n_upper, n_lower, dedupe=dedupe)
+        return BipartiteGraph(n_upper, n_lower, csr,
+                              upper_labels=upper_labels,
+                              lower_labels=lower_labels,
+                              _validate=False)
 
     adjacency: List[List[int]] = [[] for _ in range(n_upper + n_lower)]
     for u, v in edge_list:

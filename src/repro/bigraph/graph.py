@@ -10,6 +10,22 @@ lists by vertex id, which is the fastest option available to pure Python.
 User-facing labels (strings, original dataset ids, ...) are kept in optional
 label tables and never enter the hot paths.
 
+Two adjacency backends share the same API:
+
+* ``list`` — one sorted Python list per vertex (the default; cheapest for
+  small graphs and ad-hoc construction).
+* ``csr`` — :class:`repro.bigraph.csr.CSRAdjacency`: compressed sparse row.
+  ``offsets`` (``array('q')``, length ``n_vertices + 1``) and ``neighbors``
+  (``array('i')``, one 4-byte entry per edge endpoint) flat buffers plus a
+  cached ``degrees`` array; row ``v`` is the ``memoryview`` slice
+  ``neighbors[offsets[v]:offsets[v + 1]]``.  Select it with
+  :meth:`BipartiteGraph.to_csr`, ``GraphBuilder.build(backend="csr")`` or
+  ``read_edge_list(..., backend="csr")``.
+
+``neighbors(v)`` returns a list for the list backend and a ``memoryview``
+slice for CSR; both are sorted, supporting ``len``/indexing/iteration/``in``
+and ``bisect``, so algorithm code works unchanged against either.
+
 The graph is immutable after construction.  Algorithms that need to "delete"
 vertices do so with alive masks; algorithms that need a structurally modified
 graph (cascade simulation, hardness gadgets) build a new one via
@@ -18,11 +34,16 @@ graph (cascade simulation, hardness gadgets) build a new one via
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from bisect import bisect_left
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.bigraph.csr import CSRAdjacency
 from repro.exceptions import GraphConstructionError
 
-__all__ = ["BipartiteGraph"]
+__all__ = ["BipartiteGraph", "Adjacency"]
+
+#: Either adjacency backend: per-vertex lists or a CSR flat-array table.
+Adjacency = Union[List[List[int]], CSRAdjacency]
 
 
 class BipartiteGraph:
@@ -35,7 +56,8 @@ class BipartiteGraph:
     n_lower:
         Number of lower-layer vertices.
     adjacency:
-        One sorted neighbor list per vertex, indexed by global vertex id.
+        One sorted neighbor list per vertex, indexed by global vertex id —
+        either a ``List[List[int]]`` or a :class:`~repro.bigraph.csr.CSRAdjacency`.
         ``adjacency[u]`` for an upper vertex ``u`` must contain only lower
         vertex ids and vice versa.  Ownership passes to the graph.
     upper_labels / lower_labels:
@@ -54,7 +76,7 @@ class BipartiteGraph:
         self,
         n_upper: int,
         n_lower: int,
-        adjacency: List[List[int]],
+        adjacency: Adjacency,
         upper_labels: Optional[Sequence[object]] = None,
         lower_labels: Optional[Sequence[object]] = None,
         _validate: bool = True,
@@ -69,7 +91,11 @@ class BipartiteGraph:
         self.n_upper = n_upper
         self.n_lower = n_lower
         self._adj = adjacency
-        self.n_edges = sum(len(adjacency[u]) for u in range(n_upper))
+        if isinstance(adjacency, CSRAdjacency):
+            # All upper rows are contiguous at the front of the buffer.
+            self.n_edges = int(adjacency.offsets[n_upper])
+        else:
+            self.n_edges = sum(len(adjacency[u]) for u in range(n_upper))
         self._upper_labels = list(upper_labels) if upper_labels is not None else None
         self._lower_labels = list(lower_labels) if lower_labels is not None else None
         self._label_index: Optional[Dict[Tuple[str, object], int]] = None
@@ -111,14 +137,23 @@ class BipartiteGraph:
         """Degree of vertex ``v`` in the full graph."""
         return len(self._adj[v])
 
-    def neighbors(self, v: int) -> List[int]:
-        """Sorted neighbor list of ``v`` (do not mutate)."""
+    def neighbors(self, v: int) -> Sequence[int]:
+        """Sorted neighbors of ``v`` (do not mutate).
+
+        A ``list`` for the list backend, a ``memoryview`` slice for CSR;
+        both support ``len``/indexing/iteration/``in``/``bisect``.
+        """
         return self._adj[v]
 
     @property
-    def adjacency(self) -> List[List[int]]:
+    def adjacency(self) -> Adjacency:
         """The raw adjacency table (read-only by convention)."""
         return self._adj
+
+    @property
+    def backend(self) -> str:
+        """Adjacency backend name: ``"csr"`` or ``"list"``."""
+        return "csr" if isinstance(self._adj, CSRAdjacency) else "list"
 
     def upper_vertices(self) -> range:
         """Ids of all upper-layer vertices."""
@@ -143,17 +178,13 @@ class BipartiteGraph:
         if self.degree(u) > self.degree(v):
             u, v = v, u
         row = self._adj[u]
-        lo, hi = 0, len(row)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if row[mid] < v:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo < len(row) and row[lo] == v
+        i = bisect_left(row, v)
+        return i < len(row) and row[i] == v
 
     def max_degree(self) -> int:
         """Maximum degree over all vertices (0 on an empty graph)."""
+        if isinstance(self._adj, CSRAdjacency):
+            return max(self._adj.degrees) if self._adj.degrees else 0
         if not self._adj:
             return 0
         return max(len(row) for row in self._adj)
@@ -180,7 +211,9 @@ class BipartiteGraph:
         """Resolve a ``(layer, label)`` pair back to a vertex id.
 
         Raises ``KeyError`` when the label is unknown.  Builds a lookup index
-        lazily on first use.
+        lazily on first use.  A layer without a label table resolves integer
+        ids directly, so half-labeled graphs (only one layer labeled) keep
+        working for the unlabeled layer.
         """
         if layer not in ("upper", "lower"):
             raise KeyError("layer must be 'upper' or 'lower', got %r" % (layer,))
@@ -193,15 +226,21 @@ class BipartiteGraph:
                 for i, lbl in enumerate(self._lower_labels):
                     index[("lower", lbl)] = self.n_upper + i
             self._label_index = index
-        if not self._label_index and self._upper_labels is None:
-            # Unlabeled graph: labels *are* vertex ids.
-            v = int(label)  # type: ignore[arg-type]
+        hit = self._label_index.get((layer, label))
+        if hit is not None:
+            return hit
+        table = self._upper_labels if layer == "upper" else self._lower_labels
+        if table is None:
+            # Unlabeled layer: labels *are* vertex ids.
+            try:
+                v = int(label)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise KeyError((layer, label)) from None
             if layer == "upper" and 0 <= v < self.n_upper:
                 return v
             if layer == "lower" and self.n_upper <= v < self.n_vertices:
                 return v
-            raise KeyError((layer, label))
-        return self._label_index[(layer, label)]
+        raise KeyError((layer, label))
 
     # ------------------------------------------------------------------
     # Dunder / misc
@@ -222,8 +261,36 @@ class BipartiteGraph:
         return id(self)
 
     def copy_adjacency(self) -> List[List[int]]:
-        """Deep-copied adjacency table (for algorithms that peel edges)."""
+        """Deep-copied list-of-lists adjacency (for algorithms that peel
+        edges); works for both backends."""
         return [list(row) for row in self._adj]
+
+    # ------------------------------------------------------------------
+    # Backend conversion
+    # ------------------------------------------------------------------
+
+    def to_csr(self) -> "BipartiteGraph":
+        """This graph with a CSR flat-array adjacency (self when already CSR).
+
+        Labels are shared with the source graph; the adjacency is repacked
+        into ``offsets``/``neighbors``/``degrees`` buffers (see
+        :mod:`repro.bigraph.csr`).
+        """
+        if isinstance(self._adj, CSRAdjacency):
+            return self
+        return BipartiteGraph(
+            self.n_upper, self.n_lower, CSRAdjacency.from_rows(self._adj),
+            upper_labels=self._upper_labels, lower_labels=self._lower_labels,
+            _validate=False)
+
+    def to_list(self) -> "BipartiteGraph":
+        """This graph with a list-of-lists adjacency (self when already so)."""
+        if not isinstance(self._adj, CSRAdjacency):
+            return self
+        return BipartiteGraph(
+            self.n_upper, self.n_lower, self._adj.to_rows(),
+            upper_labels=self._upper_labels, lower_labels=self._lower_labels,
+            _validate=False)
 
     # ------------------------------------------------------------------
     # Internal validation

@@ -17,9 +17,11 @@ from __future__ import annotations
 import gzip
 import io
 import os
-from typing import Iterable, TextIO, Tuple, Union
+from array import array
+from typing import Dict, Iterable, List, TextIO, Tuple, Union
 
 from repro.bigraph.builder import GraphBuilder
+from repro.bigraph.csr import csr_from_indexed_edges
 from repro.bigraph.graph import BipartiteGraph
 from repro.exceptions import GraphConstructionError
 
@@ -56,13 +58,26 @@ def _open_text(path, mode: str):
     return open(path, mode, encoding="utf-8")
 
 
-def read_edge_list(source: PathOrFile, dedupe: bool = True) -> BipartiteGraph:
+def read_edge_list(source: PathOrFile, dedupe: bool = True,
+                   backend: str = "list") -> BipartiteGraph:
     """Read a bipartite graph from a path (optionally ``.gz``) or open file.
 
     Tokens in the first column become upper-layer labels and tokens in the
     second column lower-layer labels; duplicate edges are collapsed unless
     ``dedupe=False``.
+
+    ``backend="csr"`` streams the file once and builds the flat-array
+    adjacency directly (counts pass → fill pass) without materializing
+    per-vertex Python lists — the loader to use for large datasets.  Label
+    ids are assigned in first-seen order either way, so both backends
+    produce identical vertex numbering.
     """
+    if backend == "csr":
+        return _read_edge_list_csr(source, dedupe)
+    if backend != "list":
+        raise GraphConstructionError(
+            "unknown adjacency backend %r (expected 'list' or 'csr')"
+            % (backend,))
     builder = GraphBuilder()
     if isinstance(source, (str, os.PathLike)):
         with _open_text(source, "r") as handle:
@@ -70,6 +85,54 @@ def read_edge_list(source: PathOrFile, dedupe: bool = True) -> BipartiteGraph:
     else:
         builder.add_edges(parse_edge_lines(source))
     return builder.build(dedupe=dedupe)
+
+
+def _read_edge_list_csr(source: PathOrFile, dedupe: bool) -> BipartiteGraph:
+    """Streaming CSR loader: one parse of the input, two passes over flat
+    index buffers (degree counts, then neighbor fill).
+
+    The only per-edge state kept between the parse and the CSR build is a
+    pair of flat ``array('i')`` index buffers (8 bytes per edge) — never a
+    Python list per vertex.  Re-reading the source is deliberately avoided:
+    for ``.gz`` inputs a second pass would decompress the whole file again,
+    and arbitrary file objects may not be seekable.
+    """
+    upper_index: Dict[str, int] = {}
+    lower_index: Dict[str, int] = {}
+    upper_labels: List[str] = []
+    lower_labels: List[str] = []
+    us = array("i")
+    vs = array("i")
+
+    def _consume(lines: Iterable[str]) -> None:
+        for tok_u, tok_v in parse_edge_lines(lines):
+            ui = upper_index.get(tok_u)
+            if ui is None:
+                ui = len(upper_labels)
+                upper_index[tok_u] = ui
+                upper_labels.append(tok_u)
+            vi = lower_index.get(tok_v)
+            if vi is None:
+                vi = len(lower_labels)
+                lower_index[tok_v] = vi
+                lower_labels.append(tok_v)
+            us.append(ui)
+            vs.append(vi)
+
+    if isinstance(source, (str, os.PathLike)):
+        with _open_text(source, "r") as handle:
+            _consume(handle)
+    else:
+        _consume(source)
+
+    n_upper = len(upper_labels)
+    n_lower = len(lower_labels)
+    csr = csr_from_indexed_edges(
+        lambda: zip(us, vs), n_upper, n_lower, dedupe=dedupe)
+    return BipartiteGraph(n_upper, n_lower, csr,
+                          upper_labels=upper_labels,
+                          lower_labels=lower_labels,
+                          _validate=False)
 
 
 def write_edge_list(graph: BipartiteGraph, target: PathOrFile,
@@ -95,9 +158,10 @@ def write_edge_list(graph: BipartiteGraph, target: PathOrFile,
         _emit(target)
 
 
-def loads(text: str, dedupe: bool = True) -> BipartiteGraph:
+def loads(text: str, dedupe: bool = True,
+          backend: str = "list") -> BipartiteGraph:
     """Parse a graph from an in-memory edge-list string (tests, docs)."""
-    return read_edge_list(io.StringIO(text), dedupe=dedupe)
+    return read_edge_list(io.StringIO(text), dedupe=dedupe, backend=backend)
 
 
 def dumps(graph: BipartiteGraph, header: str = "") -> str:

@@ -4,6 +4,9 @@ The core algorithms never mutate a graph (they use alive masks); these
 helpers serve the cascade simulator, the hardness-reduction gadgets, and the
 "add more connections" interpretation of anchoring mentioned in the paper's
 Definition 2.
+
+Every helper preserves the source graph's adjacency backend (list or CSR);
+:func:`disjoint_union` yields CSR when any component is CSR-backed.
 """
 
 from __future__ import annotations
@@ -44,7 +47,8 @@ def remove_vertices(graph: BipartiteGraph, victims: Iterable[int]) -> BipartiteG
     upper_labels = [graph.label_of(u) for u in keep_upper]
     lower_labels = [graph.label_of(v) for v in keep_lower]
     return from_edge_list(edges, n_upper=len(keep_upper), n_lower=len(keep_lower),
-                          upper_labels=upper_labels, lower_labels=lower_labels)
+                          upper_labels=upper_labels, lower_labels=lower_labels,
+                          backend=graph.backend)
 
 
 def add_edges(graph: BipartiteGraph,
@@ -64,7 +68,8 @@ def add_edges(graph: BipartiteGraph,
     upper_labels = [graph.label_of(u) for u in graph.upper_vertices()]
     lower_labels = [graph.label_of(v) for v in graph.lower_vertices()]
     return from_edge_list(edges, n_upper=graph.n_upper, n_lower=graph.n_lower,
-                          upper_labels=upper_labels, lower_labels=lower_labels)
+                          upper_labels=upper_labels, lower_labels=lower_labels,
+                          backend=graph.backend)
 
 
 def induced_subgraph(graph: BipartiteGraph,
@@ -92,8 +97,10 @@ def disjoint_union(graphs: Sequence[BipartiteGraph]) -> BipartiteGraph:
         lower_labels.extend((idx, g.label_of(v)) for v in g.lower_vertices())
         upper_offset += g.n_upper
         lower_offset += g.n_lower
+    backend = "csr" if any(g.backend == "csr" for g in graphs) else "list"
     return from_edge_list(edges, n_upper=upper_offset, n_lower=lower_offset,
-                          upper_labels=upper_labels, lower_labels=lower_labels)
+                          upper_labels=upper_labels, lower_labels=lower_labels,
+                          backend=backend)
 
 
 def swap_layers(graph: BipartiteGraph) -> BipartiteGraph:
@@ -109,7 +116,8 @@ def swap_layers(graph: BipartiteGraph) -> BipartiteGraph:
     return from_edge_list(edges, n_upper=graph.n_lower,
                           n_lower=graph.n_upper,
                           upper_labels=upper_labels,
-                          lower_labels=lower_labels)
+                          lower_labels=lower_labels,
+                          backend=graph.backend)
 
 
 def relabel_compact(graph: BipartiteGraph) -> Tuple[BipartiteGraph, Dict[int, int]]:

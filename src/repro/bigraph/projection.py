@@ -28,9 +28,10 @@ def project(graph: BipartiteGraph, layer: str = "upper") -> Dict[int, Set[int]]:
     """
     vertices = _layer_vertices(graph, layer)
     adjacency: Dict[int, Set[int]] = {v: set() for v in vertices}
+    neighbors = graph.neighbors  # hoisted: one row lookup per visit, both backends
     for v in vertices:
-        for mid in graph.neighbors(v):
-            for w in graph.neighbors(mid):
+        for mid in neighbors(v):
+            for w in neighbors(mid):
                 if w != v:
                     adjacency[v].add(w)
     return adjacency
@@ -41,9 +42,10 @@ def weighted_project(graph: BipartiteGraph,
     """Weighted projection: ``{(v, w): #shared neighbors}`` with ``v < w``."""
     vertices = _layer_vertices(graph, layer)
     weights: Dict[Tuple[int, int], int] = {}
+    neighbors = graph.neighbors
     for v in vertices:
-        for mid in graph.neighbors(v):
-            for w in graph.neighbors(mid):
+        for mid in neighbors(v):
+            for w in neighbors(mid):
                 if w > v:
                     key = (v, w)
                     weights[key] = weights.get(key, 0) + 1

@@ -8,12 +8,15 @@ calibration in :mod:`repro.generators.datasets`.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.bigraph.csr import CSRAdjacency
 from repro.bigraph.graph import BipartiteGraph
 
-__all__ = ["GraphSummary", "summarize", "degree_histogram", "average_degrees"]
+__all__ = ["GraphSummary", "summarize", "degree_histogram", "average_degrees",
+           "memory_footprint"]
 
 
 @dataclass(frozen=True)
@@ -68,6 +71,31 @@ def degree_histogram(graph: BipartiteGraph, layer: str = "upper") -> Dict[int, i
         d = graph.degree(v)
         histogram[d] = histogram.get(d, 0) + 1
     return histogram
+
+
+def memory_footprint(graph: BipartiteGraph) -> Dict[str, object]:
+    """Bytes held by the adjacency representation, per backend.
+
+    Returns ``{"backend", "adjacency_bytes", "bytes_per_edge"}``.  For CSR
+    this is the exact size of the three flat buffers; for the list backend
+    it is ``sys.getsizeof`` over the outer list, every row, and one boxed
+    ``int`` per stored endpoint (small ints are interned by CPython, so the
+    list estimate is an upper bound for tiny graphs and accurate at scale).
+    """
+    adj = graph.adjacency
+    if isinstance(adj, CSRAdjacency):
+        total = adj.nbytes
+    else:
+        total = sys.getsizeof(adj)
+        int_size = sys.getsizeof(1 << 20)
+        for row in adj:
+            total += sys.getsizeof(row) + int_size * len(row)
+    m = graph.n_edges
+    return {
+        "backend": graph.backend,
+        "adjacency_bytes": total,
+        "bytes_per_edge": (total / m) if m else 0.0,
+    }
 
 
 def average_degrees(graph: BipartiteGraph) -> Dict[str, float]:

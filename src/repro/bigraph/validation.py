@@ -11,10 +11,12 @@ from __future__ import annotations
 
 from typing import Collection
 
+from repro.bigraph.csr import adjacency_arrays
 from repro.bigraph.graph import BipartiteGraph
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import GraphConstructionError, InvalidParameterError
 
-__all__ = ["validate_problem", "check_vertex", "check_anchor_layers"]
+__all__ = ["validate_problem", "check_vertex", "check_anchor_layers",
+           "validate_graph"]
 
 
 def validate_problem(graph: BipartiteGraph, alpha: int, beta: int,
@@ -36,6 +38,57 @@ def validate_problem(graph: BipartiteGraph, alpha: int, beta: int,
     if b2 > graph.n_lower:
         raise InvalidParameterError(
             "lower budget %d exceeds |L| = %d" % (b2, graph.n_lower))
+
+
+def validate_graph(graph: BipartiteGraph) -> None:
+    """Re-check the representation invariants of either adjacency backend.
+
+    The fast construction paths (``from_edge_list``, the streaming CSR
+    loader) skip the constructor's consistency pass because they produce
+    canonical rows by construction; this is the on-demand equivalent for
+    callers that want the guarantee anyway — every row sorted and unique,
+    edges strictly cross-layer, the two sides symmetric in size, and (for
+    CSR) offsets monotone with the cached degrees matching row widths.
+    """
+    n1, n = graph.n_upper, graph.n_vertices
+    arrays = adjacency_arrays(graph)
+    if arrays is not None:
+        offsets, neighbors, degrees = arrays
+        if len(offsets) != n + 1 or len(degrees) != n:
+            raise GraphConstructionError(
+                "CSR buffers sized for %d rows, graph has %d"
+                % (len(offsets) - 1, n))
+        for v in range(n):
+            width = offsets[v + 1] - offsets[v]
+            if width < 0:
+                raise GraphConstructionError(
+                    "CSR offsets decrease at row %d" % v)
+            if degrees[v] != width:
+                raise GraphConstructionError(
+                    "cached degree %d of vertex %d disagrees with row width %d"
+                    % (degrees[v], v, width))
+    neighbors_of = graph.neighbors
+    lower_entries = 0
+    for v in range(n):
+        row = neighbors_of(v)
+        prev = -1
+        for w in row:
+            if w <= prev:
+                raise GraphConstructionError(
+                    "adjacency of vertex %d is not sorted/unique" % v)
+            prev = w
+            if graph.is_upper(v) == graph.is_upper(w):
+                raise GraphConstructionError(
+                    "same-layer edge (%d, %d)" % (v, w))
+            if w < 0 or w >= n:
+                raise GraphConstructionError(
+                    "vertex %d adjacent to out-of-range id %d" % (v, w))
+        if not graph.is_upper(v):
+            lower_entries += len(row)
+    if lower_entries != graph.n_edges:
+        raise GraphConstructionError(
+            "asymmetric adjacency: %d upper-side vs %d lower-side entries"
+            % (graph.n_edges, lower_entries))
 
 
 def check_vertex(graph: BipartiteGraph, v: int) -> None:

@@ -99,9 +99,10 @@ def _zero_order_anchors(
     placed = set(placed_anchors)
     want_upper = side == "upper"
     is_upper = graph.is_upper
+    neighbors = graph.neighbors  # hoisted: one row fetch per shell vertex
     zeros: Set[int] = set()
     for v in shell_sequence:
-        for w in graph.neighbors(v):
+        for w in neighbors(v):
             if is_upper(w) != want_upper:
                 continue
             if w in relaxed_core or w in placed:

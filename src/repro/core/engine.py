@@ -83,13 +83,16 @@ def run_engine(
     state = OrderState(graph, alpha, beta, maintain=options.maintain_orders)
 
     anchors: List[int] = []
+    # Budget bookkeeping is incremental: placed upper anchors are counted as
+    # they are chosen, not re-derived by scanning the anchor list each round.
+    upper_used = 0
+    is_upper = graph.is_upper
     iterations: List[IterationRecord] = []
     timed_out = False
 
     while not timed_out:
-        upper_left = b1 - sum(1 for a in anchors if graph.is_upper(a))
-        lower_left = b2 - (len(anchors) - sum(1 for a in anchors
-                                              if graph.is_upper(a)))
+        upper_left = b1 - upper_used
+        lower_left = b2 - (len(anchors) - upper_used)
         if upper_left <= 0 and lower_left <= 0:
             break
         iter_start = time.perf_counter()
@@ -127,6 +130,7 @@ def run_engine(
         core_before = len(state.core)
         state.apply_anchors(chosen)
         anchors.extend(chosen)
+        upper_used += sum(1 for x in chosen if is_upper(x))
         record = IterationRecord(
             anchors=list(chosen),
             marginal_followers=len(state.core) - core_before - len(chosen),

@@ -72,9 +72,10 @@ def compute_followers(
     alpha, beta = order.alpha, order.beta
 
     support: Dict[int, int] = {}
+    row_of = adjacency.__getitem__  # hoisted: works for list and CSR rows
     for u in candidates:
         count = 0
-        for w in adjacency[u]:
+        for w in row_of(u):
             if w == x or w in core or w in candidates:
                 count += 1
         support[u] = count
@@ -92,7 +93,7 @@ def compute_followers(
     while head < len(dead):  # hot-loop
         u = dead[head]
         head += 1
-        for w in adjacency[u]:
+        for w in row_of(u):
             if w not in alive:
                 continue
             support[w] -= 1
@@ -126,9 +127,10 @@ def _collect_reachable(adjacency, position: Dict[int, int], x: int) -> Set[int]:
     push = stack.append
     get = position.get
     mark = reached.add
+    row_of = adjacency.__getitem__
     while stack:  # hot-loop
         v, pv = pop()
-        for w in adjacency[v]:
+        for w in row_of(v):
             pw = get(w)
             if pw is None or pw <= pv or w in reached:
                 continue

@@ -158,7 +158,7 @@ class OrderState:
         component" to a small neighborhood.
         """
         graph = self.graph
-        adjacency = graph.adjacency
+        row_of = graph.adjacency.__getitem__  # hoisted: list and CSR rows
 
         if level >= 1:
             numbers = self.core_u if side == "upper" else self.core_l
@@ -179,13 +179,16 @@ class OrderState:
 
         region = {x}
         stack = [x]
-        while stack:
-            v = stack.pop()
-            for w in adjacency[v]:
+        pop = stack.pop
+        push = stack.append
+        mark = region.add
+        while stack:  # hot-loop
+            v = pop()
+            for w in row_of(v):
                 if w in region or not member(w):
                     continue
-                region.add(w)
-                stack.append(w)
+                mark(w)
+                push(w)
         return region
 
     def _repair_region(self, side: str, region: Set[int],
@@ -260,9 +263,10 @@ class OrderState:
         relaxed = order.relaxed_core
         anchors = self.anchors
         is_upper = graph.is_upper
+        neighbors = graph.neighbors  # hoisted: one row fetch per shell vertex
         shell = [v for v, p in position.items() if p >= 1]
         for v in shell:
-            for w in graph.neighbors(v):
+            for w in neighbors(v):
                 if is_upper(w) != want_upper:
                     continue
                 if w in relaxed or w in anchors or w in position:

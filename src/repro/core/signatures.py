@@ -55,8 +55,6 @@ def two_hop_filter(
         may want it for diagnostics).  Candidates with empty signatures are
         unpromising and never survive.
     """
-    position = order.position
-    adjacency = graph.adjacency
     sigs = signatures_of(graph, order, candidates)
     candidate_set = set(sigs)
 
@@ -96,13 +94,17 @@ def _dominator_pool(
     paper; hash probing ``O(|D|)`` here) — whichever is estimated cheaper.
     """
     position = order.position
-    adjacency = graph.adjacency
+    # Hoisted accessors: row_of returns a list (list backend) or a memoryview
+    # slice (CSR backend); both support iteration and membership probes.
+    row_of = graph.adjacency.__getitem__
+    degree = graph.degree
+    has_edge = graph.has_edge
 
-    by_degree = sorted(sig_x, key=graph.degree)
+    by_degree = sorted(sig_x, key=degree)
     v1 = by_degree[0]
     p_v1 = position[v1]
     pool: Set[int] = set()
-    for w in adjacency[v1]:
+    for w in row_of(v1):
         if w == x or w in visited or w not in candidate_set:
             continue
         if position[w] < p_v1:
@@ -111,15 +113,15 @@ def _dominator_pool(
         if not pool:
             return pool
         p_v = position[v]
-        deg_v = graph.degree(v)
+        deg_v = degree(v)
         if len(pool) * max(1.0, log2(deg_v)) < deg_v:
             # Probe each pool member against N(v) (binary-search flavor; the
             # adjacency rows are sorted so has_edge() bisects).
             # Order-free: filters a set into a set, no tie-breaking involved.
             pool = {w for w in pool  # repro: ignore[determinism]
-                    if position[w] < p_v and graph.has_edge(w, v)}
+                    if position[w] < p_v and has_edge(w, v)}
         else:
-            neighbors_ok = {w for w in adjacency[v]
+            neighbors_ok = {w for w in row_of(v)
                             if w in pool and position[w] < p_v}
             pool = neighbors_ok
     return pool

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Collection, Dict, List, Sequence, Set
 
 from repro.abcore.decomposition import validate_degree_constraints
+from repro.bigraph.csr import adjacency_arrays
 from repro.bigraph.graph import BipartiteGraph
 
 __all__ = ["CascadeResult", "simulate_cascade", "resilience_gain"]
@@ -70,7 +71,11 @@ def simulate_cascade(
     anchor_set = set(anchors)
 
     alive = bytearray(b"\x01") * graph.n_vertices
-    deg = [len(row) for row in adjacency]
+    arrays = adjacency_arrays(graph)
+    if arrays is not None:
+        deg = arrays[2].tolist()  # CSR: cached degrees, no row scan
+    else:
+        deg = [len(row) for row in adjacency]
 
     shock = [v for v in set(initial_departures)
              if v not in anchor_set and alive[v]]

@@ -1,7 +1,7 @@
 """Fixture: hygiene violations inside a # hot-loop marked loop."""
 
 __all__ = ["comprehension_in_loop", "closure_in_loop", "repeated_lookup",
-           "nested_lookup"]
+           "nested_lookup", "neighbors_call"]
 
 
 def comprehension_in_loop(rows):
@@ -33,3 +33,12 @@ def nested_lookup(queue, adjacency, items):
     for v in items:  # hot-loop
         for w in adjacency[v]:
             queue.append(w)  # violation: lookup in nested loop
+
+
+def neighbors_call(graph, items):
+    """Per-vertex .neighbors() dispatch the fast paths hoist."""
+    out = []
+    push = out.append
+    for v in items:  # hot-loop
+        push(graph.neighbors(v))  # violation: neighbors() call
+    return out

@@ -1,6 +1,6 @@
 """Fixture: hoisted-and-clean hot loops, and unmarked loops left alone."""
 
-__all__ = ["hoisted", "unmarked"]
+__all__ = ["hoisted", "hoisted_neighbors", "unmarked"]
 
 
 def hoisted(queue, adjacency, items):
@@ -8,6 +8,15 @@ def hoisted(queue, adjacency, items):
     push = queue.append
     for v in items:  # hot-loop
         for w in adjacency[v]:
+            push(w)
+
+
+def hoisted_neighbors(graph, out, items):
+    """Row accessor bound once; the loop calls the local name."""
+    neighbors = graph.neighbors
+    push = out.append
+    for v in items:  # hot-loop
+        for w in neighbors(v):
             push(w)
 
 

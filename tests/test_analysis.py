@@ -124,6 +124,12 @@ class TestHotPath:
     def test_ok_fixture_is_clean(self):
         assert violations("hot_path_ok.py", "hot-path") == []
 
+    def test_neighbors_call_message_suggests_the_csr_accessor(self):
+        found = violations("hot_path_bad.py", "hot-path")
+        messages = [v.message for v in found if ".neighbors()" in v.message]
+        assert len(messages) == 1
+        assert "adjacency_arrays" in messages[0]
+
     def test_pragma_on_line_above_also_marks_the_loop(self):
         src = (
             "def f(queue, adjacency, items):\n"

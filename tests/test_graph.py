@@ -88,6 +88,20 @@ class TestLabels:
         with pytest.raises(KeyError):
             g.vertex_of("lower", 0)
 
+    def test_half_labeled_graph_resolves_both_layers(self):
+        # Labels on one layer only: the labeled side resolves through the
+        # index, the unlabeled side falls back to global integer ids (the
+        # same convention label_of uses for unlabeled layers).
+        g = from_edge_list([(0, 0), (1, 0)], upper_labels=["a", "b"])
+        assert g.vertex_of("upper", "b") == 1
+        assert g.vertex_of("lower", 2) == 2
+        with pytest.raises(KeyError):
+            g.vertex_of("lower", "a")  # a label on the unlabeled layer
+        with pytest.raises(KeyError):
+            g.vertex_of("lower", 0)  # 0 is an upper id
+        with pytest.raises(KeyError):
+            g.vertex_of("upper", 0)  # bare id on the labeled layer
+
 
 class TestValidation:
     def test_negative_layer_sizes_rejected(self):
