@@ -2,13 +2,20 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck bench bench-smoke report examples clean
+.PHONY: install test test-faults lint typecheck bench bench-smoke report \
+	examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Deterministic resilience gate: fault injection, checkpoint/resume
+# replay-equivalence, crash isolation.  No sleeps, no randomness.
+test-faults:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults.py \
+		tests/test_resilience.py -q
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/

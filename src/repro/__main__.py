@@ -75,6 +75,13 @@ def _parser() -> argparse.ArgumentParser:
     r.add_argument("--time-limit", type=float, default=None)
     r.add_argument("--json", metavar="PATH", default=None,
                    help="write the full result as JSON")
+    r.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="write a campaign checkpoint after every iteration "
+                        "(filver/filver+/filver++ only)")
+    r.add_argument("--resume", metavar="PATH", default=None,
+                   help="resume a campaign from a checkpoint file; the "
+                        "checkpoint must match the graph, constraints and "
+                        "budgets")
 
     s = sub.add_parser("stats", help="print Table-II style statistics")
     _add_graph_source(s)
@@ -103,9 +110,14 @@ def _cmd_reinforce(args: argparse.Namespace) -> int:
         beta = beta if beta is not None else auto_beta
         print("constraints: alpha=%d beta=%d (derived from delta)"
               % (alpha, beta))
+    if args.resume:
+        print("resuming campaign from", args.resume)
+    if args.checkpoint:
+        print("checkpointing each iteration to", args.checkpoint)
     result = reinforce(graph, alpha, beta, args.b1, args.b2,
                        method=args.method, t=args.t,
-                       time_limit=args.time_limit)
+                       time_limit=args.time_limit,
+                       checkpoint=args.checkpoint, resume_from=args.resume)
     print(result.summary())
     print("upper anchors:",
           [graph.label_of(a) for a in result.upper_anchors(graph.n_upper)])

@@ -8,7 +8,11 @@ with the comment-level metadata rules care about:
 * ``# hot-loop`` on a ``for``/``while`` header line (or the line directly
   above it) marks the loop as performance-critical, activating the
   hot-path hygiene rule and relaxing the layer-safety rule for hoisted
-  boundary locals inside it.
+  boundary locals inside it;
+* ``# repro: boundary`` on an ``except`` header line (or the line directly
+  above it) marks a sanctioned exception boundary — a deliberate
+  catch-everything isolation point (experiment-suite section guards,
+  crash-safe writers) that the exception-boundaries rule must not flag.
 
 Comments are recovered with :mod:`tokenize`, so pragma-looking text inside
 string literals is never misread as a pragma.
@@ -28,6 +32,7 @@ __all__ = ["ModuleContext", "module_name_for_path"]
 
 _IGNORE_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([^\]]*)\])?")
 _HOT_LOOP_RE = re.compile(r"#\s*hot-loop\b")
+_BOUNDARY_RE = re.compile(r"#\s*repro:\s*boundary\b")
 
 #: Sentinel stored in the suppression map when every rule is ignored.
 _ALL_RULES: FrozenSet[str] = frozenset({"*"})
@@ -64,6 +69,8 @@ class ModuleContext:
     suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
     #: line numbers carrying a ``# hot-loop`` pragma.
     hot_loop_pragma_lines: Set[int] = field(default_factory=set)
+    #: line numbers carrying a ``# repro: boundary`` pragma.
+    boundary_pragma_lines: Set[int] = field(default_factory=set)
     #: (first_body_line, end_line) spans of loops marked ``# hot-loop``.
     hot_loop_spans: List[Tuple[int, int]] = field(default_factory=list)
 
@@ -121,6 +128,8 @@ class ModuleContext:
                     self.suppressions[line] = prior | rules
             if _HOT_LOOP_RE.search(tok.string):
                 self.hot_loop_pragma_lines.add(line)
+            if _BOUNDARY_RE.search(tok.string):
+                self.boundary_pragma_lines.add(line)
 
     def _collect_hot_loops(self) -> None:
         pragmas = self.hot_loop_pragma_lines
@@ -147,6 +156,11 @@ class ModuleContext:
     def in_hot_loop(self, line: int) -> bool:
         """Does ``line`` fall inside a loop marked ``# hot-loop``?"""
         return any(start <= line <= end for start, end in self.hot_loop_spans)
+
+    def has_boundary_pragma(self, line: int) -> bool:
+        """Does ``line`` (or the line above) carry ``# repro: boundary``?"""
+        return (line in self.boundary_pragma_lines
+                or line - 1 in self.boundary_pragma_lines)
 
     def in_package(self, *packages: str) -> bool:
         """Is this module inside any of the given dotted packages?"""

@@ -7,6 +7,7 @@ the import list below (and decorated with ``@register``) to ship.
 
 from __future__ import annotations
 
+from repro.analysis.rules.boundaries import BoundariesRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.encapsulation import EncapsulationRule
 from repro.analysis.rules.exports import ExportsRule
@@ -14,6 +15,7 @@ from repro.analysis.rules.hot_path import HotPathRule
 from repro.analysis.rules.layer_safety import LayerSafetyRule
 
 __all__ = [
+    "BoundariesRule",
     "DeterminismRule",
     "EncapsulationRule",
     "ExportsRule",

@@ -1,0 +1,74 @@
+"""Exception boundaries: no silent catch-everything outside sanctioned sites.
+
+A ``try``/``except Exception`` (or worse, a bare ``except:`` /
+``except BaseException``) swallows programming errors — ``KeyError`` from a
+typo, ``AttributeError`` from a refactor — and turns them into silently
+wrong results.  In a reproduction pipeline that is the most dangerous
+failure mode there is: the run *completes* and the numbers are garbage.
+
+Catch-everything handlers are legitimate in exactly two places:
+
+* the :mod:`repro.resilience` package, whose whole job is isolating and
+  reporting failures (fault injection, crash-safe writers, checkpointing);
+* explicitly sanctioned *boundary sites* — the experiment-suite section
+  guards and per-method crash isolation — marked with a
+  ``# repro: boundary`` pragma on the ``except`` header line (or the line
+  directly above it).  The pragma is an audited opt-in: every such handler
+  must re-raise, record the traceback, or otherwise surface the failure.
+
+Everything else must catch specific exception types.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.registry import AnalysisRule, register
+from repro.analysis.violations import Violation
+
+__all__ = ["BoundariesRule"]
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _broad_names(handler: ast.ExceptHandler) -> List[str]:
+    """The over-broad classes this handler catches (empty = handler is ok)."""
+    node = handler.type
+    if node is None:
+        return ["<bare except>"]
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for expr in exprs:
+        if isinstance(expr, ast.Name) and expr.id in _BROAD:
+            names.append(expr.id)
+    return names
+
+
+@register
+class BoundariesRule(AnalysisRule):
+    """Flag bare/over-broad except handlers outside sanctioned boundaries."""
+
+    name = "exception-boundaries"
+    description = ("no bare except / except Exception outside "
+                   "repro.resilience or '# repro: boundary' sites")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.in_package("repro.resilience"):
+            return
+        out: List[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _broad_names(node)
+            if not names or ctx.has_boundary_pragma(node.lineno):
+                continue
+            out.append(self.violation(
+                ctx, node.lineno, node.col_offset,
+                "%s swallows programming errors; catch specific types, or "
+                "mark a deliberate isolation point with '# repro: boundary'"
+                % " / ".join("except %s" % n if n != "<bare except>" else n
+                             for n in names)))
+        for v in sorted(out):
+            yield v

@@ -18,32 +18,61 @@ import gzip
 import io
 import os
 from array import array
-from typing import Dict, Iterable, List, TextIO, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
 
 from repro.bigraph.builder import GraphBuilder
 from repro.bigraph.csr import csr_from_indexed_edges
 from repro.bigraph.graph import BipartiteGraph
-from repro.exceptions import GraphConstructionError
+from repro.exceptions import GraphConstructionError, InvalidParameterError
+from repro.resilience.atomic import atomic_writer
+from repro.resilience.faults import fault_site
 
 __all__ = ["read_edge_list", "write_edge_list", "parse_edge_lines",
-           "loads", "dumps"]
+           "loads", "dumps", "LoadStats"]
 
 PathOrFile = Union[str, os.PathLike, TextIO]
 
 
-def parse_edge_lines(lines: Iterable[str]) -> Iterable[Tuple[str, str]]:
+@dataclass
+class LoadStats:
+    """Counters filled in by the loaders when an instance is passed in.
+
+    ``edges`` counts well-formed data lines (before dedup); ``skipped``
+    counts malformed lines dropped under ``on_error="skip"``.
+    """
+
+    edges: int = 0
+    skipped: int = 0
+
+
+def parse_edge_lines(lines: Iterable[str], on_error: str = "raise",
+                     stats: Optional[LoadStats] = None,
+                     ) -> Iterable[Tuple[str, str]]:
     """Yield ``(upper_token, lower_token)`` pairs from edge-list lines.
 
-    Raises :class:`GraphConstructionError` on malformed data lines.
+    ``on_error="raise"`` (the default) raises
+    :class:`GraphConstructionError` on malformed data lines;
+    ``on_error="skip"`` drops them, counting each drop in
+    ``stats.skipped`` when a :class:`LoadStats` is supplied.
     """
+    if on_error not in ("raise", "skip"):
+        raise InvalidParameterError(
+            "on_error must be 'raise' or 'skip', got %r" % (on_error,))
     for lineno, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith("%") or line.startswith("#"):
             continue
         parts = line.replace(",", " ").split()
         if len(parts) < 2:
+            if on_error == "skip":
+                if stats is not None:
+                    stats.skipped += 1
+                continue
             raise GraphConstructionError(
                 "line %d: expected at least two columns, got %r" % (lineno, raw))
+        if stats is not None:
+            stats.edges += 1
         yield parts[0], parts[1]
 
 
@@ -59,7 +88,8 @@ def _open_text(path, mode: str):
 
 
 def read_edge_list(source: PathOrFile, dedupe: bool = True,
-                   backend: str = "list") -> BipartiteGraph:
+                   backend: str = "list", on_error: str = "raise",
+                   stats: Optional[LoadStats] = None) -> BipartiteGraph:
     """Read a bipartite graph from a path (optionally ``.gz``) or open file.
 
     Tokens in the first column become upper-layer labels and tokens in the
@@ -71,9 +101,14 @@ def read_edge_list(source: PathOrFile, dedupe: bool = True,
     per-vertex Python lists — the loader to use for large datasets.  Label
     ids are assigned in first-seen order either way, so both backends
     produce identical vertex numbering.
+
+    ``on_error="skip"`` tolerates malformed data lines instead of raising,
+    recording how many were dropped in ``stats`` (see
+    :func:`parse_edge_lines`); both backends honour it identically.
     """
+    fault_site("io.read_edge_list")
     if backend == "csr":
-        return _read_edge_list_csr(source, dedupe)
+        return _read_edge_list_csr(source, dedupe, on_error, stats)
     if backend != "list":
         raise GraphConstructionError(
             "unknown adjacency backend %r (expected 'list' or 'csr')"
@@ -81,13 +116,15 @@ def read_edge_list(source: PathOrFile, dedupe: bool = True,
     builder = GraphBuilder()
     if isinstance(source, (str, os.PathLike)):
         with _open_text(source, "r") as handle:
-            builder.add_edges(parse_edge_lines(handle))
+            builder.add_edges(parse_edge_lines(handle, on_error, stats))
     else:
-        builder.add_edges(parse_edge_lines(source))
+        builder.add_edges(parse_edge_lines(source, on_error, stats))
     return builder.build(dedupe=dedupe)
 
 
-def _read_edge_list_csr(source: PathOrFile, dedupe: bool) -> BipartiteGraph:
+def _read_edge_list_csr(source: PathOrFile, dedupe: bool,
+                        on_error: str = "raise",
+                        stats: Optional[LoadStats] = None) -> BipartiteGraph:
     """Streaming CSR loader: one parse of the input, two passes over flat
     index buffers (degree counts, then neighbor fill).
 
@@ -105,7 +142,7 @@ def _read_edge_list_csr(source: PathOrFile, dedupe: bool) -> BipartiteGraph:
     vs = array("i")
 
     def _consume(lines: Iterable[str]) -> None:
-        for tok_u, tok_v in parse_edge_lines(lines):
+        for tok_u, tok_v in parse_edge_lines(lines, on_error, stats):
             ui = upper_index.get(tok_u)
             if ui is None:
                 ui = len(upper_labels)
@@ -141,6 +178,9 @@ def write_edge_list(graph: BipartiteGraph, target: PathOrFile,
 
     Labels are emitted when present; otherwise per-layer integer indices are
     used (so round-tripping an unlabeled graph preserves structure).
+
+    Path targets (including ``.gz``) are written crash-safely: the edge list
+    appears atomically or not at all, never truncated mid-stream.
     """
     def _emit(handle: TextIO) -> None:
         if header:
@@ -152,16 +192,22 @@ def write_edge_list(graph: BipartiteGraph, target: PathOrFile,
             handle.write("%s %s\n" % (graph.label_of(u), graph.label_of(v)))
 
     if isinstance(target, (str, os.PathLike)):
-        with _open_text(target, "w") as handle:
+        # The temp file has a ``.tmp`` suffix, so compression must key off
+        # the *target* name, not the temp path.
+        opener = ((lambda tmp: gzip.open(tmp, "wt", encoding="utf-8"))
+                  if str(target).endswith(".gz") else None)
+        with atomic_writer(target, opener=opener) as handle:
             _emit(handle)
     else:
         _emit(target)
 
 
-def loads(text: str, dedupe: bool = True,
-          backend: str = "list") -> BipartiteGraph:
+def loads(text: str, dedupe: bool = True, backend: str = "list",
+          on_error: str = "raise",
+          stats: Optional[LoadStats] = None) -> BipartiteGraph:
     """Parse a graph from an in-memory edge-list string (tests, docs)."""
-    return read_edge_list(io.StringIO(text), dedupe=dedupe, backend=backend)
+    return read_edge_list(io.StringIO(text), dedupe=dedupe, backend=backend,
+                          on_error=on_error, stats=stats)
 
 
 def dumps(graph: BipartiteGraph, header: str = "") -> str:

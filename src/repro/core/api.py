@@ -20,7 +20,7 @@ from repro.core.naive import run_naive
 from repro.core.result import AnchoredCoreResult
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["reinforce", "METHODS"]
+__all__ = ["reinforce", "METHODS", "CHECKPOINTABLE_METHODS"]
 
 #: Methods accepted by :func:`reinforce`, in rough cost order.
 METHODS = (
@@ -35,6 +35,10 @@ METHODS = (
 )
 
 
+#: Methods that support campaign checkpointing (the shared-engine family).
+CHECKPOINTABLE_METHODS = ("filver", "filver+", "filver++")
+
+
 def reinforce(
     graph: BipartiteGraph,
     alpha: int,
@@ -45,6 +49,8 @@ def reinforce(
     t: int = 5,
     seed: Optional[int] = None,
     time_limit: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> AnchoredCoreResult:
     """Reinforce ``graph`` by anchoring ``b1 + b2`` vertices.
 
@@ -66,6 +72,10 @@ def reinforce(
     time_limit:
         Optional wall-clock budget in seconds; greedy algorithms return a
         partial result flagged ``timed_out`` when it elapses.
+    checkpoint / resume_from:
+        Campaign checkpoint file to write after every iteration / to resume
+        from (:data:`CHECKPOINTABLE_METHODS` only — see
+        ``docs/RESILIENCE.md``).
 
     Returns
     -------
@@ -73,6 +83,11 @@ def reinforce(
         Anchors, followers (w.r.t. the original core), and per-iteration
         diagnostics.
     """
+    if ((checkpoint is not None or resume_from is not None)
+            and method not in CHECKPOINTABLE_METHODS):
+        raise InvalidParameterError(
+            "checkpoint/resume is only supported by %s, not %r"
+            % (", ".join(CHECKPOINTABLE_METHODS), method))
     deadline = (time.perf_counter() + time_limit) if time_limit else None
     if method == "random":
         return run_random(graph, alpha, beta, b1, b2, seed=seed)
@@ -85,11 +100,14 @@ def reinforce(
     if method == "naive":
         return run_naive(graph, alpha, beta, b1, b2, deadline=deadline)
     if method == "filver":
-        return run_filver(graph, alpha, beta, b1, b2, deadline=deadline)
+        return run_filver(graph, alpha, beta, b1, b2, deadline=deadline,
+                          checkpoint=checkpoint, resume_from=resume_from)
     if method == "filver+":
-        return run_filver_plus(graph, alpha, beta, b1, b2, deadline=deadline)
+        return run_filver_plus(graph, alpha, beta, b1, b2, deadline=deadline,
+                               checkpoint=checkpoint, resume_from=resume_from)
     if method == "filver++":
         return run_filver_plus_plus(graph, alpha, beta, b1, b2, t=t,
-                                    deadline=deadline)
+                                    deadline=deadline, checkpoint=checkpoint,
+                                    resume_from=resume_from)
     raise InvalidParameterError(
         "unknown method %r; expected one of %s" % (method, ", ".join(METHODS)))

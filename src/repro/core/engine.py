@@ -20,9 +20,10 @@ configurations (e.g. the two-hop filter without order maintenance) for free.
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.abcore.decomposition import abcore, anchored_abcore
 from repro.bigraph.graph import BipartiteGraph
@@ -33,6 +34,13 @@ from repro.core.followers import compute_followers
 from repro.core.order_maintenance import OrderState
 from repro.core.result import AnchoredCoreResult, IterationRecord
 from repro.core.signatures import two_hop_filter
+from repro.exceptions import AbortCampaign
+from repro.resilience.checkpoint import (
+    CampaignCheckpoint,
+    graph_fingerprint,
+    load_checkpoint,
+)
+from repro.resilience.faults import fault_site
 
 __all__ = ["EngineOptions", "run_engine"]
 
@@ -48,9 +56,16 @@ class EngineOptions:
 
 
 #: Signature of the optional per-iteration observer: it receives the
-#: iteration's record right after the anchors are placed.  Exceptions from
-#: the callback propagate (an observer that wants to abort may raise).
+#: iteration's record right after the anchors are placed.  An observer that
+#: wants to abort raises :class:`repro.exceptions.AbortCampaign`, which
+#: triggers the graceful best-so-far path (``interrupted=True``).  Any other
+#: observer exception propagates — but only after the iteration's checkpoint
+#: (when one is configured) has been written, so no progress is lost.
 ProgressCallback = Callable[[IterationRecord], None]
+
+#: A checkpoint source: a path to a checkpoint file, or an already-loaded
+#: :class:`CampaignCheckpoint`.
+CheckpointSource = Union[str, "os.PathLike[str]", CampaignCheckpoint]
 
 
 def run_engine(
@@ -63,15 +78,31 @@ def run_engine(
     algorithm: str,
     deadline: Optional[float] = None,
     on_iteration: Optional[ProgressCallback] = None,
+    checkpoint: Optional[Union[str, "os.PathLike[str]"]] = None,
+    resume_from: Optional[CheckpointSource] = None,
 ) -> AnchoredCoreResult:
     """Run the greedy filter–verification loop to completion.
 
     The loop ends when both budgets are exhausted or no remaining candidate
     can produce a follower (placing further anchors would not change the
     objective).  ``deadline`` is an absolute ``time.perf_counter()`` value;
-    when exceeded the partial result is returned with ``timed_out=True``.
-    ``on_iteration`` is invoked with each finished :class:`IterationRecord`
-    — long runs can stream progress to a UI or log.
+    when exceeded (even before the first iteration) the partial result is
+    returned with ``timed_out=True``.  ``on_iteration`` is invoked with each
+    finished :class:`IterationRecord` — long runs can stream progress to a
+    UI or log.
+
+    Resilience hooks (see ``docs/RESILIENCE.md``):
+
+    * ``checkpoint`` — path to which a :class:`CampaignCheckpoint` is
+      atomically written after every iteration;
+    * ``resume_from`` — checkpoint path (or loaded checkpoint) whose
+      progress is replayed before the loop continues; the checkpoint must
+      match this graph, (α, β), budgets, and engine options, and the
+      resumed campaign produces the same anchors/followers/iteration
+      records as an uninterrupted run;
+    * ``KeyboardInterrupt`` / ``MemoryError`` at an iteration boundary
+      degrade gracefully into a verified best-so-far result flagged
+      ``interrupted=True`` instead of losing the campaign.
     """
     validate_problem(graph, alpha, beta, b1, b2)
     t = options.anchors_per_iteration
@@ -89,58 +120,112 @@ def run_engine(
     is_upper = graph.is_upper
     iterations: List[IterationRecord] = []
     timed_out = False
+    interrupted = False
+    exhausted = False
+    elapsed_prior = 0.0
+    options_dict = asdict(options)
+    fingerprint = graph_fingerprint(graph) if checkpoint is not None else None
 
-    while not timed_out:
-        upper_left = b1 - upper_used
-        lower_left = b2 - (len(anchors) - upper_used)
-        if upper_left <= 0 and lower_left <= 0:
-            break
-        iter_start = time.perf_counter()
+    if resume_from is not None:
+        restored = (resume_from if isinstance(resume_from, CampaignCheckpoint)
+                    else load_checkpoint(resume_from))
+        restored.validate_for(graph, alpha, beta, b1, b2, options_dict)
+        # Replay apply_anchors with the recorded per-iteration batches — the
+        # exact call sequence the original run made — so the incremental
+        # order-maintenance state (and every later candidate ranking) is
+        # identical to the uninterrupted run's.
+        for record in restored.iterations:
+            if record.anchors:
+                state.apply_anchors(record.anchors)
+        anchors = list(restored.anchors)
+        upper_used = restored.upper_used
+        iterations = list(restored.iterations)
+        exhausted = restored.exhausted
+        elapsed_prior = restored.elapsed
 
-        scored, candidates_total = _filter_stage(
-            graph, state, upper_left, lower_left, options)
-        maintainer = AnchorSetMaintainer(graph, min(t, upper_left + lower_left),
-                                         upper_left, lower_left)
-        verifications, timed_out = _verification_stage(
-            graph, state, scored, maintainer, t, deadline)
+    def save_checkpoint() -> None:
+        if checkpoint is None:
+            return
+        CampaignCheckpoint(
+            algorithm=algorithm, alpha=alpha, beta=beta, b1=b1, b2=b2,
+            options=options_dict, graph_fingerprint=fingerprint or "",
+            anchors=list(anchors), upper_used=upper_used,
+            iterations=list(iterations), exhausted=exhausted,
+            elapsed=elapsed_prior + time.perf_counter() - start,
+        ).save(checkpoint)
 
-        chosen = [x for x in maintainer.anchors
-                  if maintainer.followers_of(x)]
-        if not chosen:
-            # Algorithm 2 initializes x* to the highest-bound candidate, so
-            # the paper's greedy spends budget even when no candidate yields
-            # followers this round — and doing so matters: anchors placed
-            # "for free" can combine with later ones (the cumulative effect
-            # of Section V).  Mirror that by falling back to the top-ranked
-            # candidates within the remaining budgets.
-            chosen = _fallback_anchors(graph, scored, maintainer.t,
-                                       upper_left, lower_left)
-        if not chosen:
+    try:
+        while not (timed_out or exhausted):
+            if deadline is not None and time.perf_counter() > deadline:
+                # Deadline already spent (possibly before iteration one):
+                # return the valid partial result instead of burning a
+                # filter pass we cannot afford.
+                timed_out = True
+                break
+            upper_left = b1 - upper_used
+            lower_left = b2 - (len(anchors) - upper_used)
+            if upper_left <= 0 and lower_left <= 0:
+                break
+            iter_start = time.perf_counter()
+
+            scored, candidates_total = _filter_stage(
+                graph, state, upper_left, lower_left, options)
+            maintainer = AnchorSetMaintainer(graph,
+                                             min(t, upper_left + lower_left),
+                                             upper_left, lower_left)
+            verifications, timed_out = _verification_stage(
+                graph, state, scored, maintainer, t, deadline)
+
+            chosen = [x for x in maintainer.anchors
+                      if maintainer.followers_of(x)]
+            if not chosen:
+                # Algorithm 2 initializes x* to the highest-bound candidate,
+                # so the paper's greedy spends budget even when no candidate
+                # yields followers this round — and doing so matters:
+                # anchors placed "for free" can combine with later ones (the
+                # cumulative effect of Section V).  Mirror that by falling
+                # back to the top-ranked candidates within the remaining
+                # budgets.
+                chosen = _fallback_anchors(graph, scored, maintainer.t,
+                                           upper_left, lower_left)
+            if not chosen:
+                record = IterationRecord(
+                    anchors=[], marginal_followers=0,
+                    candidates_total=candidates_total,
+                    candidates_after_filter=len(scored),
+                    verifications=verifications,
+                    elapsed=time.perf_counter() - iter_start)
+                iterations.append(record)
+                exhausted = True
+                save_checkpoint()
+                if on_iteration is not None:
+                    on_iteration(record)
+                break
+
+            core_before = len(state.core)
+            state.apply_anchors(chosen)
+            anchors.extend(chosen)
+            upper_used += sum(1 for x in chosen if is_upper(x))
             record = IterationRecord(
-                anchors=[], marginal_followers=0,
+                anchors=list(chosen),
+                marginal_followers=len(state.core) - core_before - len(chosen),
                 candidates_total=candidates_total,
                 candidates_after_filter=len(scored),
                 verifications=verifications,
                 elapsed=time.perf_counter() - iter_start)
             iterations.append(record)
+            # Persist before notifying: if the observer raises, the
+            # iteration's progress is already durable.
+            save_checkpoint()
             if on_iteration is not None:
                 on_iteration(record)
-            break
-
-        core_before = len(state.core)
-        state.apply_anchors(chosen)
-        anchors.extend(chosen)
-        upper_used += sum(1 for x in chosen if is_upper(x))
-        record = IterationRecord(
-            anchors=list(chosen),
-            marginal_followers=len(state.core) - core_before - len(chosen),
-            candidates_total=candidates_total,
-            candidates_after_filter=len(scored),
-            verifications=verifications,
-            elapsed=time.perf_counter() - iter_start)
-        iterations.append(record)
-        if on_iteration is not None:
-            on_iteration(record)
+    except AbortCampaign:
+        interrupted = True
+    except (KeyboardInterrupt, MemoryError):
+        # Graceful degradation: the anchor list is only extended after a
+        # successful apply, so finalizing here yields a verified
+        # best-so-far result rather than losing hours of campaign.
+        interrupted = True
 
     # Authoritative objective: recompute the anchored core globally once.
     final_core = anchored_abcore(graph, alpha, beta, anchors)
@@ -149,8 +234,8 @@ def run_engine(
         algorithm=algorithm, alpha=alpha, beta=beta, b1=b1, b2=b2,
         anchors=anchors, followers=follower_set,
         base_core_size=len(base_core), final_core_size=len(final_core),
-        elapsed=time.perf_counter() - start, iterations=iterations,
-        timed_out=timed_out)
+        elapsed=elapsed_prior + time.perf_counter() - start,
+        iterations=iterations, timed_out=timed_out, interrupted=interrupted)
 
 
 def _fallback_anchors(
@@ -189,6 +274,7 @@ def _filter_stage(
     Returns the list sorted by non-increasing bound (ties by vertex id) and
     the pre-filter pool size.
     """
+    fault_site("engine.filter")
     scored: List[Tuple[int, int, DeletionOrder]] = []
     candidates_total = 0
     sides: List[Tuple[DeletionOrder, int]] = []
@@ -241,6 +327,7 @@ def _verification_stage(
       outright (the threshold ``|F(x*)|`` only ever grows), while for
       ``t > 1`` it continues because replacements may lower the threshold.
     """
+    fault_site("engine.verify")
     covered: Set[int] = set()
     verifications = 0
     core = state.core

@@ -31,7 +31,14 @@ def run_filver(
     b1: int,
     b2: int,
     deadline: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> AnchoredCoreResult:
-    """Solve the anchored (α,β)-core problem with FILVER."""
+    """Solve the anchored (α,β)-core problem with FILVER.
+
+    ``checkpoint`` / ``resume_from`` enable per-iteration snapshots and
+    deterministic resume (see :func:`repro.core.engine.run_engine`).
+    """
     return run_engine(graph, alpha, beta, b1, b2, FILVER_OPTIONS,
-                      algorithm="filver", deadline=deadline)
+                      algorithm="filver", deadline=deadline,
+                      checkpoint=checkpoint, resume_from=resume_from)

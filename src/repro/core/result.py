@@ -10,7 +10,7 @@ paper's filter-stage claims are about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Set
+from typing import Dict, List, Sequence, Set
 
 __all__ = ["IterationRecord", "AnchoredCoreResult"]
 
@@ -46,6 +46,29 @@ class IterationRecord:
     verifications: int
     elapsed: float
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dump, shared by the export layer and checkpoints."""
+        return {
+            "anchors": list(self.anchors),
+            "marginal_followers": self.marginal_followers,
+            "candidates_total": self.candidates_total,
+            "candidates_after_filter": self.candidates_after_filter,
+            "verifications": self.verifications,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "IterationRecord":
+        """Inverse of :meth:`to_dict` (used when resuming a checkpoint)."""
+        return cls(
+            anchors=[int(a) for a in data["anchors"]],  # type: ignore[union-attr]
+            marginal_followers=int(data["marginal_followers"]),  # type: ignore[arg-type]
+            candidates_total=int(data["candidates_total"]),  # type: ignore[arg-type]
+            candidates_after_filter=int(data["candidates_after_filter"]),  # type: ignore[arg-type]
+            verifications=int(data["verifications"]),  # type: ignore[arg-type]
+            elapsed=float(data["elapsed"]),  # type: ignore[arg-type]
+        )
+
 
 @dataclass
 class AnchoredCoreResult:
@@ -67,6 +90,11 @@ class AnchoredCoreResult:
     elapsed: float
     iterations: List[IterationRecord] = field(default_factory=list)
     timed_out: bool = False
+    #: ``True`` when the campaign stopped early but gracefully — an observer
+    #: raised :class:`repro.exceptions.AbortCampaign`, or a
+    #: ``KeyboardInterrupt``/``MemoryError`` was caught at an iteration
+    #: boundary.  The anchors/followers are the verified best-so-far.
+    interrupted: bool = False
 
     @property
     def n_followers(self) -> int:
@@ -102,8 +130,13 @@ class AnchoredCoreResult:
 
     def summary(self) -> str:
         """One-line human-readable summary used by examples and the CLI."""
+        flags = ""
+        if self.timed_out:
+            flags += ", TIMED OUT"
+        if self.interrupted:
+            flags += ", INTERRUPTED"
         return ("%s: %d anchors -> %d followers "
                 "(core %d -> %d, %.3fs%s)" % (
                     self.algorithm, self.n_anchors, self.n_followers,
                     self.base_core_size, self.final_core_size, self.elapsed,
-                    ", TIMED OUT" if self.timed_out else ""))
+                    flags))

@@ -13,6 +13,9 @@ __all__ = [
     "InvalidParameterError",
     "DatasetError",
     "ExperimentError",
+    "CheckpointError",
+    "AbortCampaign",
+    "FaultInjected",
 ]
 
 
@@ -34,3 +37,22 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment harness is misconfigured."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a campaign checkpoint cannot be written, read, or safely
+    resumed (corrupt file, schema mismatch, or a different graph/problem)."""
+
+
+class AbortCampaign(ReproError):
+    """Raised by an ``on_iteration`` observer to stop a campaign gracefully.
+
+    The engine treats it as a controlled stop: the best-so-far result is
+    finalized and returned with ``interrupted=True`` instead of the
+    exception propagating (see ``docs/RESILIENCE.md``).
+    """
+
+
+class FaultInjected(ReproError):
+    """Default exception raised by the deterministic fault-injection harness
+    (:mod:`repro.resilience.faults`) when a plan does not specify one."""

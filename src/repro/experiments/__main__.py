@@ -82,8 +82,11 @@ def main(argv: List[str] = None) -> int:
         exported_rows.extend(rows)
     if args.csv:
         from repro.experiments.export import write_csv
+        from repro.resilience.retry import Backoff, retry
 
-        write_csv(exported_rows, args.csv)
+        # Don't discard a finished sweep over a transient write error.
+        retry(lambda: write_csv(exported_rows, args.csv),
+              backoff=Backoff(attempts=3, base=0.05), retry_on=(OSError,))
         print("wrote %d measurement rows to %s"
               % (len(exported_rows), args.csv))
     return 0

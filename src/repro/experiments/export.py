@@ -19,13 +19,15 @@ from typing import Dict, Iterable, List, Sequence, TextIO, Union
 
 from repro.core.result import AnchoredCoreResult
 from repro.experiments.runner import MethodRun
+from repro.resilience.atomic import atomic_writer
+from repro.resilience.faults import fault_site
 
 __all__ = ["result_to_dict", "runs_to_rows", "write_csv", "write_json"]
 
 PathOrFile = Union[str, os.PathLike, TextIO]
 
 CSV_COLUMNS = ("dataset", "method", "alpha", "beta", "b1", "b2",
-               "n_followers", "elapsed", "timed_out")
+               "n_followers", "elapsed", "timed_out", "interrupted", "error")
 
 
 def result_to_dict(result: AnchoredCoreResult) -> Dict[str, object]:
@@ -43,17 +45,8 @@ def result_to_dict(result: AnchoredCoreResult) -> Dict[str, object]:
         "final_core_size": result.final_core_size,
         "elapsed": result.elapsed,
         "timed_out": result.timed_out,
-        "iterations": [
-            {
-                "anchors": list(record.anchors),
-                "marginal_followers": record.marginal_followers,
-                "candidates_total": record.candidates_total,
-                "candidates_after_filter": record.candidates_after_filter,
-                "verifications": record.verifications,
-                "elapsed": record.elapsed,
-            }
-            for record in result.iterations
-        ],
+        "interrupted": result.interrupted,
+        "iterations": [record.to_dict() for record in result.iterations],
     }
 
 
@@ -71,12 +64,22 @@ def runs_to_rows(runs: Iterable[MethodRun]) -> List[Dict[str, object]]:
             "n_followers": run.n_followers,
             "elapsed": None if run.timed_out else round(run.elapsed, 6),
             "timed_out": run.timed_out,
+            "interrupted": run.interrupted,
+            # First line of the recorded traceback keeps the CSV greppable;
+            # full tracebacks belong in the markdown report.
+            "error": (run.error or "").strip().splitlines()[-1]
+            if run.error else "",
         })
     return rows
 
 
 def write_csv(runs: Iterable[MethodRun], target: PathOrFile) -> None:
-    """Write measurement rows as CSV with a fixed, documented column set."""
+    """Write measurement rows as CSV with a fixed, documented column set.
+
+    Path targets are written crash-safely (temp file + fsync + rename): a
+    killed sweep never leaves a truncated CSV behind.
+    """
+    fault_site("export.write")
     rows = runs_to_rows(runs)
 
     def _emit(handle: TextIO) -> None:
@@ -85,16 +88,20 @@ def write_csv(runs: Iterable[MethodRun], target: PathOrFile) -> None:
         writer.writerows(rows)
 
     if isinstance(target, (str, os.PathLike)):
-        with open(target, "w", newline="", encoding="utf-8") as handle:
+        with atomic_writer(target) as handle:
             _emit(handle)
     else:
         _emit(target)
 
 
 def write_json(data: object, target: PathOrFile) -> None:
-    """Dump exported data as stable, human-diffable JSON."""
+    """Dump exported data as stable, human-diffable JSON.
+
+    Path targets are written crash-safely, like :func:`write_csv`.
+    """
+    fault_site("export.write")
     if isinstance(target, (str, os.PathLike)):
-        with open(target, "w", encoding="utf-8") as handle:
+        with atomic_writer(target) as handle:
             json.dump(data, handle, indent=2, sort_keys=True)
             handle.write("\n")
     else:

@@ -137,6 +137,7 @@ def fig7a_effectiveness(
     scale: float = DEFAULTS.scale,
     seed: int = DEFAULTS.seed,
     time_limit: Optional[float] = DEFAULTS.time_limit,
+    on_error: str = "raise",
 ) -> Dict[str, List[int]]:
     """Follower counts of each method as ``b1 = b2`` sweeps (Fig. 7(a)).
 
@@ -155,7 +156,8 @@ def fig7a_effectiveness(
         b2 = min(b, graph.n_lower)
         for m in methods:
             run = run_method(graph, dataset, m, alpha, beta, b1, b2,
-                             time_limit=time_limit, seed=seed)
+                             time_limit=time_limit, seed=seed,
+                             on_error=on_error)
             series[m].append(run.n_followers)
     return series
 
@@ -224,6 +226,7 @@ def fig8_runtime(
     methods: Sequence[str] = ("naive", "filver", "filver+", "filver++"),
     defaults: ExperimentDefaults = DEFAULTS,
     naive_edge_limit: int = 5000,
+    on_error: str = "raise",
 ) -> List[MethodRun]:
     """Runtime of every algorithm on every dataset surrogate (Fig. 8).
 
@@ -248,7 +251,8 @@ def fig8_runtime(
                 continue
             rows.append(run_method(
                 graph, code, method, alpha, beta, b1, b2,
-                t=defaults.t, time_limit=defaults.time_limit))
+                t=defaults.t, time_limit=defaults.time_limit,
+                on_error=on_error))
     return rows
 
 
@@ -295,6 +299,7 @@ def fig9_degree_constraints(
         (0.4, 0.4), (0.5, 0.4), (0.6, 0.4), (0.6, 0.3), (0.6, 0.5)),
     methods: Sequence[str] = ("filver", "filver+", "filver++"),
     defaults: ExperimentDefaults = DEFAULTS,
+    on_error: str = "raise",
 ) -> List[MethodRun]:
     """Runtime as α and β vary around the defaults (Fig. 9 row 1)."""
     rows: List[MethodRun] = []
@@ -310,7 +315,7 @@ def fig9_degree_constraints(
                 rows.append(run_method(
                     graph, code, method, alpha, beta,
                     b1, b2, t=defaults.t,
-                    time_limit=defaults.time_limit))
+                    time_limit=defaults.time_limit, on_error=on_error))
     return rows
 
 
@@ -319,6 +324,7 @@ def fig9_budgets(
     budgets: Sequence[int] = (5, 10, 15, 20, 25),
     methods: Sequence[str] = ("filver", "filver+", "filver++"),
     defaults: ExperimentDefaults = DEFAULTS,
+    on_error: str = "raise",
 ) -> List[MethodRun]:
     """Runtime as ``b1 = b2`` sweeps (Fig. 9 row 2)."""
     rows: List[MethodRun] = []
@@ -332,7 +338,7 @@ def fig9_budgets(
             for method in methods:
                 rows.append(run_method(
                     graph, code, method, alpha, beta, b1, b2, t=defaults.t,
-                    time_limit=defaults.time_limit))
+                    time_limit=defaults.time_limit, on_error=on_error))
     return rows
 
 

@@ -13,6 +13,7 @@ Centralizes the conventions from Section VI-A of the paper:
 from __future__ import annotations
 
 import time
+import traceback
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -20,7 +21,9 @@ from repro.abcore.decomposition import delta
 from repro.bigraph.graph import BipartiteGraph
 from repro.core.api import reinforce
 from repro.core.result import AnchoredCoreResult
+from repro.exceptions import InvalidParameterError
 from repro.generators.datasets import load_dataset
+from repro.resilience.faults import fault_site
 
 __all__ = ["ExperimentDefaults", "default_constraints", "run_method",
            "MethodRun"]
@@ -66,10 +69,17 @@ class MethodRun:
     elapsed: float
     timed_out: bool
     result: Optional[AnchoredCoreResult]
+    #: The run stopped early but gracefully (Ctrl-C / OOM at an iteration
+    #: boundary); ``n_followers`` is the verified best-so-far.
+    interrupted: bool = False
+    #: Full traceback when the method crashed under ``on_error="record"``.
+    error: Optional[str] = None
 
     @property
     def display_time(self) -> str:
-        """Runtime cell: seconds, or ``TIMEOUT`` past the limit."""
+        """Runtime cell: seconds, ``TIMEOUT`` past the limit, or ``CRASH``."""
+        if self.error is not None:
+            return "CRASH"
         if self.timed_out:
             return "TIMEOUT"
         return "%.3f" % self.elapsed
@@ -86,11 +96,34 @@ def run_method(
     t: int = 5,
     time_limit: Optional[float] = None,
     seed: Optional[int] = None,
+    on_error: str = "raise",
 ) -> MethodRun:
-    """Run one algorithm with timing and timeout accounting."""
-    result = reinforce(graph, alpha, beta, b1, b2, method=method, t=t,
-                       seed=seed, time_limit=time_limit)
+    """Run one algorithm with timing and timeout accounting.
+
+    ``on_error="record"`` isolates a crashing method: instead of taking the
+    whole sweep down, the failure (including ``KeyboardInterrupt`` and
+    ``MemoryError`` escaping a non-engine method) is captured as a
+    ``CRASH`` row carrying the traceback, and the caller keeps measuring
+    the remaining methods.  The default ``"raise"`` propagates as before.
+    """
+    if on_error not in ("raise", "record"):
+        raise InvalidParameterError(
+            "on_error must be 'raise' or 'record', got %r" % (on_error,))
+    started = time.perf_counter()
+    try:
+        fault_site("runner.run_method")
+        result = reinforce(graph, alpha, beta, b1, b2, method=method, t=t,
+                           seed=seed, time_limit=time_limit)
+    except (Exception, KeyboardInterrupt, MemoryError):  # repro: boundary
+        if on_error == "raise":
+            raise
+        return MethodRun(
+            dataset=dataset, method=method, alpha=alpha, beta=beta,
+            b1=b1, b2=b2, n_followers=-1,
+            elapsed=time.perf_counter() - started, timed_out=False,
+            result=None, error=traceback.format_exc())
     return MethodRun(
         dataset=dataset, method=method, alpha=alpha, beta=beta,
         b1=b1, b2=b2, n_followers=result.n_followers,
-        elapsed=result.elapsed, timed_out=result.timed_out, result=result)
+        elapsed=result.elapsed, timed_out=result.timed_out, result=result,
+        interrupted=result.interrupted)

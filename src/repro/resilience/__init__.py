@@ -1,0 +1,45 @@
+"""Resilience layer: checkpoint/resume, crash-safe writes, fault injection.
+
+Long reinforcement campaigns (hours on KONECT-scale graphs) must survive
+crashes, OOM, and Ctrl-C without losing verified progress.  This package
+holds the pieces, each usable on its own:
+
+* :mod:`repro.resilience.atomic` — write-temp/fsync/rename file writes;
+* :mod:`repro.resilience.checkpoint` — :class:`CampaignCheckpoint` with a
+  graph fingerprint, checksummed persistence, and resume validation;
+* :mod:`repro.resilience.faults` — deterministic seeded fault injection
+  (:class:`FaultPlan` + instrumented ``fault_site`` calls);
+* :mod:`repro.resilience.retry` — bounded deterministic backoff for
+  transient artifact-write failures.
+
+The engine hooks (``run_engine(checkpoint=..., resume_from=...)``, graceful
+``interrupted=True`` degradation, :class:`repro.exceptions.AbortCampaign`)
+are documented in ``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.atomic import atomic_write_text, atomic_writer
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CampaignCheckpoint,
+    graph_fingerprint,
+    load_checkpoint,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec, active_plan, fault_site
+from repro.resilience.retry import Backoff, retry
+
+__all__ = [
+    "atomic_write_text",
+    "atomic_writer",
+    "CHECKPOINT_SCHEMA",
+    "CampaignCheckpoint",
+    "graph_fingerprint",
+    "load_checkpoint",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "fault_site",
+    "Backoff",
+    "retry",
+]

@@ -1,0 +1,83 @@
+"""Crash-safe file writes: temp file in the target directory, fsync, rename.
+
+A campaign killed mid-write must never leave a truncated artifact behind —
+a half-written checkpoint or CSV is worse than none, because a later resume
+or analysis step would silently trust it.  Every path-taking writer in this
+repository (:func:`repro.experiments.export.write_json` /
+:func:`~repro.experiments.export.write_csv`,
+:func:`repro.bigraph.io.write_edge_list`, and the checkpoint writer) funnels
+through the two helpers here:
+
+* the temp file lives in the *same directory* as the target, so the final
+  ``os.replace`` is an atomic same-filesystem rename;
+* the data is flushed and fsynced to disk before the rename, so a crash
+  right after the rename cannot expose an empty file;
+* on any failure the temp file is removed and the previous target (if any)
+  is left untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import IO, Callable, Iterator, Optional
+
+__all__ = ["atomic_writer", "atomic_write_text"]
+
+
+def _fsync_path(path: str) -> None:
+    """Flush ``path``'s contents to disk via a short-lived read descriptor.
+
+    Opening a fresh descriptor works for writers (gzip) that must be fully
+    closed before their output is complete.
+    """
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_writer(
+    path: "os.PathLike[str] | str",
+    opener: Optional[Callable[[str], IO[str]]] = None,
+) -> Iterator[IO[str]]:
+    """Context manager yielding a text handle whose contents replace ``path``
+    atomically on success (and are discarded entirely on failure).
+
+    ``opener`` customizes how the temp file is opened (e.g. gzip for ``.gz``
+    targets); it receives the temp path and must return a writable text
+    handle.  The default opens plain UTF-8 text.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(target))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp")
+    os.close(fd)
+    try:
+        if opener is None:
+            handle: IO[str] = open(tmp_path, "w", encoding="utf-8", newline="")
+        else:
+            handle = opener(tmp_path)
+        try:
+            yield handle
+        finally:
+            handle.close()
+        _fsync_path(tmp_path)
+        os.replace(tmp_path, target)
+    except BaseException:
+        # Boundary site: any failure (including KeyboardInterrupt mid-write)
+        # must remove the temp file before the exception continues.
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: "os.PathLike[str] | str", text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (UTF-8)."""
+    with atomic_writer(path) as handle:
+        handle.write(text)

@@ -1,0 +1,211 @@
+"""Campaign checkpoints: snapshot engine progress, resume deterministically.
+
+A FILVER campaign on a KONECT-scale graph runs for hours; a crash at hour N
+must not throw away every anchor already verified.  After each iteration the
+engine can persist a :class:`CampaignCheckpoint` — everything needed to
+replay the campaign's effects without redoing its verification work:
+
+* the problem identity: algorithm, (α, β), budgets, engine options, and a
+  SHA-256 fingerprint of the graph structure;
+* the progress: anchors placed (in order), per-iteration records, the upper
+  budget consumed, accumulated wall-clock time, and whether the greedy loop
+  already exhausted its candidates.
+
+Resuming replays ``apply_anchors`` per recorded iteration — the exact call
+sequence the original run made — so the restored order-maintenance state,
+and therefore every subsequent candidate ranking, is identical to the
+uninterrupted run's.  Replay equivalence is asserted in
+``tests/test_faults.py`` for a fault injected at every iteration boundary,
+on both adjacency backends.
+
+The file format is a checksummed JSON envelope (see ``docs/RESILIENCE.md``
+for the schema); writes are atomic via :mod:`repro.resilience.atomic`.  A
+checkpoint refuses to resume against a different graph, constraints,
+budgets, or engine configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Union
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.exceptions import CheckpointError
+
+if TYPE_CHECKING:
+    # Runtime import would cycle: repro.bigraph.io → repro.resilience →
+    # here → repro.core → ... → repro.resilience.checkpoint.
+    from repro.core.result import IterationRecord
+from repro.resilience.atomic import atomic_write_text
+from repro.resilience.faults import fault_site
+
+__all__ = ["CHECKPOINT_SCHEMA", "CampaignCheckpoint", "graph_fingerprint",
+           "load_checkpoint"]
+
+#: Bump when the payload layout changes; loaders reject other versions.
+CHECKPOINT_SCHEMA = 1
+
+
+def graph_fingerprint(graph: BipartiteGraph) -> str:
+    """SHA-256 of the graph *structure* (layer sizes + edge set).
+
+    Both adjacency backends number vertices identically, so a graph and its
+    ``to_csr()`` twin share a fingerprint; labels are deliberately excluded
+    (they never influence the algorithms).
+    """
+    digest = hashlib.sha256()
+    digest.update(b"bip %d %d %d\n"
+                  % (graph.n_upper, graph.n_lower, graph.n_edges))
+    chunk: List[str] = []
+    for u, v in graph.edges():
+        chunk.append("%d %d" % (u, v))
+        if len(chunk) >= 4096:
+            digest.update("\n".join(chunk).encode("ascii"))
+            chunk.clear()
+    if chunk:
+        digest.update("\n".join(chunk).encode("ascii"))
+    return "sha256:%s" % digest.hexdigest()
+
+
+def _canonical(payload: Dict[str, object]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: Dict[str, object]) -> str:
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CampaignCheckpoint:
+    """Engine progress after some prefix of greedy iterations."""
+
+    algorithm: str
+    alpha: int
+    beta: int
+    b1: int
+    b2: int
+    options: Dict[str, object]
+    graph_fingerprint: str
+    anchors: List[int] = field(default_factory=list)
+    upper_used: int = 0
+    iterations: List[IterationRecord] = field(default_factory=list)
+    exhausted: bool = False
+    elapsed: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """The JSON-safe checkpoint body (without the checksum envelope)."""
+        return {
+            "algorithm": self.algorithm,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "b1": self.b1,
+            "b2": self.b2,
+            "options": dict(self.options),
+            "graph_fingerprint": self.graph_fingerprint,
+            "anchors": list(self.anchors),
+            "upper_used": self.upper_used,
+            "iterations": [record.to_dict() for record in self.iterations],
+            "exhausted": self.exhausted,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "CampaignCheckpoint":
+        """Rebuild a checkpoint from a parsed payload dict."""
+        from repro.core.result import IterationRecord
+
+        try:
+            return cls(
+                algorithm=str(payload["algorithm"]),
+                alpha=int(payload["alpha"]),  # type: ignore[arg-type]
+                beta=int(payload["beta"]),  # type: ignore[arg-type]
+                b1=int(payload["b1"]),  # type: ignore[arg-type]
+                b2=int(payload["b2"]),  # type: ignore[arg-type]
+                options=dict(payload["options"]),  # type: ignore[arg-type]
+                graph_fingerprint=str(payload["graph_fingerprint"]),
+                anchors=[int(a) for a in payload["anchors"]],  # type: ignore[union-attr]
+                upper_used=int(payload["upper_used"]),  # type: ignore[arg-type]
+                iterations=[IterationRecord.from_dict(d)
+                            for d in payload["iterations"]],  # type: ignore[union-attr]
+                exhausted=bool(payload["exhausted"]),
+                elapsed=float(payload["elapsed"]),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                "malformed checkpoint payload: %s" % error) from error
+
+    def save(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        """Atomically persist this checkpoint (checksummed JSON envelope)."""
+        fault_site("checkpoint.write")
+        payload = self.to_payload()
+        envelope = {
+            "schema": CHECKPOINT_SCHEMA,
+            "checksum": _checksum(payload),
+            "payload": payload,
+        }
+        atomic_write_text(path, json.dumps(envelope, indent=2,
+                                           sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    # Resume-time validation
+    # ------------------------------------------------------------------
+
+    def validate_for(self, graph: BipartiteGraph, alpha: int, beta: int,
+                     b1: int, b2: int, options: Dict[str, object]) -> None:
+        """Refuse to resume against a different graph or problem.
+
+        Raises :class:`CheckpointError` naming the first mismatch: graph
+        fingerprint, (α, β), budgets, or engine options.
+        """
+        fingerprint = graph_fingerprint(graph)
+        if fingerprint != self.graph_fingerprint:
+            raise CheckpointError(
+                "checkpoint was taken on a different graph "
+                "(fingerprint %s != %s)"
+                % (self.graph_fingerprint, fingerprint))
+        expected = {"alpha": alpha, "beta": beta, "b1": b1, "b2": b2}
+        recorded = {"alpha": self.alpha, "beta": self.beta,
+                    "b1": self.b1, "b2": self.b2}
+        if expected != recorded:
+            raise CheckpointError(
+                "checkpoint problem parameters %s do not match the resumed "
+                "call %s" % (recorded, expected))
+        if dict(options) != dict(self.options):
+            raise CheckpointError(
+                "checkpoint engine options %s do not match the resumed "
+                "configuration %s" % (dict(self.options), dict(options)))
+
+
+def load_checkpoint(
+        path: Union[str, "os.PathLike[str]"]) -> CampaignCheckpoint:
+    """Read and verify a checkpoint file (schema + checksum)."""
+    fault_site("checkpoint.load")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+    except OSError as error:
+        raise CheckpointError(
+            "cannot read checkpoint %s: %s" % (path, error)) from error
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            "checkpoint %s is not valid JSON (truncated write?): %s"
+            % (path, error)) from error
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        raise CheckpointError("checkpoint %s has no payload envelope" % path)
+    schema = envelope.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            "checkpoint %s has schema version %r; this build reads version %d"
+            % (path, schema, CHECKPOINT_SCHEMA))
+    payload = envelope["payload"]
+    if envelope.get("checksum") != _checksum(payload):
+        raise CheckpointError(
+            "checkpoint %s failed its checksum; the file is corrupt" % path)
+    return CampaignCheckpoint.from_payload(payload)

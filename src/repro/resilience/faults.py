@@ -1,0 +1,154 @@
+"""Deterministic fault injection for resilience tests.
+
+Long-campaign robustness claims ("a killed run resumes losslessly", "one
+crashing method does not take down the suite") are only testable if faults
+can be provoked *exactly* where and when the test wants them — no timing
+races, no monkeypatching of internals.  This module provides that:
+
+* production code marks each potential failure point with a cheap
+  ``fault_site("name")`` call (a no-op unless a plan is active);
+* tests build a :class:`FaultPlan` of :class:`FaultSpec` entries — *raise
+  this exception at the Nth call of that site* — and activate it with a
+  ``with plan.active():`` block.
+
+Everything is counted, nothing is timed: a plan built from a seed via
+:meth:`FaultPlan.from_seed` draws its injection points from
+:func:`repro.utils.rng.make_rng`, so even "randomized" fault campaigns
+replay identically.
+
+Instrumented sites (see ``docs/RESILIENCE.md``):
+
+====================  ====================================================
+site                  where it fires
+====================  ====================================================
+``engine.filter``     start of each engine filter stage (once/iteration)
+``engine.verify``     start of each engine verification stage
+``checkpoint.write``  right before a campaign checkpoint is persisted
+``io.read_edge_list`` entry of the edge-list loader (both backends)
+``export.write``      entry of ``write_json`` / ``write_csv``
+``runner.run_method`` entry of ``experiments.runner.run_method``
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
+
+from repro.exceptions import FaultInjected, InvalidParameterError
+
+__all__ = ["FaultSpec", "FaultPlan", "fault_site", "active_plan"]
+
+#: What a spec raises: an exception instance, class, or zero-arg factory.
+FaultFactory = Union[BaseException, Type[BaseException],
+                     Callable[[], BaseException]]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Raise ``exc`` at the ``call``-th invocation (1-based) of ``site``."""
+
+    site: str
+    call: int = 1
+    exc: Optional[FaultFactory] = None
+
+    def __post_init__(self) -> None:
+        if self.call < 1:
+            raise InvalidParameterError(
+                "fault call index must be >= 1, got %d" % self.call)
+
+    def build(self) -> BaseException:
+        """Instantiate the exception this spec injects."""
+        exc = self.exc
+        if exc is None:
+            return FaultInjected("injected fault at %s#%d"
+                                 % (self.site, self.call))
+        if isinstance(exc, BaseException):
+            return exc
+        return exc()
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of injected faults, activated as a context.
+
+    The plan keeps per-site call counters and a ``fired`` log, so a test can
+    assert both *that* a fault fired and *when*.  Activation does not nest:
+    exactly one plan may be active per process at a time (the instrumented
+    sites are global), and :func:`fault_site` is O(1) when no plan is active.
+    """
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    calls: Dict[str, int] = field(default_factory=dict)
+    fired: List[Tuple[str, int]] = field(default_factory=list)
+
+    def add(self, site: str, call: int = 1,
+            exc: Optional[FaultFactory] = None) -> "FaultPlan":
+        """Append one injection; returns ``self`` for chaining."""
+        self.specs.append(FaultSpec(site, call, exc))
+        return self
+
+    @classmethod
+    def from_seed(cls, seed: int, sites: Sequence[str], n_faults: int = 1,
+                  max_call: int = 5,
+                  exc: Optional[FaultFactory] = None) -> "FaultPlan":
+        """A seeded random plan: ``n_faults`` draws of (site, call index).
+
+        Two processes building a plan from the same seed get the same plan —
+        randomized fault campaigns stay replayable.
+        """
+        from repro.utils.rng import make_rng
+
+        if not sites:
+            raise InvalidParameterError("from_seed needs at least one site")
+        rng = make_rng(seed)
+        plan = cls()
+        for _ in range(n_faults):
+            plan.add(rng.choice(list(sites)), rng.randint(1, max_call), exc)
+        return plan
+
+    def call_count(self, site: str) -> int:
+        """How many times ``site`` was reached while this plan was active."""
+        return self.calls.get(site, 0)
+
+    def _hit(self, site: str) -> None:
+        count = self.calls.get(site, 0) + 1
+        self.calls[site] = count
+        for spec in self.specs:
+            if spec.site == site and spec.call == count:
+                self.fired.append((site, count))
+                raise spec.build()
+
+    @contextmanager
+    def active(self) -> Iterator["FaultPlan"]:
+        """Activate this plan for the duration of the ``with`` block."""
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise InvalidParameterError(
+                "a FaultPlan is already active; plans do not nest")
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = None
+
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently active plan, if any (introspection for tests)."""
+    return _ACTIVE
+
+
+def fault_site(name: str) -> None:
+    """Mark a potential failure point; near-zero cost without an active plan.
+
+    Instrumented production code calls this unconditionally; the active
+    :class:`FaultPlan` (if any) counts the call and raises when a spec's
+    call index is reached.
+    """
+    plan = _ACTIVE
+    if plan is not None:
+        plan._hit(name)

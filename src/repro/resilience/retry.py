@@ -1,0 +1,80 @@
+"""Bounded retry with deterministic exponential backoff.
+
+Long experiment campaigns write artifacts (checkpoints, CSV/JSON exports,
+reports) to network filesystems where transient ``OSError`` is a fact of
+life.  :func:`retry` re-runs a callable a bounded number of times with
+exponential backoff; the clock is injected so tests use a fake one — the
+fault-injection suite contains no ``time.sleep`` and no wall-clock timing.
+
+The backoff sequence is fully deterministic (no jitter): retries are about
+surviving transient faults, and this repository's reproducibility bar (see
+the ``determinism`` analysis rule) extends to its failure handling.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type, TypeVar
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["Backoff", "retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Backoff:
+    """Exponential backoff policy: ``base * multiplier**i``, capped.
+
+    ``attempts`` counts *total* tries, so ``attempts=3`` means one initial
+    try plus up to two retries, sleeping ``delays()`` seconds in between.
+    """
+
+    attempts: int = 3
+    base: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise InvalidParameterError(
+                "attempts must be >= 1, got %d" % self.attempts)
+        if self.base < 0 or self.multiplier < 1 or self.max_delay < 0:
+            raise InvalidParameterError(
+                "backoff delays must be non-negative and non-shrinking")
+
+    def delays(self) -> Iterator[float]:
+        """The sleep before each retry (``attempts - 1`` values)."""
+        delay = self.base
+        for _ in range(self.attempts - 1):
+            yield min(delay, self.max_delay)
+            delay *= self.multiplier
+
+
+def retry(
+    fn: Callable[[], T],
+    backoff: Backoff = Backoff(),
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call ``fn`` until it succeeds or the attempt budget is exhausted.
+
+    Only exceptions matching ``retry_on`` are retried; anything else
+    propagates immediately.  The final failing exception propagates
+    unchanged once attempts run out.  ``sleep`` is injectable (pass a fake
+    for tests); ``on_retry(attempt, exc)`` is notified before each sleep.
+    """
+    delays = backoff.delays()
+    for attempt in range(1, backoff.attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt == backoff.attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(next(delays))
+    raise AssertionError("unreachable")

@@ -1,0 +1,29 @@
+"""Fixture: over-broad exception handlers outside any sanctioned boundary."""
+
+
+def swallow_everything(work):
+    try:
+        return work()
+    except Exception:
+        return None
+
+
+def swallow_harder(work):
+    try:
+        return work()
+    except BaseException:
+        return None
+
+
+def bare(work):
+    try:
+        return work()
+    except:  # noqa: E722
+        return None
+
+
+def tuple_form(work):
+    try:
+        return work()
+    except (ValueError, Exception):
+        return None

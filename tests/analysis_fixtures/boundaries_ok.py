@@ -1,0 +1,23 @@
+"""Fixture: specific handlers and sanctioned boundary sites pass the rule."""
+
+
+def specific(work):
+    try:
+        return work()
+    except (ValueError, OSError):
+        return None
+
+
+def sanctioned_same_line(work):
+    try:
+        return work()
+    except Exception:  # repro: boundary
+        return None
+
+
+def sanctioned_line_above(work):
+    try:
+        return work()
+    # repro: boundary
+    except Exception:
+        return None

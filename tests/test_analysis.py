@@ -48,8 +48,9 @@ def marked_lines(fixture: str):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
-        assert rule_names() == ["determinism", "encapsulation", "exports",
+    def test_all_six_rules_registered(self):
+        assert rule_names() == ["determinism", "encapsulation",
+                                "exception-boundaries", "exports",
                                 "hot-path", "layer-safety"]
 
     def test_unknown_rule_raises(self):
@@ -113,6 +114,30 @@ class TestDeterminism:
             module="repro.generators.snippet")
         found = analyze_module(ctx, [get_rule("determinism")])
         assert len(found) == 1 and "shuffle" in found[0].message
+
+
+class TestExceptionBoundaries:
+    def test_bad_fixture_flags_every_broad_handler(self):
+        found = violations("boundaries_bad.py", "exception-boundaries")
+        assert len(found) == 4
+        assert {v.line for v in found} == {7, 14, 21, 28}
+
+    def test_ok_fixture_is_clean(self):
+        assert violations("boundaries_ok.py", "exception-boundaries") == []
+
+    def test_resilience_package_is_exempt(self):
+        assert violations("boundaries_bad.py", "exception-boundaries",
+                          module="repro.resilience.fixture") == []
+
+    def test_pragma_sanctions_same_line_and_line_above(self):
+        ctx = load("boundaries_ok.py")
+        assert ctx.has_boundary_pragma(14)
+        assert ctx.has_boundary_pragma(21)
+        assert not ctx.has_boundary_pragma(7)
+
+    def test_message_names_the_pragma(self):
+        found = violations("boundaries_bad.py", "exception-boundaries")
+        assert all("repro: boundary" in v.message for v in found)
 
 
 class TestHotPath:

@@ -61,3 +61,58 @@ class TestReinforce:
     def test_dataset_error_is_reported(self, capsys):
         assert main(["stats", "--dataset", "NOPE"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestCheckpointResume:
+    def test_checkpoint_then_resume_reproduces_the_run(self, tmp_path,
+                                                       capsys):
+        graph_path = tmp_path / "g.txt"
+        main(["generate", "--model", "planted", "--alpha", "4", "--beta", "3",
+              "--out", str(graph_path)])
+        capsys.readouterr()
+        ckpt = tmp_path / "campaign.json"
+        first_json = tmp_path / "first.json"
+        assert main(["reinforce", "--input", str(graph_path),
+                     "--alpha", "4", "--beta", "3", "--b1", "2", "--b2", "2",
+                     "--method", "filver", "--checkpoint", str(ckpt),
+                     "--json", str(first_json)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointing each iteration to" in out
+        assert ckpt.exists()
+
+        resumed_json = tmp_path / "resumed.json"
+        assert main(["reinforce", "--input", str(graph_path),
+                     "--alpha", "4", "--beta", "3", "--b1", "2", "--b2", "2",
+                     "--method", "filver", "--resume", str(ckpt),
+                     "--json", str(resumed_json)]) == 0
+        out = capsys.readouterr().out
+        assert "resuming campaign from" in out
+        first = json.loads(first_json.read_text())
+        resumed = json.loads(resumed_json.read_text())
+        assert resumed["anchors"] == first["anchors"]
+        assert resumed["followers"] == first["followers"]
+
+    def test_checkpoint_rejected_for_non_checkpointable_method(
+            self, tmp_path, capsys):
+        assert main(["reinforce", "--dataset", "AC", "--scale", "0.2",
+                     "--b1", "1", "--b2", "1", "--method", "random",
+                     "--checkpoint", str(tmp_path / "c.json")]) == 2
+        assert "checkpoint/resume" in capsys.readouterr().err
+
+    def test_resume_against_wrong_graph_is_refused(self, tmp_path, capsys):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        main(["generate", "--model", "planted", "--alpha", "4", "--beta", "3",
+              "--out", str(a)])
+        main(["generate", "--model", "er", "--upper", "30", "--lower", "30",
+              "--edges", "200", "--seed", "5", "--out", str(b)])
+        capsys.readouterr()
+        ckpt = tmp_path / "c.json"
+        assert main(["reinforce", "--input", str(a), "--alpha", "4",
+                     "--beta", "3", "--b1", "1", "--b2", "1",
+                     "--method", "filver", "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(["reinforce", "--input", str(b), "--alpha", "4",
+                     "--beta", "3", "--b1", "1", "--b2", "1",
+                     "--method", "filver", "--resume", str(ckpt)]) == 2
+        assert "different graph" in capsys.readouterr().err

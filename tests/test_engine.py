@@ -1,11 +1,17 @@
-"""Tests for the shared engine: option ablations and skip-rule soundness."""
+"""Tests for the shared engine: option ablations, skip-rule soundness, and
+the deadline / observer / checkpoint resilience semantics."""
 
+import time
+
+import pytest
 from hypothesis import given, settings
 
 from repro.core import EngineOptions, run_engine
 from repro.core.filver import FILVER_OPTIONS
 from repro.core.filver_plus import FILVER_PLUS_OPTIONS
 from repro.core.filver_plus_plus import filver_plus_plus_options
+from repro.exceptions import AbortCampaign
+from repro.resilience.checkpoint import load_checkpoint
 
 from conftest import graphs_with_constraints, random_bigraph
 
@@ -86,3 +92,92 @@ class TestEngineAccounting:
         single = run_engine(g, 2, 2, 3, 3, filver_plus_plus_options(1), "t1")
         multi = run_engine(g, 2, 2, 3, 3, filver_plus_plus_options(6), "t6")
         assert len(multi.iterations) <= len(single.iterations)
+
+
+def multi_iteration_graph():
+    return random_bigraph(1, n1_range=(12, 16), n2_range=(12, 16),
+                          density=0.2)
+
+
+class TestDeadlines:
+    @pytest.mark.parametrize("backend", ["list", "csr"])
+    def test_expired_deadline_returns_valid_zero_iteration_result(
+            self, backend):
+        g = multi_iteration_graph()
+        if backend == "csr":
+            g = g.to_csr()
+        result = run_engine(g, 3, 3, 3, 3, ABLATIONS["both"], "x",
+                            deadline=time.perf_counter() - 1.0)
+        assert result.timed_out
+        assert result.iterations == []
+        assert result.anchors == []
+        assert result.n_followers == 0
+        assert result.base_core_size == result.final_core_size
+
+    def test_deadline_fires_mid_verification_on_csr(self, monkeypatch):
+        """Drive the clock forward from inside compute_followers so the
+        deadline deterministically expires between two verification calls —
+        no wall-clock racing."""
+        import repro.core.engine as engine_mod
+
+        g = multi_iteration_graph().to_csr()
+        real = time.perf_counter
+        clock = {"offset": 0.0}
+        monkeypatch.setattr(time, "perf_counter",
+                            lambda: real() + clock["offset"])
+        real_cf = engine_mod.compute_followers
+
+        def slow_cf(*args, **kwargs):
+            clock["offset"] += 100.0
+            return real_cf(*args, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "compute_followers", slow_cf)
+        result = run_engine(g, 3, 3, 3, 3, ABLATIONS["both"], "x",
+                            deadline=real() + 50.0)
+        assert result.timed_out
+        # Exactly one verification ran before the deadline check tripped.
+        assert sum(r.verifications for r in result.iterations) == 1
+        # The partial result is still globally verified.
+        from repro.abcore import abcore, anchored_abcore
+
+        base = abcore(g, 3, 3)
+        anchored = anchored_abcore(g, 3, 3, result.anchors)
+        assert result.followers == anchored - base - set(result.anchors)
+
+
+class TestObservers:
+    def test_abort_campaign_degrades_to_best_so_far(self):
+        g = multi_iteration_graph()
+        full = run_engine(g, 3, 3, 3, 3, ABLATIONS["both"], "x")
+        assert len(full.iterations) >= 2
+
+        def abort_after_first(_record):
+            raise AbortCampaign("the operator hit stop")
+
+        result = run_engine(g, 3, 3, 3, 3, ABLATIONS["both"], "x",
+                            on_iteration=abort_after_first)
+        assert result.interrupted and not result.timed_out
+        assert len(result.iterations) == 1
+        assert result.anchors == full.iterations[0].anchors
+
+    def test_other_observer_exceptions_propagate_after_checkpoint(
+            self, tmp_path):
+        g = multi_iteration_graph()
+        ckpt = tmp_path / "c.json"
+
+        def broken_observer(_record):
+            raise ValueError("observer bug")
+
+        with pytest.raises(ValueError, match="observer bug"):
+            run_engine(g, 3, 3, 3, 3, ABLATIONS["both"], "x",
+                       on_iteration=broken_observer, checkpoint=str(ckpt))
+        # The iteration that triggered the observer is already durable.
+        restored = load_checkpoint(ckpt)
+        assert len(restored.iterations) == 1
+
+    def test_observer_sees_every_iteration(self):
+        g = multi_iteration_graph()
+        seen = []
+        result = run_engine(g, 3, 3, 3, 3, ABLATIONS["both"], "x",
+                            on_iteration=seen.append)
+        assert seen == result.iterations

@@ -2,11 +2,12 @@
 
 import string
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bigraph.io import dumps, loads
-from repro.exceptions import GraphConstructionError
+from repro.bigraph.io import LoadStats, dumps, loads
+from repro.exceptions import GraphConstructionError, InvalidParameterError
 
 token = st.text(alphabet=string.ascii_letters + string.digits + "._-",
                 min_size=1, max_size=8)
@@ -50,6 +51,33 @@ def test_parser_raises_only_graph_errors(blob):
     except GraphConstructionError:
         return
     assert graph.n_edges >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet=string.printable, max_size=200))
+def test_skip_mode_never_raises_and_backends_agree(blob):
+    """``on_error="skip"`` turns any malformed input into a (possibly empty)
+    graph, and the list and CSR loaders agree on what was kept/dropped."""
+    list_stats, csr_stats = LoadStats(), LoadStats()
+    g_list = loads(blob, on_error="skip", stats=list_stats)
+    g_csr = loads(blob, backend="csr", on_error="skip", stats=csr_stats)
+    assert g_list.n_edges == g_csr.n_edges
+    assert (list_stats.edges, list_stats.skipped) == \
+        (csr_stats.edges, csr_stats.skipped)
+
+
+def test_skipped_malformed_lines_are_counted():
+    text = "a 1\nbad\nb 2\n% comment\nworse\nugh\nc 3\n"
+    stats = LoadStats()
+    graph = loads(text, on_error="skip", stats=stats)
+    assert graph.n_edges == 3
+    assert stats.edges == 3
+    assert stats.skipped == 3  # comments and blanks are not "skipped"
+
+
+def test_invalid_on_error_rejected():
+    with pytest.raises(InvalidParameterError):
+        loads("a 1\n", on_error="quietly")
 
 
 @settings(max_examples=30, deadline=None)
