@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults lint typecheck bench bench-smoke report \
-	examples clean
+.PHONY: install test test-faults coverage lint typecheck bench bench-smoke \
+	bench-parallel-smoke report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,21 @@ test:
 test-faults:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults.py \
 		tests/test_resilience.py -q
+
+# Coverage gate: total line coverage of src/repro must stay above the
+# floor recorded in .coverage-baseline (measured baseline minus one point).
+# Prefers pytest-cov (the CI path); falls back to the dependency-free
+# stdlib tracer in tools/measure_coverage.py, which is a few times slower.
+coverage:
+	@GATE=$$(cat .coverage-baseline); \
+	if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		PYTHONPATH=src $(PYTHON) -m pytest -q -x --cov=repro \
+			--cov-fail-under=$$GATE; \
+	else \
+		echo "pytest-cov not installed; using tools/measure_coverage.py"; \
+		PYTHONPATH=src $(PYTHON) tools/measure_coverage.py \
+			--fail-under $$GATE -q -x; \
+	fi
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
@@ -32,6 +47,13 @@ bench:
 # Timings land in bench_scalability.json ($$REPRO_BENCH_JSON to override).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_scalability.py --benchmark-only -q
+
+# Parallel determinism gate: serial vs workers=2,4 FILVER++ must export
+# byte-identical canonical JSON on every host; the 2x workers=4 speedup is
+# asserted only on hosts with >= 4 cores.  Timings land in
+# bench_parallel.json ($$REPRO_BENCH_PARALLEL_JSON to override).
+bench-parallel-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_parallel.py --benchmark-only -q
 
 report:
 	$(PYTHON) -m repro.experiments report --scale 0.25 --out report.md

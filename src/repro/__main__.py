@@ -73,6 +73,10 @@ def _parser() -> argparse.ArgumentParser:
     r.add_argument("--t", type=int, default=5,
                    help="anchors per iteration (filver++)")
     r.add_argument("--time-limit", type=float, default=None)
+    r.add_argument("--workers", type=int, default=1,
+                   help="candidate-verification worker processes "
+                        "(filver/filver+/filver++ only; results are "
+                        "identical to --workers 1)")
     r.add_argument("--json", metavar="PATH", default=None,
                    help="write the full result as JSON")
     r.add_argument("--checkpoint", metavar="PATH", default=None,
@@ -117,7 +121,8 @@ def _cmd_reinforce(args: argparse.Namespace) -> int:
     result = reinforce(graph, alpha, beta, args.b1, args.b2,
                        method=args.method, t=args.t,
                        time_limit=args.time_limit,
-                       checkpoint=args.checkpoint, resume_from=args.resume)
+                       checkpoint=args.checkpoint, resume_from=args.resume,
+                       workers=args.workers)
     print(result.summary())
     print("upper anchors:",
           [graph.label_of(a) for a in result.upper_anchors(graph.n_upper)])

@@ -13,6 +13,13 @@ from repro.bigraph.mutation import (
     swap_layers,
 )
 from repro.bigraph.projection import co_engagement, project, weighted_project
+from repro.bigraph.shm import (
+    AttachedGraph,
+    SharedGraphExport,
+    SharedGraphMeta,
+    attach_shared_graph,
+    export_shared_graph,
+)
 from repro.bigraph.stats import (
     GraphSummary,
     degree_histogram,
@@ -26,7 +33,12 @@ __all__ = [
     "CSRAdjacency",
     "GraphBuilder",
     "GraphSummary",
+    "AttachedGraph",
+    "SharedGraphExport",
+    "SharedGraphMeta",
     "adjacency_arrays",
+    "attach_shared_graph",
+    "export_shared_graph",
     "memory_footprint",
     "validate_graph",
     "add_edges",

@@ -1,0 +1,254 @@
+"""Zero-copy sharing of a CSR-backed graph across processes.
+
+The parallel candidate evaluator (:mod:`repro.parallel`) fans follower
+computations out to worker processes.  Shipping the graph to each worker by
+pickling would copy the adjacency once per worker — exactly the per-edge
+overhead the CSR backend exists to avoid.  Instead, the three flat CSR
+buffers (``offsets``/``neighbors``/``degrees``, see
+:mod:`repro.bigraph.csr`) are copied **once** into
+:mod:`multiprocessing.shared_memory` segments; every worker then maps the
+segments read-only and rebuilds a :class:`BipartiteGraph` whose adjacency
+rows are ``memoryview`` slices straight into the shared pages — no
+per-worker copy, no per-edge Python objects.
+
+Lifecycle contract:
+
+* the exporting side (:func:`export_shared_graph`) owns the segments: it
+  must keep the returned :class:`SharedGraphExport` alive while workers run
+  and call :meth:`SharedGraphExport.close` (unlinks the segments) when done;
+* each attaching side (:func:`attach_shared_graph`) gets a
+  :class:`AttachedGraph` and must call :meth:`AttachedGraph.close` before
+  exiting so the segment handles are released cleanly.
+
+When shared memory is unavailable (no ``/dev/shm``, exotic platforms), the
+export degrades to an *inline* payload — the raw buffer bytes travel inside
+the metadata and each worker rebuilds plain ``array`` buffers.  Correctness
+is unchanged; only the zero-copy property is lost.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bigraph.csr import CSRAdjacency
+from repro.bigraph.graph import BipartiteGraph
+from repro.exceptions import GraphConstructionError
+
+__all__ = [
+    "SharedGraphMeta",
+    "SharedGraphExport",
+    "AttachedGraph",
+    "export_shared_graph",
+    "attach_shared_graph",
+]
+
+#: ``(logical name, typecode)`` of the three CSR buffers, in a fixed order.
+_BUFFERS: Tuple[Tuple[str, str], ...] = (
+    ("offsets", "q"),
+    ("neighbors", "i"),
+    ("degrees", "i"),
+)
+
+
+@dataclass
+class SharedGraphMeta:
+    """Picklable description a worker needs to rebuild the graph.
+
+    ``mode`` is ``"shm"`` (``segments`` maps buffer name to
+    ``(shm_name, typecode, item_count)``) or ``"inline"`` (``payload`` maps
+    buffer name to ``(raw_bytes, typecode)``).
+    """
+
+    mode: str
+    n_upper: int
+    n_lower: int
+    segments: Dict[str, Tuple[str, str, int]] = field(default_factory=dict)
+    payload: Dict[str, Tuple[bytes, str]] = field(default_factory=dict)
+
+
+class SharedGraphExport:
+    """Owner handle for the exported segments (parent-process side)."""
+
+    def __init__(self, meta: SharedGraphMeta, segments: List[object]) -> None:
+        self.meta = meta
+        self._segments = segments
+        self._closed = False
+
+    @property
+    def nbytes(self) -> int:
+        """Total shared bytes (0 for the inline fallback)."""
+        if self.meta.mode != "shm":
+            return 0
+        total = 0
+        for _shm_name, code, count in self.meta.segments.values():
+            total += array(code).itemsize * count
+        return total
+
+    def close(self) -> None:
+        """Release and unlink every segment; safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm in self._segments:
+            try:
+                shm.close()  # type: ignore[attr-defined]
+            except (OSError, BufferError):
+                pass
+            try:
+                shm.unlink()  # type: ignore[attr-defined]
+            except (OSError, FileNotFoundError):
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SharedGraphExport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AttachedGraph:
+    """Worker-side view: the rebuilt graph plus the handles backing it."""
+
+    def __init__(self, graph: BipartiteGraph, segments: List[object]) -> None:
+        self.graph = graph
+        self._segments = segments
+        self._closed = False
+
+    def close(self) -> None:
+        """Drop the graph view, then release the segment handles.
+
+        The adjacency rows are memoryviews into the segments, so the graph
+        reference must be dropped first; a still-referenced view makes the
+        segment close a no-op rather than an error.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.graph = None  # type: ignore[assignment]
+        for shm in self._segments:
+            try:
+                shm.close()  # type: ignore[attr-defined]
+            except (OSError, BufferError):
+                # A surviving external reference to a row keeps the mapping
+                # alive; the OS reclaims it when the process exits.
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "AttachedGraph":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _csr_buffers(graph: BipartiteGraph) -> Dict[str, array]:
+    adj = graph.adjacency
+    if not isinstance(adj, CSRAdjacency):
+        raise GraphConstructionError(
+            "export_shared_graph needs a CSR-backed graph; call to_csr()")
+    return {"offsets": adj.offsets, "neighbors": adj.neighbors,
+            "degrees": adj.degrees}
+
+
+def export_shared_graph(graph: BipartiteGraph) -> SharedGraphExport:
+    """Copy a graph's CSR buffers into shared memory, once.
+
+    A list-backed graph is converted (one transient CSR copy in this
+    process); the original graph object is never mutated.  Falls back to the
+    inline payload mode when the platform cannot provide shared memory.
+    """
+    csr_graph = graph.to_csr()
+    buffers = _csr_buffers(csr_graph)
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - py>=3.8 always has it
+        return _export_inline(csr_graph, buffers)
+
+    meta = SharedGraphMeta(mode="shm", n_upper=csr_graph.n_upper,
+                           n_lower=csr_graph.n_lower)
+    segments: List[object] = []
+    try:
+        for name, code in _BUFFERS:
+            buf = buffers[name]
+            nbytes = buf.itemsize * len(buf)
+            shm = shared_memory.SharedMemory(create=True,
+                                             size=max(1, nbytes))
+            segments.append(shm)
+            if nbytes:
+                shm.buf[:nbytes] = memoryview(buf).cast("B")
+            meta.segments[name] = (shm.name, code, len(buf))
+    except (OSError, ValueError):
+        # No usable /dev/shm (or segment creation failed): release whatever
+        # was created and degrade to the inline payload.
+        for shm in segments:
+            try:
+                shm.close()  # type: ignore[attr-defined]
+                shm.unlink()  # type: ignore[attr-defined]
+            except (OSError, FileNotFoundError):
+                pass
+        return _export_inline(csr_graph, buffers)
+    return SharedGraphExport(meta, segments)
+
+
+def _export_inline(graph: BipartiteGraph,
+                   buffers: Dict[str, array]) -> SharedGraphExport:
+    meta = SharedGraphMeta(mode="inline", n_upper=graph.n_upper,
+                           n_lower=graph.n_lower)
+    for name, code in _BUFFERS:
+        meta.payload[name] = (buffers[name].tobytes(), code)
+    return SharedGraphExport(meta, segments=[])
+
+
+def attach_shared_graph(meta: SharedGraphMeta) -> AttachedGraph:
+    """Rebuild a read-only :class:`BipartiteGraph` view from export metadata.
+
+    In ``shm`` mode the adjacency is backed by the shared pages without
+    copying; in ``inline`` mode the buffers are rebuilt locally from the
+    carried bytes.
+    """
+    if meta.mode == "inline":
+        views: Dict[str, array] = {}
+        for name, (raw, code) in meta.payload.items():
+            buf = array(code)
+            buf.frombytes(raw)
+            views[name] = buf
+        adjacency = CSRAdjacency(views["offsets"], views["neighbors"],
+                                 views["degrees"])
+        graph = BipartiteGraph(meta.n_upper, meta.n_lower, adjacency,
+                               _validate=False)
+        return AttachedGraph(graph, segments=[])
+
+    from multiprocessing import shared_memory
+
+    segments: List[object] = []
+    typed: Dict[str, memoryview] = {}
+    try:
+        for name, (shm_name, code, count) in meta.segments.items():
+            # Attaching re-registers the segment with the resource tracker;
+            # workers are always children of the exporter, so they share one
+            # tracker process and the set-based registration is idempotent —
+            # the exporter's unlink() still deregisters exactly once.  (Do
+            # not attach from an unrelated process: its own tracker would
+            # unlink the segment when that process exits.)
+            shm = shared_memory.SharedMemory(name=shm_name)
+            segments.append(shm)
+            nbytes = array(code).itemsize * count
+            typed[name] = shm.buf[:nbytes].cast(code)
+    except (OSError, FileNotFoundError):
+        for shm in segments:
+            try:
+                shm.close()  # type: ignore[attr-defined]
+            except (OSError, BufferError):
+                pass
+        raise
+    adjacency = CSRAdjacency(
+        typed["offsets"],  # type: ignore[arg-type]
+        typed["neighbors"],  # type: ignore[arg-type]
+        typed["degrees"],  # type: ignore[arg-type]
+    )
+    graph = BipartiteGraph(meta.n_upper, meta.n_lower, adjacency,
+                           _validate=False)
+    return AttachedGraph(graph, segments)

@@ -20,7 +20,8 @@ from repro.core.naive import run_naive
 from repro.core.result import AnchoredCoreResult
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["reinforce", "METHODS", "CHECKPOINTABLE_METHODS"]
+__all__ = ["reinforce", "METHODS", "CHECKPOINTABLE_METHODS",
+           "PARALLEL_METHODS"]
 
 #: Methods accepted by :func:`reinforce`, in rough cost order.
 METHODS = (
@@ -38,6 +39,10 @@ METHODS = (
 #: Methods that support campaign checkpointing (the shared-engine family).
 CHECKPOINTABLE_METHODS = ("filver", "filver+", "filver++")
 
+#: Methods that accept ``workers > 1`` — the same engine family: only the
+#: filter–verification loop has an independent-candidate stage to fan out.
+PARALLEL_METHODS = CHECKPOINTABLE_METHODS
+
 
 def reinforce(
     graph: BipartiteGraph,
@@ -51,6 +56,7 @@ def reinforce(
     time_limit: Optional[float] = None,
     checkpoint: Optional[str] = None,
     resume_from: Optional[str] = None,
+    workers: int = 1,
 ) -> AnchoredCoreResult:
     """Reinforce ``graph`` by anchoring ``b1 + b2`` vertices.
 
@@ -76,6 +82,10 @@ def reinforce(
         Campaign checkpoint file to write after every iteration / to resume
         from (:data:`CHECKPOINTABLE_METHODS` only — see
         ``docs/RESILIENCE.md``).
+    workers:
+        Candidate-verification worker processes (:data:`PARALLEL_METHODS`
+        only).  The default 1 is the fully serial path; any larger value
+        produces identical results, faster (see ``docs/PARALLEL.md``).
 
     Returns
     -------
@@ -88,6 +98,12 @@ def reinforce(
         raise InvalidParameterError(
             "checkpoint/resume is only supported by %s, not %r"
             % (", ".join(CHECKPOINTABLE_METHODS), method))
+    if workers < 1:
+        raise InvalidParameterError("workers must be >= 1, got %d" % workers)
+    if workers > 1 and method not in PARALLEL_METHODS:
+        raise InvalidParameterError(
+            "workers > 1 is only supported by %s, not %r"
+            % (", ".join(PARALLEL_METHODS), method))
     deadline = (time.perf_counter() + time_limit) if time_limit else None
     if method == "random":
         return run_random(graph, alpha, beta, b1, b2, seed=seed)
@@ -101,13 +117,15 @@ def reinforce(
         return run_naive(graph, alpha, beta, b1, b2, deadline=deadline)
     if method == "filver":
         return run_filver(graph, alpha, beta, b1, b2, deadline=deadline,
-                          checkpoint=checkpoint, resume_from=resume_from)
+                          checkpoint=checkpoint, resume_from=resume_from,
+                          workers=workers)
     if method == "filver+":
         return run_filver_plus(graph, alpha, beta, b1, b2, deadline=deadline,
-                               checkpoint=checkpoint, resume_from=resume_from)
+                               checkpoint=checkpoint, resume_from=resume_from,
+                               workers=workers)
     if method == "filver++":
         return run_filver_plus_plus(graph, alpha, beta, b1, b2, t=t,
                                     deadline=deadline, checkpoint=checkpoint,
-                                    resume_from=resume_from)
+                                    resume_from=resume_from, workers=workers)
     raise InvalidParameterError(
         "unknown method %r; expected one of %s" % (method, ", ".join(METHODS)))

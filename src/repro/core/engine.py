@@ -40,7 +40,7 @@ from repro.resilience.checkpoint import (
     graph_fingerprint,
     load_checkpoint,
 )
-from repro.resilience.faults import fault_site
+from repro.resilience.faults import active_plan, fault_site
 
 __all__ = ["EngineOptions", "run_engine"]
 
@@ -80,6 +80,7 @@ def run_engine(
     on_iteration: Optional[ProgressCallback] = None,
     checkpoint: Optional[Union[str, "os.PathLike[str]"]] = None,
     resume_from: Optional[CheckpointSource] = None,
+    workers: int = 1,
 ) -> AnchoredCoreResult:
     """Run the greedy filter–verification loop to completion.
 
@@ -90,6 +91,15 @@ def run_engine(
     returned with ``timed_out=True``.  ``on_iteration`` is invoked with each
     finished :class:`IterationRecord` — long runs can stream progress to a
     UI or log.
+
+    ``workers > 1`` fans candidate verification out to a process pool
+    (:mod:`repro.parallel`) sharing the CSR graph zero-copy; results are
+    reduced in the serial tie-breaking order, so the returned result —
+    anchors, followers, per-iteration records, ``verifications`` counts —
+    is identical to a ``workers=1`` run (``docs/PARALLEL.md``).  Because
+    nothing about the parallel schedule is recorded, checkpoints written by
+    serial and parallel campaigns are interchangeable.  When the pool
+    cannot be created the engine silently degrades to the serial path.
 
     Resilience hooks (see ``docs/RESILIENCE.md``):
 
@@ -108,6 +118,18 @@ def run_engine(
     t = options.anchors_per_iteration
     if t < 1:
         raise ValueError("anchors_per_iteration must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1, got %d" % workers)
+
+    evaluator = None
+    if workers > 1:
+        from repro.parallel import create_evaluator
+
+        plan = active_plan()
+        fault_specs = tuple(
+            spec for spec in (plan.specs if plan is not None else ())
+            if spec.site.startswith("parallel."))
+        evaluator = create_evaluator(graph, workers, fault_specs=fault_specs)
 
     start = time.perf_counter()
     base_core = abcore(graph, alpha, beta)
@@ -174,7 +196,8 @@ def run_engine(
                                              min(t, upper_left + lower_left),
                                              upper_left, lower_left)
             verifications, timed_out = _verification_stage(
-                graph, state, scored, maintainer, t, deadline)
+                graph, state, scored, maintainer, t, deadline,
+                evaluator=evaluator)
 
             chosen = [x for x in maintainer.anchors
                       if maintainer.followers_of(x)]
@@ -226,6 +249,9 @@ def run_engine(
         # successful apply, so finalizing here yields a verified
         # best-so-far result rather than losing hours of campaign.
         interrupted = True
+    finally:
+        if evaluator is not None:
+            evaluator.shutdown()
 
     # Authoritative objective: recompute the anchored core globally once.
     final_core = anchored_abcore(graph, alpha, beta, anchors)
@@ -315,6 +341,7 @@ def _verification_stage(
     maintainer: AnchorSetMaintainer,
     t: int,
     deadline: Optional[float],
+    evaluator: Optional[object] = None,
 ) -> Tuple[int, bool]:
     """Scan ranked candidates, computing followers and updating ``T``.
 
@@ -326,8 +353,17 @@ def _verification_stage(
       skipped — and since bounds are sorted, for ``t = 1`` the scan stops
       outright (the threshold ``|F(x*)|`` only ever grows), while for
       ``t > 1`` it continues because replacements may lower the threshold.
+
+    With an ``evaluator`` (a :class:`repro.parallel.ParallelEvaluator`),
+    follower sets are precomputed speculatively on the pool and this scan
+    consumes them in the same ranked order, applying the same skip rules —
+    sets for skipped candidates are simply discarded, so the anchors chosen
+    and the ``verifications`` count are identical to the serial scan's.
     """
     fault_site("engine.verify")
+    if evaluator is not None:
+        return _parallel_verification_stage(state, scored, maintainer, t,
+                                            deadline, evaluator)
     covered: Set[int] = set()
     verifications = 0
     core = state.core
@@ -345,4 +381,50 @@ def _verification_stage(
         covered |= follower_set
         if follower_set:
             maintainer.offer(x, follower_set)
+    return verifications, False
+
+
+def _parallel_verification_stage(
+    state: OrderState,
+    scored: List[Tuple[int, int, DeletionOrder]],
+    maintainer: AnchorSetMaintainer,
+    t: int,
+    deadline: Optional[float],
+    evaluator: object,
+) -> Tuple[int, bool]:
+    """The verification scan over pool-precomputed follower sets.
+
+    ``verifications`` still counts only the candidates the serial scan
+    would have evaluated — the speculative extras the pool computed are
+    discarded, not counted — so iteration records match serially exactly.
+    Closing the stream on early exit (the ``t = 1`` break) cancels the
+    not-yet-dispatched remainder.
+    """
+    from repro.parallel import EvaluationStopped
+
+    covered: Set[int] = set()
+    verifications = 0
+    items = [(order.side, x) for _bound, x, order in scored]
+    evaluator.begin_iteration(state, deadline)  # type: ignore[attr-defined]
+    stream = evaluator.evaluate(items)  # type: ignore[attr-defined]
+    try:
+        for (bound, x, _order), follower_set in zip(scored, stream):
+            if deadline is not None and time.perf_counter() > deadline:
+                return verifications, True
+            if x in covered:
+                continue
+            if bound <= maintainer.skip_threshold():
+                if t == 1:
+                    break
+                continue
+            verifications += 1
+            covered |= follower_set
+            if follower_set:
+                maintainer.offer(x, follower_set)
+    except EvaluationStopped:
+        # A worker observed the deadline before the parent did: same
+        # outcome as the serial per-candidate deadline check.
+        return verifications, True
+    finally:
+        stream.close()
     return verifications, False

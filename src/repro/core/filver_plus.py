@@ -37,12 +37,16 @@ def run_filver_plus(
     deadline: Optional[float] = None,
     checkpoint: Optional[str] = None,
     resume_from: Optional[str] = None,
+    workers: int = 1,
 ) -> AnchoredCoreResult:
     """Solve the anchored (α,β)-core problem with FILVER+.
 
     ``checkpoint`` / ``resume_from`` enable per-iteration snapshots and
-    deterministic resume (see :func:`repro.core.engine.run_engine`).
+    deterministic resume; ``workers > 1`` verifies candidates on a process
+    pool with results identical to the serial scan (see
+    :func:`repro.core.engine.run_engine`).
     """
     return run_engine(graph, alpha, beta, b1, b2, FILVER_PLUS_OPTIONS,
                       algorithm="filver+", deadline=deadline,
-                      checkpoint=checkpoint, resume_from=resume_from)
+                      checkpoint=checkpoint, resume_from=resume_from,
+                      workers=workers)

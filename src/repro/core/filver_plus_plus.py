@@ -39,15 +39,19 @@ def run_filver_plus_plus(
     deadline: Optional[float] = None,
     checkpoint: Optional[str] = None,
     resume_from: Optional[str] = None,
+    workers: int = 1,
 ) -> AnchoredCoreResult:
     """Solve the anchored (α,β)-core problem with FILVER++.
 
     ``t`` is the number of anchors placed per iteration (the paper sweeps
     1, 2, 4, 8, 16 and uses 5 as the default elsewhere).
     ``checkpoint`` / ``resume_from`` enable per-iteration snapshots and
-    deterministic resume (see :func:`repro.core.engine.run_engine`).
+    deterministic resume; ``workers > 1`` verifies candidates on a process
+    pool with results identical to the serial scan (see
+    :func:`repro.core.engine.run_engine`).
     """
     return run_engine(graph, alpha, beta, b1, b2,
                       filver_plus_plus_options(t),
                       algorithm="filver++(t=%d)" % t, deadline=deadline,
-                      checkpoint=checkpoint, resume_from=resume_from)
+                      checkpoint=checkpoint, resume_from=resume_from,
+                      workers=workers)

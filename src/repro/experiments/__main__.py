@@ -47,6 +47,10 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="also write raw measurement rows as CSV "
                              "(fig8/fig9a/fig9b targets)")
+    parser.add_argument("--workers", type=int, default=DEFAULTS.workers,
+                        help="worker processes for engine methods; for "
+                             "'report', also the number of sections run "
+                             "concurrently (output is identical either way)")
     return parser
 
 
@@ -62,7 +66,7 @@ def main(argv: List[str] = None) -> int:
         print(report.render())
         return 0 if report.clean else 1
     defaults = replace(DEFAULTS, scale=args.scale, seed=args.seed,
-                       time_limit=args.time_limit)
+                       time_limit=args.time_limit, workers=args.workers)
     if args.target == "report":
         from repro.experiments.suite import run_full_suite
 

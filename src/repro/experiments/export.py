@@ -22,7 +22,8 @@ from repro.experiments.runner import MethodRun
 from repro.resilience.atomic import atomic_writer
 from repro.resilience.faults import fault_site
 
-__all__ = ["result_to_dict", "runs_to_rows", "write_csv", "write_json"]
+__all__ = ["result_to_dict", "canonical_result_dict", "runs_to_rows",
+           "write_csv", "write_json"]
 
 PathOrFile = Union[str, os.PathLike, TextIO]
 
@@ -48,6 +49,22 @@ def result_to_dict(result: AnchoredCoreResult) -> Dict[str, object]:
         "interrupted": result.interrupted,
         "iterations": [record.to_dict() for record in result.iterations],
     }
+
+
+def canonical_result_dict(result: AnchoredCoreResult) -> Dict[str, object]:
+    """:func:`result_to_dict` minus every wall-clock field.
+
+    Two runs of the same campaign — serial vs. parallel, today vs. last
+    commit — are *supposed* to produce byte-identical JSON under this view;
+    only ``elapsed`` legitimately differs between them.  This is what the
+    differential tests and the parallel bench compare.
+    """
+    data = result_to_dict(result)
+    del data["elapsed"]
+    data["iterations"] = [
+        {key: value for key, value in record.items() if key != "elapsed"}
+        for record in data["iterations"]]
+    return data
 
 
 def runs_to_rows(runs: Iterable[MethodRun]) -> List[Dict[str, object]]:

@@ -252,7 +252,7 @@ def fig8_runtime(
             rows.append(run_method(
                 graph, code, method, alpha, beta, b1, b2,
                 t=defaults.t, time_limit=defaults.time_limit,
-                on_error=on_error))
+                on_error=on_error, workers=defaults.workers))
     return rows
 
 
@@ -315,7 +315,8 @@ def fig9_degree_constraints(
                 rows.append(run_method(
                     graph, code, method, alpha, beta,
                     b1, b2, t=defaults.t,
-                    time_limit=defaults.time_limit, on_error=on_error))
+                    time_limit=defaults.time_limit, on_error=on_error,
+                    workers=defaults.workers))
     return rows
 
 
@@ -338,7 +339,8 @@ def fig9_budgets(
             for method in methods:
                 rows.append(run_method(
                     graph, code, method, alpha, beta, b1, b2, t=defaults.t,
-                    time_limit=defaults.time_limit, on_error=on_error))
+                    time_limit=defaults.time_limit, on_error=on_error,
+                    workers=defaults.workers))
     return rows
 
 

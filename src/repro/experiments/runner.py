@@ -41,6 +41,9 @@ class ExperimentDefaults:
     time_limit: float = 60.0
     scale: float = 1.0
     seed: int = 2022
+    #: Worker processes for engine-method candidate verification, and
+    #: section-level threads for the full suite; 1 = fully serial.
+    workers: int = 1
 
 
 DEFAULTS = ExperimentDefaults()
@@ -97,6 +100,7 @@ def run_method(
     time_limit: Optional[float] = None,
     seed: Optional[int] = None,
     on_error: str = "raise",
+    workers: int = 1,
 ) -> MethodRun:
     """Run one algorithm with timing and timeout accounting.
 
@@ -105,15 +109,23 @@ def run_method(
     ``MemoryError`` escaping a non-engine method) is captured as a
     ``CRASH`` row carrying the traceback, and the caller keeps measuring
     the remaining methods.  The default ``"raise"`` propagates as before.
+
+    ``workers`` is forwarded only to the engine methods (baselines have no
+    parallel stage); results are identical either way, so measurement rows
+    stay comparable across worker counts.
     """
     if on_error not in ("raise", "record"):
         raise InvalidParameterError(
             "on_error must be 'raise' or 'record', got %r" % (on_error,))
+    from repro.core.api import PARALLEL_METHODS
+
+    method_workers = workers if method in PARALLEL_METHODS else 1
     started = time.perf_counter()
     try:
         fault_site("runner.run_method")
         result = reinforce(graph, alpha, beta, b1, b2, method=method, t=t,
-                           seed=seed, time_limit=time_limit)
+                           seed=seed, time_limit=time_limit,
+                           workers=method_workers)
     except (Exception, KeyboardInterrupt, MemoryError):  # repro: boundary
         if on_error == "raise":
             raise

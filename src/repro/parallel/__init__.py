@@ -1,0 +1,22 @@
+"""Parallel candidate evaluation for the FILVER engine.
+
+The verification stage evaluates ``F(x)`` for many independent candidate
+anchors; :class:`~repro.parallel.evaluator.ParallelEvaluator` fans those
+evaluations out to a pool of worker processes that share the CSR graph
+zero-copy (:mod:`repro.bigraph.shm`) and reduces the results in the exact
+serial tie-breaking order, so a parallel campaign is byte-identical to a
+serial one.  See ``docs/PARALLEL.md`` for the architecture and the
+determinism contract.
+"""
+
+from repro.parallel.evaluator import (
+    EvaluationStopped,
+    ParallelEvaluator,
+    create_evaluator,
+)
+
+__all__ = [
+    "EvaluationStopped",
+    "ParallelEvaluator",
+    "create_evaluator",
+]

@@ -1,0 +1,571 @@
+"""Process-pool evaluation of candidate anchors, bit-identical to serial.
+
+Why this is safe to parallelize
+-------------------------------
+Within one engine iteration the graph, both deletion orders, and the
+anchored core are all *frozen*: ``compute_followers(graph, order, x, core)``
+is a pure function of them and ``x``.  The serial verification stage's skip
+rules (coverage by an earlier follower set, the ``T``-threshold bound) only
+decide *whether* a candidate is evaluated — never *what* its follower set
+would be.  So workers may evaluate candidates speculatively, in any order,
+and the parent replays the serial scan over the precomputed sets: the
+chosen anchors, the follower sets, and even the per-iteration
+``verifications`` counter come out exactly as a serial run's.  The price of
+that contract is bounded wasted work — follower sets the serial scan would
+have skipped are computed and discarded.
+
+Topology
+--------
+One duplex pipe per worker; the shared stop flag is a
+``multiprocessing.Event``.  Per iteration the parent broadcasts one
+``state`` message (deletion-order positions, anchored core, deadline), then
+streams candidate chunks round-robin to idle workers and yields follower
+sets back in candidate order.  Messages are processed FIFO per worker, so a
+chunk can never be interpreted under the wrong iteration's state.
+
+Failure semantics (see ``docs/PARALLEL.md``):
+
+* a worker raising :class:`~repro.exceptions.AbortCampaign` (observers,
+  injected faults) surfaces in the parent as ``AbortCampaign`` — the engine
+  finalizes the usual clean ``interrupted=True`` result;
+* a worker hitting the deadline or the stop flag replies ``stopped`` and
+  the parent raises :class:`EvaluationStopped` — the engine returns the
+  usual partial ``timed_out=True`` result;
+* a worker that *dies* mid-chunk (killed, OOM, ``SystemExit``) is buried
+  and its chunk is recomputed serially in the parent; with every worker
+  gone the evaluator degrades to fully serial evaluation.  Results are
+  identical in all three degraded modes because the replay order never
+  changes.
+
+Determinism caveat: worker *scheduling* is nondeterministic, but scheduling
+only affects wall-clock, never values — every reduction is keyed by chunk
+index, not arrival order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+from contextlib import nullcontext
+from multiprocessing import connection as mp_connection
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.shm import SharedGraphMeta, attach_shared_graph, export_shared_graph
+from repro.core.deletion_order import DeletionOrder
+from repro.core.followers import compute_followers
+from repro.exceptions import AbortCampaign, InvalidParameterError
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    deactivate_inherited_plan,
+    fault_site,
+)
+
+if TYPE_CHECKING:  # runtime import would be circular via repro.core.engine
+    from repro.core.order_maintenance import OrderState
+
+__all__ = ["EvaluationStopped", "ParallelEvaluator", "create_evaluator"]
+
+#: One candidate: (side, vertex) where side selects O_U or O_L.
+Candidate = Tuple[str, int]
+
+#: Upper bound on auto-sized chunks: small enough that the drain after an
+#: early break wastes little work, large enough to amortize IPC.
+_MAX_CHUNK = 64
+
+#: How many chunks each worker should receive over an average iteration
+#: under auto-sizing; > 1 keeps the pipeline busy when chunk costs vary.
+_CHUNKS_PER_WORKER = 4
+
+
+class EvaluationStopped(Exception):
+    """Internal signal: a worker observed the deadline / stop flag.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: it never
+    escapes the engine, which translates it into ``timed_out=True`` exactly
+    like the serial deadline check.
+    """
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = ("process", "conn", "inflight", "dead")
+
+    def __init__(self, process: multiprocessing.process.BaseProcess,
+                 conn: mp_connection.Connection) -> None:
+        self.process = process
+        self.conn = conn
+        #: ``(epoch, chunk_id, items)`` of the dispatched, unanswered chunk.
+        self.inflight: Optional[Tuple[int, int, Sequence[Candidate]]] = None
+        self.dead = False
+
+
+class ParallelEvaluator:
+    """Evaluate ``F(x)`` for candidate batches on a process pool.
+
+    Parameters
+    ----------
+    graph:
+        The problem graph.  Exported once (CSR, shared memory) at
+        construction; list-backed graphs are converted for the export only.
+    workers:
+        Number of worker processes, ≥ 2 (``workers=1`` means "don't build
+        an evaluator" — the engine keeps its serial path).
+    chunk_size:
+        Candidates per dispatched chunk; ``None`` auto-sizes per iteration.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` (cheap,
+        Linux) and falls back to ``spawn``.
+    fault_specs:
+        :class:`~repro.resilience.faults.FaultSpec` entries replayed inside
+        each worker (sites ``parallel.*``) — the deterministic handle the
+        fault tests use to crash or abort a worker mid-chunk.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        workers: int,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+        fault_specs: Sequence[FaultSpec] = (),
+    ) -> None:
+        if workers < 2:
+            raise InvalidParameterError(
+                "ParallelEvaluator needs workers >= 2, got %d" % workers)
+        if chunk_size is not None and chunk_size < 1:
+            raise InvalidParameterError(
+                "chunk_size must be >= 1, got %d" % chunk_size)
+        self._graph = graph
+        self._chunk_size = chunk_size
+        self._epoch = 0
+        self._orders: Dict[str, DeletionOrder] = {}
+        self._core: Set[int] = set()
+        self._closed = False
+
+        self._export = export_shared_graph(graph)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        ctx = multiprocessing.get_context(start_method)
+        self._stop = ctx.Event()
+        self._workers: List[_WorkerHandle] = []
+        try:
+            for _ in range(workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, self._export.meta, self._stop,
+                          tuple(fault_specs)),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append(_WorkerHandle(process, parent_conn))
+        except (OSError, ValueError):
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and the engine)
+    # ------------------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        """Workers originally spawned (dead ones included)."""
+        return len(self._workers)
+
+    @property
+    def alive_workers(self) -> int:
+        """Workers still accepting chunks."""
+        return sum(1 for w in self._workers if not w.dead)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live workers (fault tests kill these)."""
+        return [w.process.pid for w in self._workers
+                if not w.dead and w.process.pid is not None]
+
+    # ------------------------------------------------------------------
+    # Per-iteration protocol
+    # ------------------------------------------------------------------
+
+    def begin_iteration(self, state: "OrderState",
+                        deadline: Optional[float]) -> None:
+        """Broadcast this iteration's frozen evaluation state to the pool.
+
+        Must be called before :meth:`evaluate` each iteration; the epoch it
+        bumps is what lets stale results from an abandoned stream be
+        recognized and dropped.
+        """
+        self._epoch += 1
+        self._orders = {"upper": state.upper, "lower": state.lower}
+        self._core = state.core
+        message = ("state", self._epoch, {
+            "alpha": state.alpha,
+            "beta": state.beta,
+            "deadline": deadline,
+            "core": state.core,
+            "positions": {"upper": state.upper.position,
+                          "lower": state.lower.position},
+        })
+        for worker in self._workers:
+            if worker.dead:
+                continue
+            try:
+                worker.conn.send(message)
+            except (OSError, BrokenPipeError):
+                self._bury(worker, results=None)
+
+    def evaluate(self, items: Sequence[Candidate]) -> Iterator[Set[int]]:
+        """Yield ``F(x)`` for every candidate, in the given (serial) order.
+
+        Chunks are dispatched speculatively; closing the generator early
+        (serial scan break) cancels the remaining dispatch and drains
+        whatever is in flight.  Raises :class:`AbortCampaign` when a worker
+        aborts and :class:`EvaluationStopped` when one hits the deadline.
+        """
+        if not items:
+            return
+        size = self._chunk_size
+        if size is None:
+            per_pipeline = max(1, self.alive_workers) * _CHUNKS_PER_WORKER
+            size = max(1, min(_MAX_CHUNK, -(-len(items) // per_pipeline)))
+        chunks: List[Sequence[Candidate]] = [
+            items[i:i + size] for i in range(0, len(items), size)]
+        results: Dict[int, List[Set[int]]] = {}
+        cursor = 0  # chunks[:cursor] have been dispatched (or run locally)
+        next_yield = 0
+        try:
+            while next_yield < len(chunks):
+                if next_yield in results:
+                    for follower_set in results.pop(next_yield):
+                        yield follower_set
+                    next_yield += 1
+                    continue
+                cursor = self._fill_idle(chunks, cursor)
+                if any(w.inflight is not None for w in self._workers
+                       if not w.dead):
+                    self._pump(results, blocking=True)
+                elif next_yield >= cursor:
+                    # Pool unavailable (all workers dead, or buried during
+                    # dispatch): evaluate the next chunk in-process.  Same
+                    # values, no parallelism.
+                    cursor = max(cursor, next_yield + 1)
+                    results[next_yield] = self._local_chunk(chunks[next_yield])
+                # else: the chunk was dispatched and its worker died; _bury
+                # already recomputed it into results — loop around.
+        finally:
+            self._drain()
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+
+    def _fill_idle(self, chunks: List[Sequence[Candidate]],
+                   cursor: int) -> int:
+        """Dispatch pending chunks to idle workers; return the new cursor."""
+        for worker in self._workers:
+            if cursor >= len(chunks):
+                break
+            if worker.dead or worker.inflight is not None:
+                continue
+            fault_site("parallel.dispatch")
+            chunk_id = cursor
+            worker.inflight = (self._epoch, chunk_id, chunks[chunk_id])
+            try:
+                worker.conn.send(("chunk", self._epoch, chunk_id,
+                                  tuple(chunks[chunk_id])))
+            except (OSError, BrokenPipeError):
+                # _bury recomputes the chunk locally via the inflight record.
+                self._bury(worker, results=None)
+                return cursor  # caller re-enters and reconsiders
+            cursor += 1
+        return cursor
+
+    def _pump(self, results: Dict[int, List[Set[int]]],
+              blocking: bool) -> None:
+        """Receive at least one message (when blocking) and apply it."""
+        conns = {w.conn: w for w in self._workers
+                 if not w.dead and w.inflight is not None}
+        if not conns:
+            return
+        ready = mp_connection.wait(list(conns),
+                                   timeout=None if blocking else 0)
+        for conn in ready:
+            worker = conns[conn]
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                self._bury(worker, results)
+                continue
+            self._apply_message(worker, message, results)
+
+    def _apply_message(self, worker: _WorkerHandle, message: Tuple,
+                       results: Optional[Dict[int, List[Set[int]]]]) -> None:
+        kind, epoch, chunk_id = message[0], message[1], message[2]
+        worker.inflight = None
+        if epoch != self._epoch or results is None:
+            return  # stale reply from an abandoned stream
+        if kind == "result":
+            results[chunk_id] = message[3]
+        elif kind == "abort":
+            raise AbortCampaign(message[3])
+        elif kind == "stopped":
+            raise EvaluationStopped()
+        elif kind == "error":
+            # Degrade: recompute in the parent.  An injected worker-only
+            # fault vanishes (graceful degradation); a genuine bug in the
+            # evaluation re-raises here with a clean parent traceback (the
+            # worker's formatted traceback is chained for context).
+            try:
+                results[chunk_id] = self._local_chunk(
+                    self._chunk_items(chunk_id, message))
+            except Exception as exc:  # repro: boundary
+                raise RuntimeError(
+                    "candidate evaluation failed in worker and parent; "
+                    "worker traceback:\n%s" % message[3]) from exc
+
+    def _chunk_items(self, chunk_id: int,
+                     message: Tuple) -> Sequence[Candidate]:
+        items = message[4] if len(message) > 4 else None
+        if items is None:
+            raise RuntimeError("worker error reply carried no chunk items")
+        return items
+
+    def _bury(self, worker: _WorkerHandle,
+              results: Optional[Dict[int, List[Set[int]]]]) -> None:
+        """Mark a worker dead; recompute its in-flight chunk in-process."""
+        worker.dead = True
+        inflight = worker.inflight
+        worker.inflight = None
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=1.0)
+        if inflight is not None and results is not None:
+            epoch, chunk_id, items = inflight
+            if epoch == self._epoch:
+                results[chunk_id] = self._local_chunk(items)
+
+    def _local_chunk(self, items: Sequence[Candidate]) -> List[Set[int]]:
+        """The serial fallback: evaluate one chunk in the parent process."""
+        out: List[Set[int]] = []
+        for side, x in items:
+            out.append(compute_followers(self._graph, self._orders[side], x,
+                                         core=self._core))
+        return out
+
+    def _drain(self) -> None:
+        """Collect (and discard) every outstanding reply.
+
+        Restores the invariant that no chunk is in flight between
+        :meth:`evaluate` calls — which is what makes the next
+        ``begin_iteration`` broadcast deadlock-free: a worker mid-``send``
+        of a large stale result would otherwise never drain its inbound
+        pipe.  Abort/stop replies arriving during a drain are dropped; the
+        stream they belonged to is already abandoned.
+        """
+        while True:
+            pending = [w for w in self._workers
+                       if not w.dead and w.inflight is not None]
+            if not pending:
+                return
+            conns = {w.conn: w for w in pending}
+            for conn in mp_connection.wait(list(conns)):
+                worker = conns[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._bury(worker, results=None)
+                    continue
+                worker.inflight = None
+                del message  # stale by construction
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Raise the shared stop flag without tearing the pool down.
+
+        Workers check the flag between candidates; any chunk in flight
+        comes back ``stopped`` and the consuming :meth:`evaluate` stream
+        raises :class:`EvaluationStopped` — the same clean path a deadline
+        takes.  This is the campaign-budget hook: one call stops every
+        worker at its next candidate boundary.
+        """
+        self._stop.set()
+
+    def shutdown(self) -> None:
+        """Stop the pool and release the shared segments; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        for worker in self._workers:
+            if worker.dead:
+                continue
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        deadline = time.perf_counter() + 5.0
+        for worker in self._workers:
+            if worker.dead:
+                continue
+            # Keep the outbound pipe drained while waiting so a worker
+            # blocked mid-send of a stale result can reach the stop message.
+            while worker.process.is_alive():
+                if time.perf_counter() > deadline:
+                    worker.process.terminate()
+                    break
+                try:
+                    if worker.conn.poll(0.05):
+                        worker.conn.recv()
+                except (EOFError, OSError):
+                    break
+            worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.dead = True
+        self._export.close()
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+def create_evaluator(
+    graph: BipartiteGraph,
+    workers: int,
+    chunk_size: Optional[int] = None,
+    fault_specs: Sequence[FaultSpec] = (),
+) -> Optional[ParallelEvaluator]:
+    """Build an evaluator for ``workers > 1``; ``None`` keeps the serial path.
+
+    Pool construction failure (fork refused, resource limits) also returns
+    ``None`` — campaigns degrade to serial instead of failing.
+    """
+    if workers <= 1:
+        return None
+    try:
+        return ParallelEvaluator(graph, workers, chunk_size=chunk_size,
+                                 fault_specs=fault_specs)
+    except (OSError, ValueError):  # repro: boundary
+        return None
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _worker_main(conn: mp_connection.Connection, meta: SharedGraphMeta,
+                 stop_event: object, fault_specs: Tuple[FaultSpec, ...]) -> None:
+    """Worker loop: attach the shared graph, evaluate chunks until stopped."""
+    # Ctrl-C belongs to the parent: it finalizes the best-so-far result and
+    # asks the pool to stop; a KeyboardInterrupt racing inside a worker
+    # would only turn that clean path into a broken pipe.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (OSError, ValueError):  # pragma: no cover - non-main thread
+        pass
+    handle = attach_shared_graph(meta)
+    # Under the fork start method the parent's active FaultPlan global is
+    # inherited; its counters belong to the parent, so drop it before
+    # activating this worker's own (parallel.*-filtered) plan.
+    deactivate_inherited_plan()
+    plan = FaultPlan(specs=list(fault_specs)) if fault_specs else None
+    state: Dict[str, object] = {}
+    try:
+        with (plan.active() if plan is not None else nullcontext()):
+            _worker_loop(conn, handle.graph, stop_event, state)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    finally:
+        state.clear()
+        handle.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _worker_loop(conn: mp_connection.Connection, graph: BipartiteGraph,
+                 stop_event: object, state: Dict[str, object]) -> None:
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "state":
+            _, epoch, payload = message
+            orders = {}
+            for side in ("upper", "lower"):
+                orders[side] = DeletionOrder(
+                    side=side,
+                    position=payload["positions"][side],
+                    core=payload["core"],
+                    relaxed_core=set(),
+                    alpha=payload["alpha"],
+                    beta=payload["beta"],
+                )
+            state["epoch"] = epoch
+            state["orders"] = orders
+            state["core"] = payload["core"]
+            state["deadline"] = payload["deadline"]
+            continue
+        # ("chunk", epoch, chunk_id, items) — FIFO pipes guarantee the
+        # state message for this epoch was already processed.
+        _, epoch, chunk_id, items = message
+        try:
+            follower_sets = _evaluate_chunk(graph, state, items, stop_event)
+        except AbortCampaign as exc:
+            conn.send(("abort", epoch, chunk_id, str(exc)))
+            continue
+        except Exception:  # repro: boundary
+            # Ship the traceback with the items so the parent can both
+            # recompute the chunk and report the worker-side context.
+            conn.send(("error", epoch, chunk_id, traceback.format_exc(),
+                       items))
+            continue
+        if follower_sets is None:
+            conn.send(("stopped", epoch, chunk_id))
+        else:
+            conn.send(("result", epoch, chunk_id, follower_sets))
+
+
+def _evaluate_chunk(graph: BipartiteGraph, state: Dict[str, object],
+                    items: Sequence[Candidate],
+                    stop_event: object) -> Optional[List[Set[int]]]:
+    """Follower sets for one chunk; ``None`` when deadline/stop fired."""
+    fault_site("parallel.chunk")
+    orders = state["orders"]
+    core = state["core"]
+    deadline = state["deadline"]
+    is_stopped = stop_event.is_set  # type: ignore[attr-defined]
+    now = time.perf_counter
+    out: List[Set[int]] = []
+    for side, x in items:
+        # The stop flag is the campaign-wide budget guard; the deadline
+        # check mirrors the serial scan (perf_counter is CLOCK_MONOTONIC,
+        # comparable across processes on the supported platforms).
+        if is_stopped():
+            return None
+        if deadline is not None and now() > deadline:
+            return None
+        out.append(compute_followers(graph, orders[side], x, core=core))  # type: ignore[index]
+    return out

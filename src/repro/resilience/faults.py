@@ -18,16 +18,23 @@ replay identically.
 
 Instrumented sites (see ``docs/RESILIENCE.md``):
 
-====================  ====================================================
-site                  where it fires
-====================  ====================================================
-``engine.filter``     start of each engine filter stage (once/iteration)
-``engine.verify``     start of each engine verification stage
-``checkpoint.write``  right before a campaign checkpoint is persisted
-``io.read_edge_list`` entry of the edge-list loader (both backends)
-``export.write``      entry of ``write_json`` / ``write_csv``
-``runner.run_method`` entry of ``experiments.runner.run_method``
-====================  ====================================================
+=====================  ===================================================
+site                   where it fires
+=====================  ===================================================
+``engine.filter``      start of each engine filter stage (once/iteration)
+``engine.verify``      start of each engine verification stage
+``checkpoint.write``   right before a campaign checkpoint is persisted
+``io.read_edge_list``  entry of the edge-list loader (both backends)
+``export.write``       entry of ``write_json`` / ``write_csv``
+``runner.run_method``  entry of ``experiments.runner.run_method``
+``parallel.dispatch``  parent side, before each chunk is sent to a worker
+``parallel.chunk``     worker side, at the start of each received chunk
+=====================  ===================================================
+
+The two ``parallel.*`` sites span a process boundary: ``run_engine``
+forwards any active plan's ``parallel.``-prefixed specs into each worker,
+where they replay against that worker's own counters (see
+``docs/PARALLEL.md`` for how worker faults degrade).
 """
 
 from __future__ import annotations
@@ -38,7 +45,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Ty
 
 from repro.exceptions import FaultInjected, InvalidParameterError
 
-__all__ = ["FaultSpec", "FaultPlan", "fault_site", "active_plan"]
+__all__ = ["FaultSpec", "FaultPlan", "fault_site", "active_plan",
+           "deactivate_inherited_plan"]
 
 #: What a spec raises: an exception instance, class, or zero-arg factory.
 FaultFactory = Union[BaseException, Type[BaseException],
@@ -140,6 +148,17 @@ _ACTIVE: Optional[FaultPlan] = None
 def active_plan() -> Optional[FaultPlan]:
     """The currently active plan, if any (introspection for tests)."""
     return _ACTIVE
+
+
+def deactivate_inherited_plan() -> None:
+    """Forget a plan inherited across ``fork`` (worker processes only).
+
+    A forked worker starts with the parent's ``_ACTIVE`` global still set;
+    the counters in that plan belong to the parent and must not be shared.
+    Workers call this once at startup before activating their own plan.
+    """
+    global _ACTIVE
+    _ACTIVE = None
 
 
 def fault_site(name: str) -> None:

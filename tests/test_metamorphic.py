@@ -1,0 +1,143 @@
+"""Metamorphic properties of the anchored (α,β)-core machinery.
+
+Each test states a relation that must hold between a computation and a
+transformed re-run of it (relabeled vertices, tightened constraints, added
+edges, placed anchors) — no oracle values, so the properties hold on any
+seeded graph and catch whole classes of bugs that example-based tests
+cannot (id-dependent tie-breaking, backend-dependent neighbor handling,
+monotonicity violations).
+
+All randomness flows through ``make_rng`` seeds; both adjacency backends
+run every property.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+import pytest
+
+from repro.abcore.decomposition import abcore, anchored_abcore
+from repro.bigraph import BipartiteGraph, add_edges, from_edge_list
+from repro.core.api import reinforce
+from repro.utils.rng import derive_seed, make_rng
+
+BACKENDS = ("list", "csr")
+SEEDS = (11, 23, 47)
+CONSTRAINTS = ((2, 2), (3, 2), (2, 3))
+
+
+def seeded_graph(seed: int, backend: str, n1: int = 14, n2: int = 12,
+                 density: float = 0.3) -> BipartiteGraph:
+    rng = make_rng(seed)
+    edges = [(u, v) for u in range(n1) for v in range(n2)
+             if rng.random() < density]
+    return from_edge_list(edges, n_upper=n1, n_lower=n2, backend=backend)
+
+
+def followers_of(graph: BipartiteGraph, alpha: int, beta: int,
+                 anchors: Set[int]) -> Set[int]:
+    """``F(A)`` straight from the definition (global recomputation)."""
+    base = abcore(graph, alpha, beta)
+    anchored = anchored_abcore(graph, alpha, beta, anchors)
+    return anchored - base - anchors
+
+
+def permuted_copy(graph: BipartiteGraph,
+                  seed: int) -> Tuple[BipartiteGraph, Dict[int, int]]:
+    """A copy with a seeded within-layer relabeling; returns (copy, old→new)."""
+    rng = make_rng(seed)
+    new_upper = list(range(graph.n_upper))
+    new_lower = list(range(graph.n_lower))
+    rng.shuffle(new_upper)
+    rng.shuffle(new_lower)
+    mapping = {old: new for old, new in enumerate(new_upper)}
+    for old, new in enumerate(new_lower):
+        mapping[graph.n_upper + old] = graph.n_upper + new
+    edges = sorted((mapping[u], mapping[v] - graph.n_upper)
+                   for u, v in graph.edges())
+    relabeled = from_edge_list(edges, n_upper=graph.n_upper,
+                               n_lower=graph.n_lower, backend=graph.backend)
+    return relabeled, mapping
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("alpha,beta", CONSTRAINTS)
+def test_relabeling_invariance_of_follower_counts(seed, backend, alpha, beta):
+    """``|F(A)|`` does not depend on vertex ids, only on structure."""
+    graph = seeded_graph(seed, backend)
+    relabeled, mapping = permuted_copy(graph, derive_seed(seed, "perm"))
+    assert abcore(graph, alpha, beta) == {  # the core itself maps over too
+        v for v in graph.vertices()
+        if mapping[v] in abcore(relabeled, alpha, beta)}
+    rng = make_rng(derive_seed(seed, "anchors"))
+    vertices = sorted(graph.vertices())
+    for size in (1, 2, 3):
+        anchors = set(rng.sample(vertices, size))
+        original = followers_of(graph, alpha, beta, anchors)
+        relabeled_followers = followers_of(
+            relabeled, alpha, beta, {mapping[a] for a in anchors})
+        assert len(original) == len(relabeled_followers)
+        assert {mapping[f] for f in original} == relabeled_followers
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("alpha,beta", CONSTRAINTS)
+def test_anchoring_only_grows_the_core(seed, backend, alpha, beta):
+    """``C(G) ⊆ C(G_A)``: anchors add support, never remove it."""
+    graph = seeded_graph(seed, backend)
+    base = abcore(graph, alpha, beta)
+    rng = make_rng(derive_seed(seed, "grow"))
+    vertices = sorted(graph.vertices())
+    for size in (1, 2, 4):
+        anchors = rng.sample(vertices, size)
+        anchored = anchored_abcore(graph, alpha, beta, anchors)
+        assert base <= anchored | set(anchors)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("method", ("filver", "filver+", "filver++"))
+def test_followers_disjoint_from_core_and_anchors(seed, backend, method):
+    """Reported followers are new vertices: outside ``C(G)`` and ``A``."""
+    graph = seeded_graph(seed, backend)
+    alpha, beta = 2, 2
+    result = reinforce(graph, alpha, beta, 2, 2, method=method)
+    base = abcore(graph, alpha, beta)
+    assert not result.followers & base
+    assert not result.followers & set(result.anchors)
+    # And they really are followers: the definitional recomputation agrees.
+    assert result.followers == followers_of(graph, alpha, beta,
+                                            set(result.anchors))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_core_shrinks_monotonically_in_alpha_and_beta(seed, backend):
+    """Tightening either degree constraint can only lose core vertices."""
+    graph = seeded_graph(seed, backend)
+    for alpha in (1, 2, 3):
+        for beta in (1, 2, 3):
+            core = abcore(graph, alpha, beta)
+            assert abcore(graph, alpha + 1, beta) <= core
+            assert abcore(graph, alpha, beta + 1) <= core
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("alpha,beta", CONSTRAINTS)
+def test_edge_addition_never_evicts_core_members(seed, backend, alpha, beta):
+    """Extra edges only add support: ``C(G) ⊆ C(G + E')``."""
+    graph = seeded_graph(seed, backend)
+    core = abcore(graph, alpha, beta)
+    present = set(graph.edges())
+    candidates = [(u, v) for u in range(graph.n_upper)
+                  for v in range(graph.n_upper, graph.n_vertices)
+                  if (u, v) not in present]
+    rng = make_rng(derive_seed(seed, "edges"))
+    extra = rng.sample(candidates, min(5, len(candidates)))
+    grown = add_edges(graph, extra)
+    assert grown.backend == graph.backend
+    assert core <= abcore(grown, alpha, beta)
