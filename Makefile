@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-faults coverage lint typecheck bench bench-smoke \
-	bench-parallel-smoke report examples clean
+	bench-parallel-smoke bench-engine-smoke report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -54,6 +54,13 @@ bench-smoke:
 # bench_parallel.json ($$REPRO_BENCH_PARALLEL_JSON to override).
 bench-parallel-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_parallel.py --benchmark-only -q
+
+# Memoization + flat-kernel gate: all four engine configurations must
+# export byte-identical canonical JSON, and memo+kernel must run the
+# FILVER++ campaign >= 2x faster than the memo-off engine.  Timings land
+# in BENCH_engine.json ($$REPRO_BENCH_ENGINE_JSON to override).
+bench-engine-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_engine.py --benchmark-only -q
 
 report:
 	$(PYTHON) -m repro.experiments report --scale 0.25 --out report.md

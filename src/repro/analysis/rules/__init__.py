@@ -13,6 +13,7 @@ from repro.analysis.rules.encapsulation import EncapsulationRule
 from repro.analysis.rules.exports import ExportsRule
 from repro.analysis.rules.hot_path import HotPathRule
 from repro.analysis.rules.layer_safety import LayerSafetyRule
+from repro.analysis.rules.recompute import RecomputeRule
 
 __all__ = [
     "BoundariesRule",
@@ -21,4 +22,5 @@ __all__ = [
     "ExportsRule",
     "HotPathRule",
     "LayerSafetyRule",
+    "RecomputeRule",
 ]

@@ -4,6 +4,7 @@ from repro.bigraph.builder import GraphBuilder, from_biadjacency, from_edge_list
 from repro.bigraph.csr import CSRAdjacency, adjacency_arrays
 from repro.bigraph.graph import BipartiteGraph
 from repro.bigraph.io import dumps, loads, read_edge_list, write_edge_list
+from repro.bigraph.kernel import FollowerKernel, kernel_for
 from repro.bigraph.mutation import (
     add_edges,
     disjoint_union,
@@ -31,6 +32,7 @@ from repro.bigraph.validation import validate_graph, validate_problem
 __all__ = [
     "BipartiteGraph",
     "CSRAdjacency",
+    "FollowerKernel",
     "GraphBuilder",
     "GraphSummary",
     "AttachedGraph",
@@ -48,6 +50,7 @@ __all__ = [
     "from_biadjacency",
     "from_edge_list",
     "induced_subgraph",
+    "kernel_for",
     "loads",
     "project",
     "read_edge_list",

@@ -1,0 +1,278 @@
+"""Flat-array follower/reachability kernel over a CSR-backed graph.
+
+The verification stage's inner loops — the order-respecting DFS behind
+``rf(x)`` and the local support peel behind ``F(x)`` — are pure functions of
+(positions, core, adjacency, x).  The generic implementations in
+:mod:`repro.core` walk Python dicts and sets and allocate a ``(vertex,
+position)`` tuple per DFS push and a fresh support dict per candidate.  At
+thousands of candidates per iteration those constant factors dominate the
+campaign profile.
+
+:class:`FollowerKernel` replaces the per-candidate churn with flat
+``array`` buffers sized once per graph and *epoch-stamped* instead of
+cleared:
+
+* per-side position values (maintained orders renumber regions with
+  ever-growing fresh positions) plus an iteration-stamp buffer — a position
+  entry is valid iff its stamp equals the current iteration epoch, so
+  loading a new iteration's order is one pass over the position dict and
+  never a buffer clear;
+* an iteration-stamped core-membership buffer;
+* call-stamped ``visited`` / candidate-membership / support buffers shared
+  by every DFS and peel — a new call bumps the stamp, implicitly resetting
+  ``O(n)`` state in ``O(1)``;
+* a preallocated ``int32`` vertex stack, so the DFS pushes plain ids
+  (positions are re-read from the flat buffer on pop) and never allocates
+  a tuple;
+* neighbor rows iterated as ``memoryview`` slices of the CSR neighbor
+  buffer — C-level iteration, no index arithmetic per edge.
+
+The stamp/position/support buffers are dense Python lists rather than
+``array`` objects: CPython re-boxes an ``array`` element on every read,
+while a list slot hands back its cached int object — measured ~35% faster
+on the DFS inner loop, at 8 bytes per vertex per buffer.  The stack stays
+``array('i')``: it is written/read once per visited vertex, not once per
+edge.
+
+The kernel lives in :mod:`repro.bigraph` because it is pure graph
+machinery: it knows nothing about deletion orders or engines — callers feed
+it plain position dicts and vertex sets.  Results are *set-identical* to
+``repro.core.followers.compute_followers`` / ``reachable_from`` (property
+checked by ``tests/test_incremental.py``); the engine selects it
+automatically on CSR-backed graphs.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.bigraph.csr import adjacency_arrays
+from repro.exceptions import GraphConstructionError
+
+__all__ = ["FollowerKernel", "kernel_for"]
+
+_STACK_TYPECODE = "i"  # vertex ids fit the CSR neighbor width
+
+
+class FollowerKernel:
+    """Reusable scratch buffers for ``rf(x)`` / ``F(x)`` on one CSR graph.
+
+    A kernel instance is bound to one graph and is **not** thread-safe:
+    every method reuses the same scratch arrays.  The engine owns one per
+    campaign (workers build their own from the shared-memory graph).
+
+    Usage per engine iteration::
+
+        kernel.begin_iteration(upper_position, lower_position, core)
+        rf = kernel.reachable("upper", x)
+        followers = kernel.followers("upper", x, alpha, beta, candidates=rf)
+    """
+
+    def __init__(self, graph: object) -> None:
+        arrays = adjacency_arrays(graph)
+        if arrays is None:
+            raise GraphConstructionError(
+                "FollowerKernel requires a CSR-backed graph; call "
+                "graph.to_csr() first")
+        offsets, neighbors, _degrees = arrays
+        self._offsets = offsets
+        self._rows = memoryview(neighbors)
+        self._n_upper = graph.n_upper  # type: ignore[attr-defined]
+        n = len(offsets) - 1
+        self._pos: Dict[str, List[int]] = {"upper": [0] * n,
+                                           "lower": [0] * n}
+        self._pos_stamp: Dict[str, List[int]] = {"upper": [0] * n,
+                                                 "lower": [0] * n}
+        self._core_stamp: List[int] = [0] * n
+        self._visited: List[int] = [0] * n
+        self._cand: List[int] = [0] * n
+        self._support: List[int] = [0] * n
+        self._stack = array(_STACK_TYPECODE, [0]) * n if n else array(
+            _STACK_TYPECODE)
+        self._epoch = 0
+        self._call = 0
+
+    def release(self) -> None:
+        """Drop the CSR buffer references; the kernel is unusable after.
+
+        Required where the buffers live in shared memory (pool workers): a
+        surviving ``memoryview`` would pin the segment mapping past
+        ``AttachedGraph.close()`` and the interpreter would complain about
+        exported pointers at shutdown.  Idempotent.
+        """
+        rows = self._rows
+        self._rows = memoryview(b"")
+        rows.release()
+        self._offsets = array("q")
+
+    # ------------------------------------------------------------------
+    # Per-iteration state load
+    # ------------------------------------------------------------------
+
+    def begin_iteration(self, upper_position: Dict[int, int],
+                        lower_position: Dict[int, int],
+                        core: Iterable[int]) -> None:
+        """Stamp this iteration's order positions and core membership.
+
+        Costs one pass over both position dicts and the core — paid once
+        per engine iteration, after which every candidate evaluation reads
+        flat buffers only.
+        """
+        self._epoch += 1
+        epoch = self._epoch
+        for side, entries in (("upper", upper_position),
+                              ("lower", lower_position)):
+            pos = self._pos[side]
+            stamp = self._pos_stamp[side]
+            for v, p in entries.items():
+                pos[v] = p
+                stamp[v] = epoch
+        core_stamp = self._core_stamp
+        for v in core:
+            core_stamp[v] = epoch
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+
+    def reachable(self, side: str, x: int) -> Set[int]:
+        """``rf(x)`` under the stamped order — set-identical to
+        :func:`repro.core.deletion_order.reachable_from`."""
+        pos = self._pos[side]
+        stamp = self._pos_stamp[side]
+        epoch = self._epoch
+        if stamp[x] != epoch:
+            raise KeyError(x)
+        self._call += 1
+        call = self._call
+        offsets = self._offsets
+        rows = self._rows
+        visited = self._visited
+        stack = self._stack
+        reached: Set[int] = set()
+        mark = reached.add
+        visited[x] = call  # x can never re-qualify (pw == px <= pv)
+        stack[0] = x
+        top = 1
+        while top:  # hot-loop
+            top -= 1
+            v = stack[top]
+            pv = pos[v]
+            for w in rows[offsets[v]:offsets[v + 1]]:
+                if visited[w] == call or stamp[w] != epoch or pos[w] <= pv:
+                    continue
+                visited[w] = call
+                mark(w)
+                stack[top] = w
+                top += 1
+        return reached
+
+    def followers(self, side: str, x: int, alpha: int, beta: int,
+                  candidates: Optional[Set[int]] = None) -> Set[int]:
+        """``F(x)`` under the stamped order — set-identical to
+        :func:`repro.core.followers.compute_followers`.
+
+        ``candidates`` is a precomputed ``rf(x)`` when the caller already
+        has it (the filter stage does); otherwise it is derived here with
+        the same DFS as :meth:`reachable`.
+        """
+        offsets = self._offsets
+        rows = self._rows
+        cand = self._cand
+        self._call += 1
+        call = self._call
+        cand_list: List[int]
+        if candidates is None:
+            cand_list = self._collect_candidates(side, x, call)
+        else:
+            cand_list = []
+            push_cand = cand_list.append
+            for u in candidates:
+                cand[u] = call
+                push_cand(u)
+        if not cand_list:
+            return set()
+
+        # Support pass: count neighbors in {x} ∪ core ∪ candidates.  The
+        # candidate stamps are still all live here; they only start dropping
+        # in the peel below.
+        support = self._support
+        core_stamp = self._core_stamp
+        epoch = self._epoch
+        n_upper = self._n_upper
+        for u in cand_list:  # hot-loop
+            count = 0
+            for w in rows[offsets[u]:offsets[u + 1]]:
+                if w == x or core_stamp[w] == epoch or cand[w] == call:
+                    count += 1
+            support[u] = count
+
+        # Local peel.  A zeroed stamp marks death; the final survivor set is
+        # the unique maximal subset meeting the thresholds, so the peel
+        # order cannot affect the returned set.
+        dead: List[int] = []
+        push = dead.append
+        for u in cand_list:  # hot-loop
+            threshold = alpha if u < n_upper else beta
+            if support[u] < threshold:
+                cand[u] = 0
+                push(u)
+        head = 0
+        while head < len(dead):  # hot-loop
+            u = dead[head]
+            head += 1
+            for w in rows[offsets[u]:offsets[u + 1]]:
+                if cand[w] != call:
+                    continue
+                remaining = support[w] - 1
+                support[w] = remaining
+                if remaining < (alpha if w < n_upper else beta):
+                    cand[w] = 0
+                    push(w)
+        return {u for u in cand_list if cand[u] == call}
+
+    # ------------------------------------------------------------------
+
+    def _collect_candidates(self, side: str, x: int, call: int) -> List[int]:
+        """The ``rf(x)`` DFS, stamping ``cand`` instead of building a set."""
+        pos = self._pos[side]
+        stamp = self._pos_stamp[side]
+        epoch = self._epoch
+        if stamp[x] != epoch:
+            raise KeyError(x)
+        offsets = self._offsets
+        rows = self._rows
+        cand = self._cand
+        stack = self._stack
+        out: List[int] = []
+        push_out = out.append
+        visited = self._visited
+        visited[x] = call
+        stack[0] = x
+        top = 1
+        while top:  # hot-loop
+            top -= 1
+            v = stack[top]
+            pv = pos[v]
+            for w in rows[offsets[v]:offsets[v + 1]]:
+                if visited[w] == call or stamp[w] != epoch or pos[w] <= pv:
+                    continue
+                visited[w] = call
+                cand[w] = call
+                push_out(w)
+                stack[top] = w
+                top += 1
+        return out
+
+
+def kernel_for(graph: object) -> Optional[FollowerKernel]:
+    """A :class:`FollowerKernel` for CSR-backed graphs, else ``None``.
+
+    The auto-selection hook: callers that want "flat kernel when the
+    backend supports it, generic path otherwise" use this instead of
+    handling :class:`~repro.exceptions.GraphConstructionError` themselves.
+    """
+    if adjacency_arrays(graph) is None:
+        return None
+    return FollowerKernel(graph)

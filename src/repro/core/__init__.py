@@ -33,6 +33,7 @@ from repro.core.filver import run_filver
 from repro.core.filver_plus import run_filver_plus
 from repro.core.filver_plus_plus import run_filver_plus_plus
 from repro.core.followers import compute_followers, follower_count
+from repro.core.incremental import VerificationCache, VerificationEntry
 from repro.core.naive import run_naive
 from repro.core.order_maintenance import OrderState
 from repro.core.reduction import (
@@ -42,7 +43,7 @@ from repro.core.reduction import (
     solve_max_coverage_exact,
 )
 from repro.core.result import AnchoredCoreResult, IterationRecord
-from repro.core.signatures import two_hop_filter
+from repro.core.signatures import two_hop_filter, two_hop_filter_cached
 from repro.core.verify import VerificationReport, verify_result
 
 __all__ = [
@@ -58,6 +59,8 @@ __all__ = [
     "MaxCoverageInstance",
     "OrderState",
     "ReducedInstance",
+    "VerificationCache",
+    "VerificationEntry",
     "collapse_size",
     "compute_followers",
     "critical_edges",
@@ -85,6 +88,7 @@ __all__ = [
     "signature",
     "solve_max_coverage_exact",
     "two_hop_filter",
+    "two_hop_filter_cached",
     "VerificationReport",
     "verify_result",
 ]

@@ -50,6 +50,12 @@ class AnchorSetMaintainer:
         self._followers: Dict[int, Set[int]] = {}
         self._coverers: Dict[int, Set[int]] = {}
         self._exclusive: Dict[int, int] = {}
+        #: Memoized skip_threshold(); None = recompute.  The threshold is a
+        #: pure function of (T, exclusive sizes), so it only changes when a
+        #: member is inserted or removed — but the verification scan asks
+        #: for it once per scanned candidate, thousands of times between
+        #: mutations.
+        self._threshold: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -94,10 +100,16 @@ class AnchorSetMaintainer:
         follower).  Once full, a candidate whose upper bound does not exceed
         ``|F_ex(x_min(T), T)|`` can never improve ``T`` and is skipped.
         """
+        cached = self._threshold
+        if cached is not None:
+            return cached
         if len(self._followers) < self.t:
-            return 0
-        x_min = self.least_contribution_anchor()
-        return self._exclusive[x_min] if x_min is not None else 0
+            threshold = 0
+        else:
+            x_min = self.least_contribution_anchor()
+            threshold = self._exclusive[x_min] if x_min is not None else 0
+        self._threshold = threshold
+        return threshold
 
     # ------------------------------------------------------------------
     # Updates (Algorithm 6)
@@ -159,6 +171,7 @@ class AnchorSetMaintainer:
         return upper <= self.upper_budget and lower <= self.lower_budget
 
     def _insert(self, x: int, followers: Set[int]) -> None:
+        self._threshold = None
         self._followers[x] = set(followers)
         exclusive = 0
         for u in followers:
@@ -172,6 +185,7 @@ class AnchorSetMaintainer:
         self._exclusive[x] = exclusive
 
     def _remove(self, x: int) -> None:
+        self._threshold = None
         followers = self._followers.pop(x)
         del self._exclusive[x]
         for u in followers:

@@ -57,6 +57,8 @@ def reinforce(
     checkpoint: Optional[str] = None,
     resume_from: Optional[str] = None,
     workers: int = 1,
+    memoize: bool = True,
+    flat_kernel: Optional[bool] = None,
 ) -> AnchoredCoreResult:
     """Reinforce ``graph`` by anchoring ``b1 + b2`` vertices.
 
@@ -86,6 +88,13 @@ def reinforce(
         Candidate-verification worker processes (:data:`PARALLEL_METHODS`
         only).  The default 1 is the fully serial path; any larger value
         produces identical results, faster (see ``docs/PARALLEL.md``).
+    memoize / flat_kernel:
+        Engine-family accelerations (ignored by the baselines):
+        ``memoize`` (default on) carries verification work across
+        iterations with affected-region invalidation, and ``flat_kernel``
+        selects the flat-array CSR follower kernel (``None`` = auto on
+        CSR-backed graphs).  Both preserve byte-identical results — see
+        ``docs/PERF.md``.
 
     Returns
     -------
@@ -118,14 +127,17 @@ def reinforce(
     if method == "filver":
         return run_filver(graph, alpha, beta, b1, b2, deadline=deadline,
                           checkpoint=checkpoint, resume_from=resume_from,
-                          workers=workers)
+                          workers=workers, memoize=memoize,
+                          flat_kernel=flat_kernel)
     if method == "filver+":
         return run_filver_plus(graph, alpha, beta, b1, b2, deadline=deadline,
                                checkpoint=checkpoint, resume_from=resume_from,
-                               workers=workers)
+                               workers=workers, memoize=memoize,
+                               flat_kernel=flat_kernel)
     if method == "filver++":
         return run_filver_plus_plus(graph, alpha, beta, b1, b2, t=t,
                                     deadline=deadline, checkpoint=checkpoint,
-                                    resume_from=resume_from, workers=workers)
+                                    resume_from=resume_from, workers=workers,
+                                    memoize=memoize, flat_kernel=flat_kernel)
     raise InvalidParameterError(
         "unknown method %r; expected one of %s" % (method, ", ".join(METHODS)))

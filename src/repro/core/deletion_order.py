@@ -67,10 +67,16 @@ class DeletionOrder:
         return {v for v, p in self.position.items() if p >= 1}
 
     def candidates(self, graph: BipartiteGraph) -> List[int]:
-        """Candidate anchors: own-layer vertices present in the order."""
-        if self.side == "upper":
-            return [v for v in self.position if graph.is_upper(v)]
-        return [v for v in self.position if graph.is_lower(v)]
+        """Candidate anchors: own-layer vertices present in the order.
+
+        Candidacy is a pure predicate of the vertex's own position entry,
+        which is what lets the verification cache reuse two-hop survivor
+        verdicts across iterations (``repro.core.incremental``): a
+        candidacy change within reach of a cached verdict implies a
+        position-entry change inside the dilated dirty region.
+        """
+        keep = graph.is_upper if self.side == "upper" else graph.is_lower
+        return [v for v in self.position if keep(v)]
 
     def deleted_in_order(self) -> List[int]:
         """Shell vertices sorted by increasing deletion position."""
@@ -101,10 +107,12 @@ def _zero_order_anchors(
     is_upper = graph.is_upper
     neighbors = graph.neighbors  # hoisted: one row fetch per shell vertex
     zeros: Set[int] = set()
+    # Bipartite: a want-side neighbor only ever hangs off an opposite-side
+    # shell vertex, so same-side rows are skipped wholesale.
     for v in shell_sequence:
+        if is_upper(v) == want_upper:
+            continue
         for w in neighbors(v):
-            if is_upper(w) != want_upper:
-                continue
             if w in relaxed_core or w in placed:
                 continue
             zeros.add(w)

@@ -23,17 +23,19 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.abcore.decomposition import abcore, anchored_abcore
 from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.kernel import FollowerKernel, kernel_for
 from repro.bigraph.validation import validate_problem
 from repro.core.anchor_set import AnchorSetMaintainer
 from repro.core.deletion_order import DeletionOrder, r_scores, reachable_from
 from repro.core.followers import compute_followers
+from repro.core.incremental import VerificationCache
 from repro.core.order_maintenance import OrderState
 from repro.core.result import AnchoredCoreResult, IterationRecord
-from repro.core.signatures import two_hop_filter
+from repro.core.signatures import two_hop_filter, two_hop_filter_cached
 from repro.exceptions import AbortCampaign
 from repro.resilience.checkpoint import (
     CampaignCheckpoint,
@@ -42,7 +44,16 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.faults import active_plan, fault_site
 
+if TYPE_CHECKING:
+    from repro.parallel.protocol import Evaluator
+
 __all__ = ["EngineOptions", "run_engine"]
+
+#: One ranked candidate: ``(bound, x, order, rf)``.  ``rf`` is the cached or
+#: freshly computed ``rf(x)`` when the rf bound produced it (plumbed through
+#: to Algorithm 1 so the follower peel never recollects it), ``None`` on the
+#: r-score path.
+ScoredCandidate = Tuple[int, int, DeletionOrder, Optional[Set[int]]]
 
 
 @dataclass(frozen=True)
@@ -81,6 +92,8 @@ def run_engine(
     checkpoint: Optional[Union[str, "os.PathLike[str]"]] = None,
     resume_from: Optional[CheckpointSource] = None,
     workers: int = 1,
+    memoize: bool = True,
+    flat_kernel: Optional[bool] = None,
 ) -> AnchoredCoreResult:
     """Run the greedy filter–verification loop to completion.
 
@@ -100,6 +113,20 @@ def run_engine(
     nothing about the parallel schedule is recorded, checkpoints written by
     serial and parallel campaigns are interchangeable.  When the pool
     cannot be created the engine silently degrades to the serial path.
+
+    ``memoize`` (default on) carries verification work — ``rf(x)`` sets,
+    bounds, follower signatures, two-hop verdicts, follower sets, r-score
+    tables — across iterations in a :class:`VerificationCache`, invalidated
+    by the affected regions order maintenance reports (``docs/PERF.md``).
+    ``flat_kernel`` selects the flat-array follower kernel
+    (:class:`repro.bigraph.FollowerKernel`): ``None`` auto-enables it on
+    CSR-backed graphs, ``True`` requires a CSR backend, ``False`` forces
+    the generic dict/set path.  Both switches are pure accelerations:
+    results are byte-identical either way (anchors, follower sets,
+    per-iteration ``verifications`` counts — cache hits still count — and
+    canonical JSON), and neither is recorded in checkpoints, so campaigns
+    resumed under different settings still replay identically; caches are
+    ephemeral and rebuilt after a resume.
 
     Resilience hooks (see ``docs/RESILIENCE.md``):
 
@@ -121,7 +148,15 @@ def run_engine(
     if workers < 1:
         raise ValueError("workers must be >= 1, got %d" % workers)
 
-    evaluator = None
+    cache = VerificationCache(graph) if memoize else None
+    if flat_kernel is None:
+        kernel = kernel_for(graph)
+    elif flat_kernel:
+        kernel = FollowerKernel(graph)
+    else:
+        kernel = None
+
+    evaluator: Optional["Evaluator"] = None
     if workers > 1:
         from repro.parallel import create_evaluator
 
@@ -129,7 +164,8 @@ def run_engine(
         fault_specs = tuple(
             spec for spec in (plan.specs if plan is not None else ())
             if spec.site.startswith("parallel."))
-        evaluator = create_evaluator(graph, workers, fault_specs=fault_specs)
+        evaluator = create_evaluator(graph, workers, fault_specs=fault_specs,
+                                     use_flat_kernel=kernel is not None)
 
     start = time.perf_counter()
     base_core = abcore(graph, alpha, beta)
@@ -190,14 +226,18 @@ def run_engine(
                 break
             iter_start = time.perf_counter()
 
+            if kernel is not None:
+                kernel.begin_iteration(state.upper.position,
+                                       state.lower.position, state.core)
             scored, candidates_total = _filter_stage(
-                graph, state, upper_left, lower_left, options)
+                graph, state, upper_left, lower_left, options,
+                cache=cache, kernel=kernel)
             maintainer = AnchorSetMaintainer(graph,
                                              min(t, upper_left + lower_left),
                                              upper_left, lower_left)
             verifications, timed_out = _verification_stage(
                 graph, state, scored, maintainer, t, deadline,
-                evaluator=evaluator)
+                cache=cache, kernel=kernel, evaluator=evaluator)
 
             chosen = [x for x in maintainer.anchors
                       if maintainer.followers_of(x)]
@@ -226,7 +266,9 @@ def run_engine(
                 break
 
             core_before = len(state.core)
-            state.apply_anchors(chosen)
+            dirty = state.apply_anchors(chosen)
+            if cache is not None:
+                cache.invalidate(dirty)
             anchors.extend(chosen)
             upper_used += sum(1 for x in chosen if is_upper(x))
             record = IterationRecord(
@@ -266,14 +308,14 @@ def run_engine(
 
 def _fallback_anchors(
     graph: BipartiteGraph,
-    scored: List[Tuple[int, int, DeletionOrder]],
+    scored: List[ScoredCandidate],
     t: int,
     upper_left: int,
     lower_left: int,
 ) -> List[int]:
     """Top-bound candidates within budget, for zero-follower iterations."""
     chosen: List[int] = []
-    for _bound, x, _order in scored:
+    for _bound, x, _order, _rf in scored:
         if len(chosen) >= t:
             break
         if graph.is_upper(x):
@@ -294,14 +336,21 @@ def _filter_stage(
     upper_left: int,
     lower_left: int,
     options: EngineOptions,
-) -> Tuple[List[Tuple[int, int, DeletionOrder]], int]:
-    """Build the ranked candidate list ``[(bound, x, order), ...]``.
+    cache: Optional[VerificationCache] = None,
+    kernel: Optional[FollowerKernel] = None,
+) -> Tuple[List[ScoredCandidate], int]:
+    """Build the ranked candidate list ``[(bound, x, order, rf), ...]``.
 
     Returns the list sorted by non-increasing bound (ties by vertex id) and
-    the pre-filter pool size.
+    the pre-filter pool size.  With a ``cache``, signatures, two-hop
+    verdicts, ``rf(x)`` bounds, and r-score tables are reused for every
+    candidate the last apply's affected regions did not touch; with a
+    ``kernel``, fresh ``rf(x)`` sets come from the flat-array DFS.  The
+    survivor set, the bounds, and hence the ranked list are identical on
+    every path (``docs/PERF.md``).
     """
     fault_site("engine.filter")
-    scored: List[Tuple[int, int, DeletionOrder]] = []
+    scored: List[ScoredCandidate] = []
     candidates_total = 0
     sides: List[Tuple[DeletionOrder, int]] = []
     if upper_left > 0:
@@ -310,25 +359,46 @@ def _filter_stage(
         sides.append((state.lower, lower_left))
 
     for order, _budget in sides:
+        side = order.side
         candidates = order.candidates(graph)
         candidates_total += len(candidates)
         if not candidates:
             continue
         if options.use_two_hop_filter:
-            survivors, _sigs = two_hop_filter(graph, order, candidates)
+            if cache is not None:
+                survivors, _sigs = two_hop_filter_cached(graph, order,
+                                                         candidates, cache)
+            else:
+                survivors, _sigs = two_hop_filter(graph, order, candidates)
         else:
             survivors = candidates
         if options.use_rf_bound:
-            for x in survivors:
-                bound = len(reachable_from(graph, order, x))
+            for x in survivors:  # hot-loop
+                entry = cache.rf_entry(side, x) if cache is not None else None
+                if entry is not None:
+                    rf = entry.rf
+                    bound = entry.bound
+                else:
+                    if kernel is not None:
+                        rf = kernel.reachable(side, x)
+                    else:  # once per cache miss, stored below
+                        rf = reachable_from(  # repro: ignore[recompute]
+                            graph, order, x)
+                    bound = len(rf)
+                    if cache is not None:
+                        cache.store_rf(side, x, rf)
                 if bound > 0:
-                    scored.append((bound, x, order))
+                    scored.append((bound, x, order, rf))
         else:
-            scores = r_scores(graph, order)
+            scores = cache.r_scores_for(side) if cache is not None else None
+            if scores is None:
+                scores = r_scores(graph, order)
+                if cache is not None:
+                    cache.store_r_scores(side, scores)
             for x in survivors:
                 bound = scores.get(x, 0)
                 if bound > 0:
-                    scored.append((bound, x, order))
+                    scored.append((bound, x, order, None))
 
     scored.sort(key=lambda item: (-item[0], item[1]))
     return scored, candidates_total
@@ -337,11 +407,13 @@ def _filter_stage(
 def _verification_stage(
     graph: BipartiteGraph,
     state: OrderState,
-    scored: List[Tuple[int, int, DeletionOrder]],
+    scored: List[ScoredCandidate],
     maintainer: AnchorSetMaintainer,
     t: int,
     deadline: Optional[float],
-    evaluator: Optional[object] = None,
+    cache: Optional[VerificationCache] = None,
+    kernel: Optional[FollowerKernel] = None,
+    evaluator: Optional["Evaluator"] = None,
 ) -> Tuple[int, bool]:
     """Scan ranked candidates, computing followers and updating ``T``.
 
@@ -354,6 +426,13 @@ def _verification_stage(
       outright (the threshold ``|F(x*)|`` only ever grows), while for
       ``t > 1`` it continues because replacements may lower the threshold.
 
+    With a ``cache``, a candidate whose follower set survived invalidation
+    skips Algorithm 1 entirely; ``verifications`` still counts it, because
+    the memo-off scan would have evaluated it — the cache changes where
+    the set comes from, never whether the scan wanted it.  Fresh sets are
+    computed by the ``kernel`` when one is selected, seeded with the filter
+    stage's ``rf(x)`` so the reachability DFS is never repeated.
+
     With an ``evaluator`` (a :class:`repro.parallel.ParallelEvaluator`),
     follower sets are precomputed speculatively on the pool and this scan
     consumes them in the same ranked order, applying the same skip rules —
@@ -363,11 +442,12 @@ def _verification_stage(
     fault_site("engine.verify")
     if evaluator is not None:
         return _parallel_verification_stage(state, scored, maintainer, t,
-                                            deadline, evaluator)
+                                            deadline, evaluator, cache)
     covered: Set[int] = set()
     verifications = 0
     core = state.core
-    for bound, x, order in scored:
+    alpha, beta = state.alpha, state.beta
+    for bound, x, order, rf in scored:
         if deadline is not None and time.perf_counter() > deadline:
             return verifications, True
         if x in covered:
@@ -376,7 +456,18 @@ def _verification_stage(
             if t == 1:
                 break
             continue
-        follower_set = compute_followers(graph, order, x, core=core)
+        side = order.side
+        follower_set = (cache.followers_for(side, x)
+                        if cache is not None else None)
+        if follower_set is None:
+            if kernel is not None:
+                follower_set = kernel.followers(side, x, alpha, beta,
+                                                candidates=rf)
+            else:
+                follower_set = compute_followers(graph, order, x, core=core,
+                                                 candidates=rf)
+            if cache is not None:
+                cache.store_followers(side, x, follower_set)
         verifications += 1
         covered |= follower_set
         if follower_set:
@@ -386,11 +477,12 @@ def _verification_stage(
 
 def _parallel_verification_stage(
     state: OrderState,
-    scored: List[Tuple[int, int, DeletionOrder]],
+    scored: List[ScoredCandidate],
     maintainer: AnchorSetMaintainer,
     t: int,
     deadline: Optional[float],
-    evaluator: object,
+    evaluator: "Evaluator",
+    cache: Optional[VerificationCache] = None,
 ) -> Tuple[int, bool]:
     """The verification scan over pool-precomputed follower sets.
 
@@ -399,16 +491,33 @@ def _parallel_verification_stage(
     discarded, not counted — so iteration records match serially exactly.
     Closing the stream on early exit (the ``t = 1`` break) cancels the
     not-yet-dispatched remainder.
+
+    With a ``cache``, only cache *misses* are dispatched to the pool; the
+    scan walks the full ranked list, splicing cached sets in where they
+    survived invalidation and consuming one streamed set per miss (pulled
+    even for skipped candidates, exactly as the memo-off zip would, so the
+    stream stays aligned with the ranked order).
     """
     from repro.parallel import EvaluationStopped
 
     covered: Set[int] = set()
     verifications = 0
-    items = [(order.side, x) for _bound, x, order in scored]
-    evaluator.begin_iteration(state, deadline)  # type: ignore[attr-defined]
-    stream = evaluator.evaluate(items)  # type: ignore[attr-defined]
+    cached_sets: List[Optional[Set[int]]] = []
+    items: List[Tuple[str, int]] = []
+    for _bound, x, order, _rf in scored:
+        follower_set = (cache.followers_for(order.side, x)
+                        if cache is not None else None)
+        cached_sets.append(follower_set)
+        if follower_set is None:
+            items.append((order.side, x))
+    evaluator.begin_iteration(state, deadline)
+    stream = evaluator.evaluate(items)
     try:
-        for (bound, x, _order), follower_set in zip(scored, stream):
+        for (bound, x, order, _rf), follower_set in zip(scored, cached_sets):
+            if follower_set is None:
+                follower_set = next(stream)
+                if cache is not None:
+                    cache.store_followers(order.side, x, follower_set)
             if deadline is not None and time.perf_counter() > deadline:
                 return verifications, True
             if x in covered:

@@ -38,15 +38,20 @@ def run_filver_plus(
     checkpoint: Optional[str] = None,
     resume_from: Optional[str] = None,
     workers: int = 1,
+    memoize: bool = True,
+    flat_kernel: Optional[bool] = None,
 ) -> AnchoredCoreResult:
     """Solve the anchored (α,β)-core problem with FILVER+.
 
     ``checkpoint`` / ``resume_from`` enable per-iteration snapshots and
     deterministic resume; ``workers > 1`` verifies candidates on a process
-    pool with results identical to the serial scan (see
-    :func:`repro.core.engine.run_engine`).
+    pool with results identical to the serial scan, and ``memoize`` /
+    ``flat_kernel`` control the cross-iteration verification cache and the
+    flat-array CSR follower kernel — both byte-identity-preserving
+    accelerations (see :func:`repro.core.engine.run_engine`).
     """
     return run_engine(graph, alpha, beta, b1, b2, FILVER_PLUS_OPTIONS,
                       algorithm="filver+", deadline=deadline,
                       checkpoint=checkpoint, resume_from=resume_from,
-                      workers=workers)
+                      workers=workers, memoize=memoize,
+                      flat_kernel=flat_kernel)

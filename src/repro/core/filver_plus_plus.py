@@ -40,6 +40,8 @@ def run_filver_plus_plus(
     checkpoint: Optional[str] = None,
     resume_from: Optional[str] = None,
     workers: int = 1,
+    memoize: bool = True,
+    flat_kernel: Optional[bool] = None,
 ) -> AnchoredCoreResult:
     """Solve the anchored (α,β)-core problem with FILVER++.
 
@@ -47,11 +49,14 @@ def run_filver_plus_plus(
     1, 2, 4, 8, 16 and uses 5 as the default elsewhere).
     ``checkpoint`` / ``resume_from`` enable per-iteration snapshots and
     deterministic resume; ``workers > 1`` verifies candidates on a process
-    pool with results identical to the serial scan (see
-    :func:`repro.core.engine.run_engine`).
+    pool with results identical to the serial scan, and ``memoize`` /
+    ``flat_kernel`` control the cross-iteration verification cache and the
+    flat-array CSR follower kernel — both byte-identity-preserving
+    accelerations (see :func:`repro.core.engine.run_engine`).
     """
     return run_engine(graph, alpha, beta, b1, b2,
                       filver_plus_plus_options(t),
                       algorithm="filver++(t=%d)" % t, deadline=deadline,
                       checkpoint=checkpoint, resume_from=resume_from,
-                      workers=workers)
+                      workers=workers, memoize=memoize,
+                      flat_kernel=flat_kernel)

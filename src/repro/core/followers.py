@@ -15,6 +15,22 @@ itself — meets its layer's degree constraint.  Survivors are *exactly*
 
 ``tests/test_followers.py`` checks this equivalence against the global
 recomputation on randomized graphs.
+
+This module is the *reference* implementation: dict/set based, readable,
+backend-agnostic.  Two layers reuse or replace it without changing a
+single returned set:
+
+* :class:`repro.bigraph.kernel.FollowerKernel` re-implements the same DFS
+  and local peel over flat epoch-stamped arrays for CSR-backed graphs —
+  set-identical, selected automatically by the engine;
+* :class:`repro.core.incremental.VerificationCache` carries the returned
+  follower sets across engine iterations, invalidated by the affected
+  regions order maintenance reports (see ``docs/PERF.md``).
+
+Both callers rely on documented properties of this function: it never
+mutates ``candidates`` (the cache shares its stored ``rf(x)`` sets with
+call sites), and its result depends only on ``(adjacency, position, core,
+x)`` — the exact state the cache's dirty-region rule tracks.
 """
 
 from __future__ import annotations

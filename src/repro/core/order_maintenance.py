@@ -25,7 +25,7 @@ Equivalence with full recomputation is property-tested in
 
 from __future__ import annotations
 
-from typing import Collection, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Collection, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.abcore.core_numbers import lower_core_numbers, upper_core_numbers
 from repro.abcore.decomposition import anchored_abcore
@@ -33,6 +33,13 @@ from repro.bigraph.graph import BipartiteGraph
 from repro.core.deletion_order import DeletionOrder, compute_order
 
 __all__ = ["OrderState"]
+
+#: Per-side dirty regions reported by :meth:`OrderState.apply_anchors`:
+#: ``{"upper": ..., "lower": ...}`` where each set holds every vertex whose
+#: position entry in that side's order — or whose anchored-core membership —
+#: changed during the apply.  ``None`` means "assume everything changed"
+#: (the full-recompute path).
+DirtyRegions = Optional[Dict[str, Set[int]]]
 
 
 class OrderState:
@@ -91,47 +98,66 @@ class OrderState:
         """Vertex set of the current anchored (α,β)-core."""
         return self.upper.core
 
-    def apply_anchor(self, x: int) -> None:
+    def apply_anchor(self, x: int) -> DirtyRegions:
         """Register one new anchor and repair both orders (Algorithm 4)."""
-        self.apply_anchors([x])
+        return self.apply_anchors([x])
 
-    def apply_anchors(self, new_anchors: Sequence[int]) -> None:
+    def apply_anchors(self, new_anchors: Sequence[int]) -> DirtyRegions:
         """Register a batch of anchors (FILVER++'s per-iteration set ``T``).
 
         Per Section V-B, each side processes the batch in non-decreasing core
         number; an anchor that falls inside an earlier anchor's affected
         graph is skipped because its own affected graph is contained in the
         already-repaired region.
+
+        Returns the per-side *dirty regions*: for each order, the exact set
+        of vertices whose position entry (zero entries included) or anchored
+        core membership changed during this apply.  The contract the
+        incremental verification cache (:mod:`repro.core.incremental`)
+        builds on is the converse: **every position entry and every core
+        membership outside the returned sets is bit-identical to its value
+        before the call**.  Algorithm 4 renumbers whole affected regions
+        with fresh positions, so the dirty sets are the repaired regions'
+        shells plus core-membership flips plus zero-entry churn — not just
+        the placed anchors.  ``None`` is returned on the full-recompute path
+        (``maintain=False``), where nothing can be said about what moved.
         """
         fresh = [x for x in new_anchors if x not in self.anchors]
         if not fresh:
-            return
+            return {"upper": set(), "lower": set()}
         if not self.maintain:
             self.anchors.update(fresh)
             self.rebuild()
-            return
+            return None
 
         start_core_u = {x: self.core_u.get(x, 0) for x in fresh}
         start_core_l = {x: self.core_l.get(x, 0) for x in fresh}
         self.anchors.update(fresh)
 
-        new_core = self._repair_side("upper", fresh, start_core_u)
-        lower_core = self._repair_side("lower", fresh, start_core_l)
+        new_core, dirty_u = self._repair_side("upper", fresh, start_core_u)
+        lower_core, dirty_l = self._repair_side("lower", fresh, start_core_l)
         # Both repairs independently arrive at the anchored (α,β)-core; share
         # one set object so the two orders can never drift apart.
         self.upper.core = new_core
         self.lower.core = new_core
-        self._rebuild_zero_entries("upper")
-        self._rebuild_zero_entries("lower")
+        dirty_u |= self._rebuild_zero_entries("upper")
+        dirty_l |= self._rebuild_zero_entries("lower")
+        return {"upper": dirty_u, "lower": dirty_l}
 
     # ------------------------------------------------------------------
     # The actual Algorithm-4 machinery
     # ------------------------------------------------------------------
 
     def _repair_side(self, side: str, fresh: Sequence[int],
-                     start_levels: Dict[int, int]) -> Set[int]:
-        """Repair one side's order and core numbers; return the new core."""
+                     start_levels: Dict[int, int],
+                     ) -> Tuple[Set[int], Set[int]]:
+        """Repair one side's order and core numbers.
+
+        Returns ``(new_core, dirty)`` where ``dirty`` collects every vertex
+        whose position entry or core membership this side's repairs changed.
+        """
         covered: Set[int] = set()
+        dirty: Set[int] = set()
         ordered = sorted(fresh, key=lambda x: (start_levels[x], x))
         core = self.upper.core if side == "upper" else self.lower.core
         self._level0_core = None  # per-batch cache for _affected_graph
@@ -140,10 +166,12 @@ class OrderState:
                 continue
             level = max(1, start_levels[x])
             region = self._affected_graph(side, x, start_levels[x])
-            core = self._repair_region(side, region, core, level=level)
+            core, changed = self._repair_region(side, region, core,
+                                                level=level)
             covered |= region
+            dirty |= changed
         self._level0_core = None
-        return core
+        return core, dirty
 
     def _affected_graph(self, side: str, x: int, level: int) -> Set[int]:
         """BFS from ``x`` restricted to core numbers ≥ ``level`` (Line 2).
@@ -192,13 +220,23 @@ class OrderState:
         return region
 
     def _repair_region(self, side: str, region: Set[int],
-                       core: Set[int], level: int = 0) -> Set[int]:
+                       core: Set[int], level: int = 0,
+                       ) -> Tuple[Set[int], Set[int]]:
         """Recompute core numbers and order positions inside one region.
 
         ``level`` is the placed anchor's old core number: every region member
         has a core number ≥ ``level``, so the core-number sweep starts there
         (Algorithm 4, Line 4) and the relaxed core falls out of the sweep for
         free instead of needing another peel.
+
+        Returns ``(new_core, changed)``.  ``changed`` is the subset of the
+        region whose position entry or core membership actually differs
+        after the repair: renumbering assigns fresh positions above every
+        existing one, so in practice it is the region's shell plus any
+        membership flips, while region vertices that sit in the core both
+        before and after (no position entry either way) stay clean.  Only
+        region positions are ever deleted or (re)assigned here, so vertices
+        outside the region cannot change.
         """
         g, a, b = self.graph, self.alpha, self.beta
         order = self.upper if side == "upper" else self.lower
@@ -233,6 +271,7 @@ class OrderState:
                               include_zero_anchors=False)
 
         position = order.position
+        old_entries = {v: position.get(v) for v in region}
         for v in list(position):
             if v in region:
                 del position[v]
@@ -245,30 +284,49 @@ class OrderState:
         order.relaxed_core = (order.relaxed_core - region) | local.relaxed_core
         new_core = (core - region) | local.core
         order.core = new_core
-        return new_core
 
-    def _rebuild_zero_entries(self, side: str) -> None:
+        changed: Set[int] = set()
+        get = position.get
+        for v in region:
+            if get(v) != old_entries[v]:
+                changed.add(v)
+            elif (v in core) != (v in new_core):
+                changed.add(v)
+        return new_core, changed
+
+    def _rebuild_zero_entries(self, side: str) -> Set[int]:
         """Refresh the position-0 promising-anchor entries globally.
 
         Zero entries are cheap to rebuild (one pass over the shell's
         adjacency) and doing it globally sidesteps the bookkeeping of which
         old zero entries became stale when the shell moved.
+
+        Returns the churn — vertices whose zero entry appeared or vanished;
+        a vertex deleted here and re-assigned 0 has an unchanged entry and
+        is not reported.
         """
         order = self.upper if side == "upper" else self.lower
         graph = self.graph
         position = order.position
-        for v in [v for v, p in position.items() if p == 0]:
+        old_zeros = {v for v, p in position.items() if p == 0}
+        for v in old_zeros:  # repro: ignore[determinism] - deletions commute
             del position[v]
         want_upper = side == "upper"
         relaxed = order.relaxed_core
         anchors = self.anchors
         is_upper = graph.is_upper
         neighbors = graph.neighbors  # hoisted: one row fetch per shell vertex
-        shell = [v for v, p in position.items() if p >= 1]
+        # Bipartite: every neighbor of a want-side vertex is on the other
+        # side, so only rows of opposite-side shell vertices can contribute
+        # want-side zero entries — the same-side rows are skipped wholesale
+        # instead of filtering their edges one by one.
+        shell = [v for v, p in position.items()
+                 if p >= 1 and is_upper(v) != want_upper]
+        new_zeros: Set[int] = set()
         for v in shell:
             for w in neighbors(v):
-                if is_upper(w) != want_upper:
-                    continue
                 if w in relaxed or w in anchors or w in position:
                     continue
                 position[w] = 0
+                new_zeros.add(w)
+        return old_zeros ^ new_zeros

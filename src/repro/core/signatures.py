@@ -18,12 +18,19 @@ equal-signature ties by keeping exactly one representative (Lemma 3).
 from __future__ import annotations
 
 from math import log2
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import TYPE_CHECKING, AbstractSet, Dict, Iterable, List, Set, Tuple
 
 from repro.bigraph.graph import BipartiteGraph
 from repro.core.deletion_order import DeletionOrder, signature
 
-__all__ = ["two_hop_filter", "signatures_of"]
+if TYPE_CHECKING:
+    from repro.core.incremental import VerificationCache
+
+__all__ = ["two_hop_filter", "two_hop_filter_cached", "signatures_of"]
+
+#: Sentinel for :func:`_dominator_pool` callers that want the raw
+#: order-obeying two-hop pool with no already-visited exclusion.
+_NO_VISITED: AbstractSet[int] = frozenset()
 
 
 def signatures_of(
@@ -77,13 +84,70 @@ def two_hop_filter(
     return survivors, sigs
 
 
+def two_hop_filter_cached(
+    graph: BipartiteGraph,
+    order: DeletionOrder,
+    candidates: Iterable[int],
+    cache: "VerificationCache",
+) -> Tuple[List[int], Dict[int, Set[int]]]:
+    """:func:`two_hop_filter` with per-candidate memoization.
+
+    Produces the identical ``(survivors, signatures)`` pair while reusing
+    two things from ``cache``: follower signatures (valid until the order
+    changes within one hop of the vertex) and per-candidate *survivor
+    verdicts* (valid until it changes within three hops — see
+    :mod:`repro.core.incremental` for both proofs).
+
+    Caching the verdict per candidate is sound because Algorithm 3's
+    "visited" bookkeeping is secretly pairwise: when ``x`` is processed,
+    the unvisited candidates are exactly those with
+    ``(|sig(w)|, w) > (|sig(x)|, x)``.  So ``x`` survives iff
+    ``sig(x) ≠ ∅`` and no candidate ``w`` with a strictly larger
+    ``(|sig|, id)`` key sits in ``x``'s order-obeying two-hop pool — a
+    predicate of ``x`` alone, independent of the order candidates are
+    visited in.  This function evaluates that predicate directly for
+    cache misses (full pool first, key filter after; the pool is tiny
+    once the neighbor-list intersection has run) and replays cached
+    verdicts for hits.
+    """
+    side = order.side
+    sigs: Dict[int, Set[int]] = {}
+    for x in candidates:
+        sig = cache.signature_for(side, x)
+        if sig is None:
+            sig = signature(graph, order, x)
+            cache.store_signature(side, x, sig)
+        sigs[x] = sig
+    candidate_set = set(sigs)
+
+    ordered = sorted(candidate_set, key=lambda x: (len(sigs[x]), x))
+    survivors: List[int] = []
+    for x in ordered:
+        verdict = cache.survivor_verdict(side, x)
+        if verdict is None:
+            sig_x = sigs[x]
+            if not sig_x:
+                verdict = False
+            else:
+                key = (len(sig_x), x)
+                pool = _dominator_pool(graph, order, x, sig_x,
+                                       candidate_set, _NO_VISITED)
+                # Order-free: an existence test over the pool.
+                verdict = not any(  # repro: ignore[determinism]
+                    (len(sigs[w]), w) > key for w in pool)
+            cache.store_survivor(side, x, verdict)
+        if verdict:
+            survivors.append(x)
+    return survivors, sigs
+
+
 def _dominator_pool(
     graph: BipartiteGraph,
     order: DeletionOrder,
     x: int,
     sig_x: Set[int],
     candidate_set: Set[int],
-    visited: Set[int],
+    visited: AbstractSet[int],
 ) -> Set[int]:
     """Unvisited candidates whose signature covers ``sig_x`` (may be empty).
 

@@ -14,9 +14,12 @@ from repro.parallel.evaluator import (
     ParallelEvaluator,
     create_evaluator,
 )
+from repro.parallel.protocol import Candidate, Evaluator
 
 __all__ = [
+    "Candidate",
     "EvaluationStopped",
+    "Evaluator",
     "ParallelEvaluator",
     "create_evaluator",
 ]

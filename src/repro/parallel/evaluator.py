@@ -51,13 +51,24 @@ import time
 import traceback
 from contextlib import nullcontext
 from multiprocessing import connection as mp_connection
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.kernel import FollowerKernel, kernel_for
 from repro.bigraph.shm import SharedGraphMeta, attach_shared_graph, export_shared_graph
 from repro.core.deletion_order import DeletionOrder
 from repro.core.followers import compute_followers
 from repro.exceptions import AbortCampaign, InvalidParameterError
+from repro.parallel.protocol import Candidate
 from repro.resilience.faults import (
     FaultPlan,
     FaultSpec,
@@ -68,10 +79,7 @@ from repro.resilience.faults import (
 if TYPE_CHECKING:  # runtime import would be circular via repro.core.engine
     from repro.core.order_maintenance import OrderState
 
-__all__ = ["EvaluationStopped", "ParallelEvaluator", "create_evaluator"]
-
-#: One candidate: (side, vertex) where side selects O_U or O_L.
-Candidate = Tuple[str, int]
+__all__ = ["Candidate", "EvaluationStopped", "ParallelEvaluator", "create_evaluator"]
 
 #: Upper bound on auto-sized chunks: small enough that the drain after an
 #: early break wastes little work, large enough to amortize IPC.
@@ -125,6 +133,14 @@ class ParallelEvaluator:
         :class:`~repro.resilience.faults.FaultSpec` entries replayed inside
         each worker (sites ``parallel.*``) — the deterministic handle the
         fault tests use to crash or abort a worker mid-chunk.
+    use_flat_kernel:
+        Let workers evaluate ``F(x)`` with the flat-array
+        :class:`~repro.bigraph.FollowerKernel` (the shared-memory graph is
+        always CSR, so the kernel is always constructible worker-side).
+        Kernel results are set-identical to ``compute_followers``, so this
+        is purely a speed switch; the engine passes its own kernel
+        selection through so "generic path" benchmark configurations stay
+        generic end to end.
     """
 
     def __init__(
@@ -134,6 +150,7 @@ class ParallelEvaluator:
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
         fault_specs: Sequence[FaultSpec] = (),
+        use_flat_kernel: bool = True,
     ) -> None:
         if workers < 2:
             raise InvalidParameterError(
@@ -161,7 +178,7 @@ class ParallelEvaluator:
                 process = ctx.Process(
                     target=_worker_main,
                     args=(child_conn, self._export.meta, self._stop,
-                          tuple(fault_specs)),
+                          tuple(fault_specs), use_flat_kernel),
                     daemon=True,
                 )
                 process.start()
@@ -221,7 +238,8 @@ class ParallelEvaluator:
             except (OSError, BrokenPipeError):
                 self._bury(worker, results=None)
 
-    def evaluate(self, items: Sequence[Candidate]) -> Iterator[Set[int]]:
+    def evaluate(self, items: Sequence[Candidate],
+                 ) -> Generator[Set[int], None, None]:
         """Yield ``F(x)`` for every candidate, in the given (serial) order.
 
         Chunks are dispatched speculatively; closing the generator early
@@ -450,6 +468,7 @@ def create_evaluator(
     workers: int,
     chunk_size: Optional[int] = None,
     fault_specs: Sequence[FaultSpec] = (),
+    use_flat_kernel: bool = True,
 ) -> Optional[ParallelEvaluator]:
     """Build an evaluator for ``workers > 1``; ``None`` keeps the serial path.
 
@@ -460,7 +479,8 @@ def create_evaluator(
         return None
     try:
         return ParallelEvaluator(graph, workers, chunk_size=chunk_size,
-                                 fault_specs=fault_specs)
+                                 fault_specs=fault_specs,
+                                 use_flat_kernel=use_flat_kernel)
     except (OSError, ValueError):  # repro: boundary
         return None
 
@@ -471,7 +491,8 @@ def create_evaluator(
 
 
 def _worker_main(conn: mp_connection.Connection, meta: SharedGraphMeta,
-                 stop_event: object, fault_specs: Tuple[FaultSpec, ...]) -> None:
+                 stop_event: object, fault_specs: Tuple[FaultSpec, ...],
+                 use_flat_kernel: bool = True) -> None:
     """Worker loop: attach the shared graph, evaluate chunks until stopped."""
     # Ctrl-C belongs to the parent: it finalizes the best-so-far result and
     # asks the pool to stop; a KeyboardInterrupt racing inside a worker
@@ -487,13 +508,19 @@ def _worker_main(conn: mp_connection.Connection, meta: SharedGraphMeta,
     deactivate_inherited_plan()
     plan = FaultPlan(specs=list(fault_specs)) if fault_specs else None
     state: Dict[str, object] = {}
+    # The attached graph is always CSR-backed, so this never falls back;
+    # the flag exists so generic-path configurations stay generic.
+    kernel = kernel_for(handle.graph) if use_flat_kernel else None
     try:
         with (plan.active() if plan is not None else nullcontext()):
-            _worker_loop(conn, handle.graph, stop_event, state)
+            _worker_loop(conn, handle.graph, stop_event, state, kernel)
     except (KeyboardInterrupt, SystemExit):
         raise
     finally:
         state.clear()
+        if kernel is not None:
+            # The kernel's views pin the shared segments; drop them first.
+            kernel.release()
         handle.close()
         try:
             conn.close()
@@ -502,7 +529,8 @@ def _worker_main(conn: mp_connection.Connection, meta: SharedGraphMeta,
 
 
 def _worker_loop(conn: mp_connection.Connection, graph: BipartiteGraph,
-                 stop_event: object, state: Dict[str, object]) -> None:
+                 stop_event: object, state: Dict[str, object],
+                 kernel: Optional[FollowerKernel] = None) -> None:
     while True:
         try:
             message = conn.recv()
@@ -527,12 +555,19 @@ def _worker_loop(conn: mp_connection.Connection, graph: BipartiteGraph,
             state["orders"] = orders
             state["core"] = payload["core"]
             state["deadline"] = payload["deadline"]
+            state["alpha"] = payload["alpha"]
+            state["beta"] = payload["beta"]
+            if kernel is not None:
+                kernel.begin_iteration(payload["positions"]["upper"],
+                                       payload["positions"]["lower"],
+                                       payload["core"])
             continue
         # ("chunk", epoch, chunk_id, items) — FIFO pipes guarantee the
         # state message for this epoch was already processed.
         _, epoch, chunk_id, items = message
         try:
-            follower_sets = _evaluate_chunk(graph, state, items, stop_event)
+            follower_sets = _evaluate_chunk(graph, state, items, stop_event,
+                                            kernel)
         except AbortCampaign as exc:
             conn.send(("abort", epoch, chunk_id, str(exc)))
             continue
@@ -549,13 +584,21 @@ def _worker_loop(conn: mp_connection.Connection, graph: BipartiteGraph,
 
 
 def _evaluate_chunk(graph: BipartiteGraph, state: Dict[str, object],
-                    items: Sequence[Candidate],
-                    stop_event: object) -> Optional[List[Set[int]]]:
-    """Follower sets for one chunk; ``None`` when deadline/stop fired."""
+                    items: Sequence[Candidate], stop_event: object,
+                    kernel: Optional[FollowerKernel] = None,
+                    ) -> Optional[List[Set[int]]]:
+    """Follower sets for one chunk; ``None`` when deadline/stop fired.
+
+    The flat-array ``kernel`` (stamped by this epoch's state message) and
+    ``compute_followers`` return set-identical values, so which path runs
+    is invisible to the parent's reduction.
+    """
     fault_site("parallel.chunk")
     orders = state["orders"]
     core = state["core"]
     deadline = state["deadline"]
+    alpha = state["alpha"]
+    beta = state["beta"]
     is_stopped = stop_event.is_set  # type: ignore[attr-defined]
     now = time.perf_counter
     out: List[Set[int]] = []
@@ -567,5 +610,8 @@ def _evaluate_chunk(graph: BipartiteGraph, state: Dict[str, object],
             return None
         if deadline is not None and now() > deadline:
             return None
-        out.append(compute_followers(graph, orders[side], x, core=core))  # type: ignore[index]
+        if kernel is not None:
+            out.append(kernel.followers(side, x, alpha, beta))  # type: ignore[arg-type]
+        else:
+            out.append(compute_followers(graph, orders[side], x, core=core))  # type: ignore[index]
     return out

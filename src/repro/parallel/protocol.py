@@ -1,0 +1,38 @@
+"""The typed contract between the engine and candidate evaluators.
+
+The engine only ever touches three methods of whatever evaluates its
+candidates; :class:`Evaluator` names them so ``engine.py`` can annotate its
+``evaluator`` parameters instead of passing ``object`` and ignoring
+attribute errors.  It lives in its own leaf module (no runtime imports
+from the rest of :mod:`repro.parallel`) so the engine can reference the
+type without importing ``multiprocessing`` machinery, and the structural
+check stays one-way: :class:`~repro.parallel.evaluator.ParallelEvaluator`
+conforms without subclassing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional, Protocol, Sequence, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.core.order_maintenance import OrderState
+
+__all__ = ["Candidate", "Evaluator"]
+
+#: One candidate: (side, vertex) where side selects O_U or O_L.
+Candidate = Tuple[str, int]
+
+
+class Evaluator(Protocol):
+    """What the engine requires of a parallel candidate evaluator."""
+
+    def begin_iteration(self, state: "OrderState",
+                        deadline: Optional[float]) -> None:
+        """Freeze this iteration's orders/core/deadline for the pool."""
+
+    def evaluate(self, items: Sequence[Candidate],
+                 ) -> Generator[Set[int], None, None]:
+        """Yield ``F(x)`` per candidate in order; ``close()`` cancels."""
+
+    def shutdown(self) -> None:
+        """Tear the pool down; must be idempotent."""

@@ -48,10 +48,10 @@ def marked_lines(fixture: str):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert rule_names() == ["determinism", "encapsulation",
                                 "exception-boundaries", "exports",
-                                "hot-path", "layer-safety"]
+                                "hot-path", "layer-safety", "recompute"]
 
     def test_unknown_rule_raises(self):
         with pytest.raises(KeyError):
@@ -166,6 +166,30 @@ class TestHotPath:
                                         module="repro.core.snippet")
         found = analyze_module(ctx, [get_rule("hot-path")])
         assert len(found) == 1 and "queue.append" in found[0].message
+
+
+class TestRecompute:
+    def test_bad_fixture_flags_every_marked_line(self):
+        found = violations("recompute_bad.py", "recompute")
+        assert sorted(v.line for v in found) == \
+            marked_lines("recompute_bad.py")
+        assert all(v.rule == "recompute" for v in found)
+
+    def test_ok_fixture_is_clean(self):
+        assert violations("recompute_ok.py", "recompute") == []
+
+    def test_message_names_the_function_and_the_cache(self):
+        found = violations("recompute_bad.py", "recompute")
+        assert any(v.message.startswith("reachable_from()") for v in found)
+        assert any(v.message.startswith("r_scores()") for v in found)
+        assert all("VerificationCache" in v.message for v in found)
+
+    def test_unmarked_module_is_never_inspected(self):
+        src = ("def f(graph, order, xs):\n"
+               "    return [reachable_from(graph, order, x) for x in xs]\n")
+        ctx = ModuleContext.from_source(src, Path("snippet.py"),
+                                        module="repro.core.snippet")
+        assert analyze_module(ctx, [get_rule("recompute")]) == []
 
 
 class TestExports:

@@ -115,10 +115,13 @@ class TestDeadlines:
         assert result.base_core_size == result.final_core_size
 
     def test_deadline_fires_mid_verification_on_csr(self, monkeypatch):
-        """Drive the clock forward from inside compute_followers so the
-        deadline deterministically expires between two verification calls —
-        no wall-clock racing."""
+        """Drive the clock forward from inside the follower computation so
+        the deadline deterministically expires between two verification
+        calls — no wall-clock racing.  Both follower paths are hooked: the
+        generic compute_followers and the flat CSR kernel the engine
+        auto-selects on CSR-backed graphs."""
         import repro.core.engine as engine_mod
+        from repro.bigraph.kernel import FollowerKernel
 
         g = multi_iteration_graph().to_csr()
         real = time.perf_counter
@@ -132,6 +135,13 @@ class TestDeadlines:
             return real_cf(*args, **kwargs)
 
         monkeypatch.setattr(engine_mod, "compute_followers", slow_cf)
+        real_kf = FollowerKernel.followers
+
+        def slow_kf(self, *args, **kwargs):
+            clock["offset"] += 100.0
+            return real_kf(self, *args, **kwargs)
+
+        monkeypatch.setattr(FollowerKernel, "followers", slow_kf)
         result = run_engine(g, 3, 3, 3, 3, ABLATIONS["both"], "x",
                             deadline=real() + 50.0)
         assert result.timed_out

@@ -130,7 +130,8 @@ class TestDeadlineAndStopFlag:
                 raise EvaluationStopped()
                 yield  # pragma: no cover - makes this a generator
 
-        scored = [(1, x, state.upper) for x in sorted(state.upper.position)]
+        scored = [(1, x, state.upper, None)
+                  for x in sorted(state.upper.position)]
         assert scored, "fixture must provide at least one candidate"
 
         class NullMaintainer:

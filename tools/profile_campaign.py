@@ -1,0 +1,92 @@
+"""cProfile a FILVER campaign and print the top cumulative hot functions.
+
+The engine's speed story is constant factors: where a reinforcement
+campaign actually spends its time decides which of the accelerations
+(cross-iteration memoization, the flat CSR kernel, worker pools) is worth
+reaching for.  This tool runs one campaign on the same multi-component
+planted-core composite the engine benchmark uses and prints the top-N
+functions by cumulative time, so a regression or a new hot spot is one
+command away::
+
+    PYTHONPATH=src python tools/profile_campaign.py
+    PYTHONPATH=src python tools/profile_campaign.py --no-memoize --parts 10
+    PYTHONPATH=src python tools/profile_campaign.py --method filver+ --top 30
+
+Profiles are wall-clock-free diagnostics — nothing here gates CI; the
+enforced numbers live in ``benchmarks/bench_engine.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+import time
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.bigraph import disjoint_union  # noqa: E402
+from repro.core import reinforce  # noqa: E402
+from repro.generators.planted import planted_core_graph  # noqa: E402
+
+
+def build_graph(parts: int, chains: int, chain_length: int):
+    components = [
+        planted_core_graph(alpha=4, beta=4, core_upper=16, core_lower=16,
+                           n_chains=chains, max_chain_length=chain_length,
+                           seed=1000 + i)
+        for i in range(parts)
+    ]
+    return disjoint_union(components).to_csr()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile one FILVER campaign, print hot functions")
+    parser.add_argument("--method", default="filver++",
+                        choices=["filver", "filver+", "filver++"])
+    parser.add_argument("--parts", type=int, default=30,
+                        help="planted components in the composite (30)")
+    parser.add_argument("--chains", type=int, default=40)
+    parser.add_argument("--chain-length", type=int, default=50)
+    parser.add_argument("--budget", type=int, default=24,
+                        help="per-layer anchor budget b1 = b2 (24)")
+    parser.add_argument("--t", type=int, default=2,
+                        help="anchors per iteration, filver++ only (2)")
+    parser.add_argument("--top", type=int, default=20,
+                        help="how many functions to print (20)")
+    parser.add_argument("--no-memoize", action="store_true",
+                        help="profile with the verification cache off")
+    parser.add_argument("--no-kernel", action="store_true",
+                        help="profile with the flat CSR kernel off")
+    args = parser.parse_args(argv)
+
+    graph = build_graph(args.parts, args.chains, args.chain_length)
+    print("graph: %d vertices, %d components (method=%s, memoize=%s, "
+          "flat_kernel=%s)"
+          % (graph.n_upper + graph.n_lower, args.parts, args.method,
+             not args.no_memoize, not args.no_kernel))
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = reinforce(graph, 4, 4, args.budget, args.budget,
+                       method=args.method, t=args.t,
+                       memoize=not args.no_memoize,
+                       flat_kernel=False if args.no_kernel else None)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    print("campaign: %d iterations, %d followers, %.2fs (instrumented)"
+          % (len(result.iterations), result.n_followers, elapsed))
+    print()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
