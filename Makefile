@@ -2,8 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults coverage lint typecheck bench bench-smoke \
-	bench-parallel-smoke bench-engine-smoke report examples clean
+.PHONY: install test test-faults coverage lint sanitize typecheck bench \
+	bench-smoke bench-parallel-smoke bench-engine-smoke report examples \
+	clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -32,8 +33,15 @@ coverage:
 			--fail-under $$GATE -q -x; \
 	fi
 
+# Static analysis gate: all ten rules (module + whole-program flow), with
+# stale suppression pragmas treated as violations.
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --strict-pragmas src/
+
+# Runtime sanitizer gate: tier-1 under randomized PYTHONHASHSEED with
+# warnings-as-errors and SharedMemory/fd leak tracking (docs/ANALYSIS.md).
+sanitize:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.sanitize
 
 typecheck:
 	@$(PYTHON) -c "import mypy" 2>/dev/null \

@@ -80,6 +80,12 @@ class CsrCache:
                 position += len(row)
             edge_src = _np.repeat(
                 _np.arange(graph.n_vertices, dtype=_np.int64), degrees)
+        # Every caller shares these cached arrays (and in the CSR branch
+        # they may alias the graph's own buffers): freeze them so a stray
+        # in-place op raises instead of corrupting the graph for everyone.
+        indptr.setflags(write=False)
+        indices.setflags(write=False)
+        edge_src.setflags(write=False)
         entry = (indptr, indices, edge_src)
         _csr_cache[graph] = entry
         return entry

@@ -1,0 +1,116 @@
+"""Pytest plugin behind ``make sanitize``: SharedMemory/fd leak tracking.
+
+Injected by :mod:`repro.analysis.sanitize` via ``-p
+repro.analysis._sanitize_plugin`` — never enabled in a normal test run.
+It instruments ``multiprocessing.shared_memory.SharedMemory`` in the
+test process to record every handle opened and every segment created,
+and checks at session end (after a full garbage collection, so
+refcount-driven ``__del__`` cleanup gets its chance) that
+
+* no handle is still open (``close()`` never ran and the object is still
+  referenced), and
+* no *created* segment is still linked (``unlink()`` never ran — the
+  ``/dev/shm`` file would outlive the suite).
+
+Results are written to stderr as ``repro-sanitize:`` marker lines; the
+driver parses them rather than trusting exit codes, because a leak must
+fail the gate even when every test passed.  A file-descriptor count
+(``/proc/self/fd``) is reported the same way; the driver applies the
+tolerance, since libraries legitimately keep a few descriptors open.
+
+Worker-process leaks can't be seen from here — the driver covers those
+by diffing ``/dev/shm`` and scanning for the resource tracker's
+"leaked shared_memory objects" warning.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+from typing import Dict, Optional, Set, Tuple
+
+try:
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - py>=3.8 always has it
+    shared_memory = None  # type: ignore[assignment]
+
+__all__ = ["pytest_sessionstart", "pytest_sessionfinish"]
+
+_MARKER = "repro-sanitize:"
+
+#: id(handle) -> (segment name, was created here) for every open handle.
+_live: Dict[int, Tuple[str, bool]] = {}
+#: Segment names created in this process and not yet unlinked.
+_created: Set[str] = set()
+
+_fd_baseline: Optional[int] = None
+_patched = False
+
+
+def _fd_count() -> Optional[int]:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:  # pragma: no cover - non-procfs platform
+        return None
+
+
+def _install() -> None:
+    global _patched
+    if _patched or shared_memory is None:
+        return
+    _patched = True
+    cls = shared_memory.SharedMemory
+    orig_init = cls.__init__
+    orig_close = cls.close
+    orig_unlink = cls.unlink
+
+    def tracked_init(self, *args, **kwargs):  # type: ignore[no-untyped-def]
+        orig_init(self, *args, **kwargs)
+        create = bool(kwargs.get("create",
+                                 args[1] if len(args) > 1 else False))
+        _live[id(self)] = (self.name, create)
+        if create:
+            _created.add(self.name)
+
+    def tracked_close(self):  # type: ignore[no-untyped-def]
+        _live.pop(id(self), None)
+        orig_close(self)
+
+    def tracked_unlink(self):  # type: ignore[no-untyped-def]
+        _created.discard(self.name)
+        orig_unlink(self)
+
+    cls.__init__ = tracked_init  # type: ignore[method-assign]
+    cls.close = tracked_close  # type: ignore[method-assign]
+    cls.unlink = tracked_unlink  # type: ignore[method-assign]
+
+
+def _emit(text: str) -> None:
+    sys.stderr.write("%s %s\n" % (_MARKER, text))
+    sys.stderr.flush()
+
+
+def pytest_sessionstart(session):  # type: ignore[no-untyped-def]
+    """Install the SharedMemory instrumentation and take the fd baseline."""
+    global _fd_baseline
+    _install()
+    _fd_baseline = _fd_count()
+    _emit("tracking shm=%s fd-baseline=%s"
+          % (shared_memory is not None, _fd_baseline))
+
+
+def pytest_sessionfinish(session, exitstatus):  # type: ignore[no-untyped-def]
+    """Report leaked handles/segments and the final fd count to stderr."""
+    # Give refcount/GC cleanup its chance: a handle whose owner was
+    # collected closes itself in __del__, which is reclamation, not a leak.
+    gc.collect()
+    for name, created in sorted(set(_live.values())):
+        _emit("leaked-shm-handle name=%s created=%s" % (name, created))
+    for name in sorted(_created):
+        _emit("leaked-shm-segment name=%s" % name)
+    final = _fd_count()
+    _emit("fd-baseline=%s fd-final=%s"
+          % (_fd_baseline if _fd_baseline is not None else "n/a",
+             final if final is not None else "n/a"))
+    _emit("done handles=%d segments=%d" % (len(_live), len(_created)))

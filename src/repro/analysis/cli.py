@@ -11,7 +11,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.registry import all_rules, get_rule, rule_names
-from repro.analysis.reporters import format_human, format_json
+from repro.analysis.reporters import format_human, format_json, format_sarif
 from repro.analysis.runner import run_analysis
 
 __all__ = ["main", "build_parser"]
@@ -30,6 +30,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated subset of rules to run")
     parser.add_argument("--json", action="store_true",
                         help="emit a JSON report instead of text")
+    parser.add_argument("--sarif", action="store_true",
+                        help="emit a SARIF 2.1.0 report (for CI upload / "
+                             "inline annotations)")
+    parser.add_argument("--strict-pragmas", action="store_true",
+                        help="treat stale suppression/boundary/hot-loop "
+                             "pragmas as violations")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
     return parser
@@ -63,6 +69,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         rules = [get_rule(n) for n in dict.fromkeys(wanted)]
 
-    report = run_analysis(args.paths, rules)
-    print(format_json(report) if args.json else format_human(report))
+    if args.json and args.sarif:
+        print("error: --json and --sarif are mutually exclusive",
+              file=sys.stderr)
+        return 2
+
+    report = run_analysis(args.paths, rules,
+                          strict_pragmas=args.strict_pragmas)
+    if args.sarif:
+        print(format_sarif(report))
+    elif args.json:
+        print(format_json(report))
+    else:
+        print(format_human(report))
     return 0 if report.ok else 1

@@ -30,9 +30,12 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 __all__ = ["ModuleContext", "module_name_for_path"]
 
-_IGNORE_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([^\]]*)\])?")
-_HOT_LOOP_RE = re.compile(r"#\s*hot-loop\b")
-_BOUNDARY_RE = re.compile(r"#\s*repro:\s*boundary\b")
+# Anchored at the start of the comment token: a pragma is the comment,
+# not a phrase inside one — prose like "see the # hot-loop pragma" (or
+# this very comment) must not register.
+_IGNORE_RE = re.compile(r"^#\s*repro:\s*ignore(?:\[([^\]]*)\])?")
+_HOT_LOOP_RE = re.compile(r"^#\s*hot-loop\b")
+_BOUNDARY_RE = re.compile(r"^#\s*repro:\s*boundary\b")
 
 #: Sentinel stored in the suppression map when every rule is ignored.
 _ALL_RULES: FrozenSet[str] = frozenset({"*"})
@@ -73,6 +76,12 @@ class ModuleContext:
     boundary_pragma_lines: Set[int] = field(default_factory=set)
     #: (first_body_line, end_line) spans of loops marked ``# hot-loop``.
     hot_loop_spans: List[Tuple[int, int]] = field(default_factory=list)
+    #: ``# hot-loop`` pragma lines that matched an actual loop header.
+    matched_hot_loop_pragma_lines: Set[int] = field(default_factory=set)
+    #: boundary-pragma lines attached to an ``except`` handler header.
+    matched_boundary_pragma_lines: Set[int] = field(default_factory=set)
+    #: ``(line, rule)`` pairs where an ignore pragma suppressed a finding.
+    used_suppressions: Set[Tuple[int, str]] = field(default_factory=set)
 
     @classmethod
     def from_source(
@@ -95,6 +104,7 @@ class ModuleContext:
         )
         ctx._scan_comments()
         ctx._collect_hot_loops()
+        ctx._match_boundary_pragmas()
         return ctx
 
     @classmethod
@@ -116,7 +126,7 @@ class ModuleContext:
             if tok.type != tokenize.COMMENT:
                 continue
             line = tok.start[0]
-            m = _IGNORE_RE.search(tok.string)
+            m = _IGNORE_RE.match(tok.string)
             if m:
                 names = m.group(1)
                 if names is None:
@@ -126,9 +136,9 @@ class ModuleContext:
                         n.strip() for n in names.split(",") if n.strip())
                     prior = self.suppressions.get(line, frozenset())
                     self.suppressions[line] = prior | rules
-            if _HOT_LOOP_RE.search(tok.string):
+            if _HOT_LOOP_RE.match(tok.string):
                 self.hot_loop_pragma_lines.add(line)
-            if _BOUNDARY_RE.search(tok.string):
+            if _BOUNDARY_RE.match(tok.string):
                 self.boundary_pragma_lines.add(line)
 
     def _collect_hot_loops(self) -> None:
@@ -138,20 +148,42 @@ class ModuleContext:
         for node in ast.walk(self.tree):
             if not isinstance(node, (ast.For, ast.While)):
                 continue
-            if node.lineno in pragmas or node.lineno - 1 in pragmas:
-                end = getattr(node, "end_lineno", node.lineno)
-                self.hot_loop_spans.append((node.lineno, end or node.lineno))
+            for pragma_line in (node.lineno, node.lineno - 1):
+                if pragma_line in pragmas:
+                    self.matched_hot_loop_pragma_lines.add(pragma_line)
+                    end = getattr(node, "end_lineno", node.lineno)
+                    self.hot_loop_spans.append(
+                        (node.lineno, end or node.lineno))
+                    break
+
+    def _match_boundary_pragmas(self) -> None:
+        """Record which boundary pragmas sit on/above an except header."""
+        if not self.boundary_pragma_lines:
+            return
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            for pragma_line in (node.lineno, node.lineno - 1):
+                if pragma_line in self.boundary_pragma_lines:
+                    self.matched_boundary_pragma_lines.add(pragma_line)
 
     # ------------------------------------------------------------------
     # Queries used by rules and the runner
     # ------------------------------------------------------------------
 
     def is_suppressed(self, rule: str, line: int) -> bool:
-        """Is ``rule`` suppressed on ``line`` by an ignore pragma?"""
+        """Is ``rule`` suppressed on ``line`` by an ignore pragma?
+
+        A hit is recorded in :attr:`used_suppressions`; the runner's
+        stale-pragma pass reports ignore pragmas that never record one.
+        """
         names = self.suppressions.get(line)
         if names is None:
             return False
-        return names is _ALL_RULES or "*" in names or rule in names
+        if names is _ALL_RULES or "*" in names or rule in names:
+            self.used_suppressions.add((line, rule))
+            return True
+        return False
 
     def in_hot_loop(self, line: int) -> bool:
         """Does ``line`` fall inside a loop marked ``# hot-loop``?"""

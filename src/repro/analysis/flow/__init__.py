@@ -1,0 +1,40 @@
+"""Whole-program flow analysis: symbols, call graph, and flow rules.
+
+This package upgrades :mod:`repro.analysis` from per-module lints to
+interprocedural checking.  The pieces:
+
+* :mod:`~repro.analysis.flow.symbols` — a project-wide symbol table of
+  functions, classes, methods, and import aliases, keyed by qualified
+  name (``repro.core.engine.run_engine``);
+* :mod:`~repro.analysis.flow.callgraph` — a best-effort static call
+  graph resolved against the symbol table;
+* :mod:`~repro.analysis.flow.program` — :class:`ProgramContext` (every
+  module of a run, bundled) and :class:`FlowRule`, the base class for
+  rules with ``scope = "program"``;
+* the three rule families: :mod:`~repro.analysis.flow.ordering`
+  (``ordering-flow``), :mod:`~repro.analysis.flow.lifecycle`
+  (``resource-lifecycle``), and :mod:`~repro.analysis.flow.mutation`
+  (``shared-mutation``).
+
+Rule modules are imported (and thereby registered) by
+:mod:`repro.analysis.rules`, keeping this package importable without
+side effects.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.callgraph import CallGraph, CallSite, resolve_call
+from repro.analysis.flow.program import FlowRule, ProgramContext
+from repro.analysis.flow.symbols import (ClassInfo, FunctionInfo,
+                                         SymbolTable)
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FlowRule",
+    "FunctionInfo",
+    "ProgramContext",
+    "SymbolTable",
+    "resolve_call",
+]

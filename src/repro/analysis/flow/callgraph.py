@@ -1,0 +1,120 @@
+"""Best-effort static call graph over the program symbol table.
+
+Edges connect *defined* functions: for every function body the builder
+resolves each ``Call`` whose callee is a plain dotted name — a module-level
+function (``compute_followers(...)``), an imported symbol
+(``shm.attach_shared_graph(...)``), a class constructor, or a
+``self.method(...)`` call on the enclosing class — to its
+:class:`~repro.analysis.flow.symbols.FunctionInfo`.  Calls through
+arbitrary objects (``order.candidates(...)``) are recorded as *unresolved*
+attribute calls; interprocedural rules must treat them as unknown.
+
+Calls made inside nested ``def``/``lambda`` bodies are attributed to the
+enclosing indexed function: for dataflow purposes a closure is part of its
+owner's behavior, and none of the rules need closure-level precision.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.flow.symbols import FunctionInfo, SymbolTable
+
+__all__ = ["CallSite", "CallGraph", "resolve_call"]
+
+
+@dataclass
+class CallSite:
+    """One call expression inside an indexed function."""
+
+    caller: str
+    #: Qualified callee when resolution succeeded, else ``None``.
+    callee: Optional[str]
+    #: The callee as written (``"kernel.followers"``), for diagnostics.
+    text: str
+    node: ast.Call
+
+
+@dataclass
+class CallGraph:
+    """Caller → callee edges plus per-function call sites."""
+
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    reverse: Dict[str, Set[str]] = field(default_factory=dict)
+    sites: Dict[str, List[CallSite]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, table: SymbolTable) -> "CallGraph":
+        """Resolve every call site of every indexed function."""
+        graph = cls()
+        for info in table.iter_functions():
+            graph.sites[info.qualname] = list(_function_sites(info, table))
+            callees = graph.edges.setdefault(info.qualname, set())
+            for site in graph.sites[info.qualname]:
+                if site.callee is not None:
+                    callees.add(site.callee)
+                    graph.reverse.setdefault(site.callee,
+                                             set()).add(info.qualname)
+        return graph
+
+    def callees(self, qualname: str) -> Set[str]:
+        """Functions ``qualname`` calls (resolved edges only)."""
+        return self.edges.get(qualname, set())
+
+    def callers(self, qualname: str) -> Set[str]:
+        """Functions that call ``qualname`` (resolved edges only)."""
+        return self.reverse.get(qualname, set())
+
+    def call_sites(self, qualname: str) -> List[CallSite]:
+        """Every call expression inside ``qualname``, resolved or not."""
+        return self.sites.get(qualname, [])
+
+
+def resolve_call(node: ast.Call, info: FunctionInfo,
+                 table: SymbolTable) -> Tuple[Optional[str], str]:
+    """``(qualified callee or None, callee as written)`` for one call.
+
+    Resolution order: ``self.method`` against the enclosing class, then the
+    dotted name against the module's alias map.  A resolved name that turns
+    out to be a class yields the class's ``__init__`` when defined, else
+    the class qualname itself (constructor edge).
+    """
+    text = dotted_name(node.func)
+    if not text:
+        return None, ""
+    head, _, rest = text.partition(".")
+    if head in ("self", "cls") and rest and info.owner_class is not None:
+        owner = table.class_of(info.owner_class)
+        method = rest.split(".", 1)[0]
+        if owner is not None and method in owner.methods:
+            return owner.methods[method].qualname, text
+        return None, text
+    resolved = table.resolve(info.module, text)
+    if resolved is None:
+        return None, text
+    if resolved in table.functions:
+        return resolved, text
+    cls_info = table.class_of(resolved)
+    if cls_info is not None:
+        init = cls_info.methods.get("__init__")
+        return (init.qualname if init is not None
+                else cls_info.qualname), text
+    return resolved, text
+
+
+def _function_sites(info: FunctionInfo,
+                    table: SymbolTable) -> Iterator[CallSite]:
+    """Call sites in ``info``'s body, nested defs attributed to it."""
+    body = info.node.body  # type: ignore[attr-defined]
+    for stmt in body:
+        for node in ast.walk(stmt):
+            # Skip the bodies of *methods of nested classes*; they are
+            # indexed separately only at top level, so keep them here too —
+            # over-attribution is harmless for the rules built on this.
+            if isinstance(node, ast.Call):
+                callee, text = resolve_call(node, info, table)
+                yield CallSite(caller=info.qualname, callee=callee,
+                               text=text, node=node)

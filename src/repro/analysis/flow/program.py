@@ -1,0 +1,66 @@
+"""The whole-program analysis context and the program-scoped rule base.
+
+A :class:`ProgramContext` bundles every parsed module of one analysis run
+with the project-wide :class:`~repro.analysis.flow.symbols.SymbolTable`
+and :class:`~repro.analysis.flow.callgraph.CallGraph` built over them.
+Program-scoped rules (:class:`FlowRule`) receive the whole bundle once per
+run instead of one module at a time, which is what lets them follow a
+value from ``set()`` in one module to a canonical writer in another.
+
+The runner builds one ``ProgramContext`` per invocation and caches nothing
+across runs — at this repo's size a full build is a few hundred
+milliseconds, and statelessness keeps ``--rules`` filtering and the test
+helpers trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.symbols import SymbolTable
+from repro.analysis.registry import AnalysisRule
+from repro.analysis.violations import Violation
+
+__all__ = ["ProgramContext", "FlowRule"]
+
+
+class ProgramContext:
+    """Every module of one run, plus symbols and the call graph."""
+
+    def __init__(self, contexts: List[ModuleContext]) -> None:
+        self.contexts = list(contexts)
+        self.modules: Dict[str, ModuleContext] = {
+            ctx.module: ctx for ctx in contexts}
+        self.symbols = SymbolTable.build(self.contexts)
+        self.callgraph = CallGraph.build(self.symbols)
+
+    @classmethod
+    def build(cls, contexts: List[ModuleContext]) -> "ProgramContext":
+        """Alias of the constructor, matching :meth:`SymbolTable.build`."""
+        return cls(contexts)
+
+    def module(self, name: str) -> Optional[ModuleContext]:
+        """The context for dotted module ``name``, if analyzed this run."""
+        return self.modules.get(name)
+
+
+class FlowRule(AnalysisRule):
+    """Base class for rules that need the whole program at once.
+
+    Subclasses implement :meth:`check_program`; the per-module
+    :meth:`~repro.analysis.registry.AnalysisRule.check` is intentionally a
+    no-op so a flow rule accidentally handed to ``analyze_module`` yields
+    nothing rather than half-true module-local findings.
+    """
+
+    scope = "program"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        """Program rules produce nothing from a single module."""
+        return iter(())
+
+    def check_program(self, program: ProgramContext) -> Iterator[Violation]:
+        """Yield every violation found across ``program``."""
+        raise NotImplementedError

@@ -1,0 +1,219 @@
+"""Project-wide symbol table: every function, class, and import alias.
+
+The per-module rules see one :class:`~repro.analysis.context.ModuleContext`
+at a time; the whole-program rules need to answer questions like *"which
+function does this call resolve to?"* and *"does the class this attribute
+is assigned to define a ``close`` method?"* across module boundaries.  The
+:class:`SymbolTable` is the shared substrate for those answers:
+
+* every top-level function, every class, and every method gets a
+  :class:`FunctionInfo` / :class:`ClassInfo` keyed by its fully-qualified
+  dotted name (``repro.core.engine.run_engine``,
+  ``repro.bigraph.shm.SharedGraphExport.close``);
+* per module, an *alias map* from local names to qualified targets is
+  derived from the import statements (``from repro.bigraph.shm import
+  attach_shared_graph`` binds ``attach_shared_graph`` →
+  ``repro.bigraph.shm.attach_shared_graph``; ``import numpy as np`` binds
+  ``np`` → ``numpy``), so expression-level dotted names resolve to program
+  symbols without executing any imports.
+
+Resolution is best-effort by design: names bound by assignment, star
+imports, or runtime tricks stay unresolved, and rules built on top treat
+"unresolved" as "unknown", never as "safe" or "unsafe" on its own.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.context import ModuleContext
+
+__all__ = ["FunctionInfo", "ClassInfo", "SymbolTable"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressable program-wide."""
+
+    qualname: str
+    module: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    ctx: ModuleContext
+    #: Qualified name of the owning class for methods, ``None`` for
+    #: module-level functions.
+    owner_class: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        """The bare (unqualified) function name."""
+        return self.qualname.rsplit(".", 1)[-1]
+
+    def arg_names(self) -> List[str]:
+        """Positional + keyword argument names, in declaration order."""
+        args = self.node.args  # type: ignore[attr-defined]
+        names = [a.arg for a in args.posonlyargs + args.args]
+        names.extend(a.arg for a in args.kwonlyargs)
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One class definition, with enough structure for lifecycle checks."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    ctx: ModuleContext
+    #: Bare method names defined directly on the class body.
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Base-class expressions as dotted source text (unresolved).
+    bases: Tuple[str, ...] = ()
+
+    def has_method(self, *names: str) -> bool:
+        """Does the class body define any of the given method names?"""
+        return any(name in self.methods for name in names)
+
+
+class SymbolTable:
+    """Functions, classes, and import aliases for a set of modules."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: module name -> local identifier -> qualified target.
+        self.aliases: Dict[str, Dict[str, str]] = {}
+        self.modules: Dict[str, ModuleContext] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, contexts: List[ModuleContext]) -> "SymbolTable":
+        """Index every context; later duplicates of a module name win."""
+        table = cls()
+        for ctx in contexts:
+            table.add_module(ctx)
+        return table
+
+    def add_module(self, ctx: ModuleContext) -> None:
+        """Index one module's defs, classes, and import aliases."""
+        module = ctx.module
+        self.modules[module] = ctx
+        aliases = self.aliases.setdefault(module, {})
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    local = name.asname or name.name.split(".", 1)[0]
+                    target = name.name if name.asname else name.name.split(
+                        ".", 1)[0]
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(module, node)
+                if base is None:
+                    continue
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    local = name.asname or name.name
+                    aliases[local] = "%s.%s" % (base, name.name)
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = "%s.%s" % (module, stmt.name)
+                self.functions[qualname] = FunctionInfo(
+                    qualname=qualname, module=module, node=stmt, ctx=ctx)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(ctx, stmt)
+
+    def _add_class(self, ctx: ModuleContext, stmt: ast.ClassDef) -> None:
+        qualname = "%s.%s" % (ctx.module, stmt.name)
+        info = ClassInfo(
+            qualname=qualname, module=ctx.module, node=stmt, ctx=ctx,
+            bases=tuple(filter(None, (dotted_name(b) for b in stmt.bases))))
+        for member in stmt.body:
+            if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_qualname = "%s.%s" % (qualname, member.name)
+                fn = FunctionInfo(
+                    qualname=method_qualname, module=ctx.module, node=member,
+                    ctx=ctx, owner_class=qualname)
+                info.methods[member.name] = fn
+                self.functions[method_qualname] = fn
+        self.classes[qualname] = info
+
+    @staticmethod
+    def _import_base(module: str, node: ast.ImportFrom) -> Optional[str]:
+        """Absolute dotted base of a ``from ... import`` statement."""
+        if node.level == 0:
+            return node.module
+        # Relative import: resolve against the importing module's package.
+        parts = module.split(".")
+        # ``from . import x`` inside a package __init__ has the package
+        # itself as base; ModuleContext names __init__ modules by their
+        # package already, so one level strips nothing there.  For plain
+        # modules the last component is the module, stripped by level 1.
+        drop = node.level if not SymbolTable._is_package(module) \
+            else node.level - 1
+        if drop >= len(parts):
+            return None
+        base_parts = parts[:len(parts) - drop]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts) if base_parts else None
+
+    @staticmethod
+    def _is_package(module: str) -> bool:
+        # ModuleContext.module for ``repro/analysis/__init__.py`` is
+        # ``repro.analysis``; we cannot distinguish that from a plain module
+        # without the path, so treat "has submodules in this table" as the
+        # signal at resolve time instead.  Conservative default: not a
+        # package (level-1 relative imports resolve like CPython's).
+        return False
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, module: str, dotted: str) -> Optional[str]:
+        """Qualify ``dotted`` (as written in ``module``) program-wide.
+
+        Returns a fully-qualified dotted name — which may or may not be a
+        known function/class — or ``None`` when the head identifier is
+        neither a local top-level definition nor an import alias.
+        """
+        if not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        aliases = self.aliases.get(module, {})
+        target = aliases.get(head)
+        if target is None:
+            # A module's own top-level def/class referenced by bare name.
+            local = "%s.%s" % (module, head)
+            if local in self.functions or local in self.classes:
+                target = local
+            else:
+                return None
+        return "%s.%s" % (target, rest) if rest else target
+
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        """The :class:`FunctionInfo` for ``qualname``, if indexed."""
+        return self.functions.get(qualname)
+
+    def class_of(self, qualname: str) -> Optional[ClassInfo]:
+        """The :class:`ClassInfo` for ``qualname``, if indexed."""
+        info = self.classes.get(qualname)
+        if info is not None:
+            return info
+        # A ``from m import Cls`` re-export: follow one alias hop.
+        module, _, name = qualname.rpartition(".")
+        resolved = self.resolve(module, name) if module else None
+        if resolved is not None and resolved != qualname:
+            return self.classes.get(resolved)
+        return None
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        """Every indexed function/method, in sorted qualname order."""
+        for qualname in sorted(self.functions):
+            yield self.functions[qualname]

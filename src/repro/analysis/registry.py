@@ -36,6 +36,11 @@ class AnalysisRule:
     name: str = ""
     #: One-line summary shown by ``--list-rules``.
     description: str = ""
+    #: ``"module"`` rules get one :class:`ModuleContext` at a time via
+    #: :meth:`check`; ``"program"`` rules (:class:`repro.analysis.flow.
+    #: FlowRule`) get every module of the run at once via
+    #: ``check_program``.
+    scope: str = "module"
 
     def check(self, ctx: ModuleContext) -> Iterator[Violation]:
         """Yield every violation of this rule found in ``ctx``."""

@@ -1,13 +1,22 @@
-"""Human and machine (JSON) renderings of an analysis report."""
+"""Human, machine (JSON), and SARIF renderings of an analysis report."""
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List
 
+from repro.analysis.registry import all_rules
 from repro.analysis.runner import AnalysisReport
 
-__all__ = ["format_human", "format_json", "report_to_dict"]
+__all__ = ["format_human", "format_json", "format_sarif",
+           "report_to_dict", "report_to_sarif"]
+
+#: Version stamped into SARIF output; tracks the analysis engine, not the
+#: repo release.
+_TOOL_VERSION = "2.0"
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
 
 
 def format_human(report: AnalysisReport) -> str:
@@ -15,14 +24,19 @@ def format_human(report: AnalysisReport) -> str:
     lines = [v.format() for v in report.violations]
     for path, message in report.errors:
         lines.append("%s: error: %s" % (path, message))
+    for w in report.warnings:
+        lines.append("%s (warning)" % w.format())
     if report.ok:
-        lines.append("repro.analysis: %d file(s) clean (%d rule(s))"
-                     % (report.checked_files, len(report.rules)))
+        summary = ("repro.analysis: %d file(s) clean (%d rule(s))"
+                   % (report.checked_files, len(report.rules)))
+        if report.warnings:
+            summary += ", %d warning(s)" % len(report.warnings)
+        lines.append(summary)
     else:
-        lines.append("repro.analysis: %d violation(s), %d error(s) in "
-                     "%d file(s)" % (len(report.violations),
-                                     len(report.errors),
-                                     report.checked_files))
+        lines.append("repro.analysis: %d violation(s), %d error(s), "
+                     "%d warning(s) in %d file(s)"
+                     % (len(report.violations), len(report.errors),
+                        len(report.warnings), report.checked_files))
     return "\n".join(lines)
 
 
@@ -33,6 +47,7 @@ def report_to_dict(report: AnalysisReport) -> Dict[str, Any]:
         "rules": list(report.rules),
         "violations": [v.to_dict() for v in report.violations],
         "errors": [{"path": p, "message": m} for p, m in report.errors],
+        "warnings": [w.to_dict() for w in report.warnings],
         "ok": report.ok,
     }
 
@@ -40,3 +55,75 @@ def report_to_dict(report: AnalysisReport) -> Dict[str, Any]:
 def format_json(report: AnalysisReport) -> str:
     """Stable, indented JSON for tooling and CI artifacts."""
     return json.dumps(report_to_dict(report), indent=2, sort_keys=True)
+
+
+def report_to_sarif(report: AnalysisReport) -> Dict[str, Any]:
+    """The report as a SARIF 2.1.0 log (one run, one tool).
+
+    Violations map to ``level: error`` results, stale-pragma warnings to
+    ``level: warning``, unanalyzable files to tool execution
+    notifications.  Paths are emitted as written (repo-relative when the
+    CLI was invoked from the repo root), which is what GitHub's
+    ``upload-sarif`` action expects for inline annotations.
+    """
+    descriptors: List[Dict[str, Any]] = [
+        {"id": rule.name,
+         "shortDescription": {"text": rule.description}}
+        for rule in all_rules()
+    ]
+    descriptors.append({
+        "id": "stale-pragma",
+        "shortDescription": {
+            "text": "suppression/boundary/hot-loop pragma that no longer "
+                    "does anything"}})
+
+    def result(v: Any, level: str) -> Dict[str, Any]:
+        return {
+            "ruleId": v.rule,
+            "level": level,
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": str(v.path).replace(
+                        "\\", "/")},
+                    "region": {"startLine": int(v.line),
+                               "startColumn": int(v.col) + 1},
+                },
+            }],
+        }
+
+    results = [result(v, "error") for v in report.violations]
+    results += [result(w, "warning") for w in report.warnings]
+    notifications = [
+        {"level": "error",
+         "message": {"text": "%s: %s" % (path, message)}}
+        for path, message in report.errors
+    ]
+    run: Dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": "repro.analysis",
+                "version": _TOOL_VERSION,
+                "informationUri":
+                    "https://example.invalid/repro/docs/ANALYSIS.md",
+                "rules": descriptors,
+            },
+        },
+        "results": results,
+        "columnKind": "utf16CodeUnits",
+    }
+    if notifications:
+        run["invocations"] = [{
+            "executionSuccessful": False,
+            "toolExecutionNotifications": notifications,
+        }]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def format_sarif(report: AnalysisReport) -> str:
+    """Stable, indented SARIF JSON for ``--sarif`` and CI upload."""
+    return json.dumps(report_to_sarif(report), indent=2, sort_keys=True)

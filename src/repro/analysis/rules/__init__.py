@@ -7,6 +7,9 @@ the import list below (and decorated with ``@register``) to ship.
 
 from __future__ import annotations
 
+from repro.analysis.flow.lifecycle import ResourceLifecycleRule
+from repro.analysis.flow.mutation import SharedMutationRule
+from repro.analysis.flow.ordering import OrderingFlowRule
 from repro.analysis.rules.boundaries import BoundariesRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.encapsulation import EncapsulationRule
@@ -22,5 +25,8 @@ __all__ = [
     "ExportsRule",
     "HotPathRule",
     "LayerSafetyRule",
+    "OrderingFlowRule",
     "RecomputeRule",
+    "ResourceLifecycleRule",
+    "SharedMutationRule",
 ]

@@ -72,7 +72,11 @@ class DeterminismRule(AnalysisRule):
     def _check_random(self, ctx: ModuleContext, out: List[Violation]) -> None:
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ImportFrom) and node.module == "random":
-                bad = [a.name for a in node.names if a.name != "Random"]
+                # Random is fine (callers must seed it); SystemRandom is
+                # OS entropy by design — the sanctioned source when
+                # non-determinism is the point (the sanitizer's seeds).
+                bad = [a.name for a in node.names
+                       if a.name not in ("Random", "SystemRandom")]
                 if bad:
                     out.append(self.violation(
                         ctx, node.lineno, node.col_offset,

@@ -1,19 +1,36 @@
-"""Drive the rules over files and directories, applying suppressions."""
+"""Drive the rules over files and directories, applying suppressions.
+
+Module-scoped rules run file by file.  Program-scoped rules
+(:class:`~repro.analysis.flow.program.FlowRule`) run once over a
+:class:`~repro.analysis.flow.program.ProgramContext` built from every
+module of the run, and their violations pass through the same per-line
+suppression filter via a path → module map.
+
+After all rules run, a stale-pragma pass compares the pragmas each module
+declares against the ones that actually fired: an ``# repro:
+ignore[rule]`` that suppressed nothing, a ``# repro: boundary`` that
+guarded no checked handler, or a ``# hot-loop`` attached to no loop
+becomes a *warning* (``rule="stale-pragma"``).  Warnings don't fail the
+run unless ``strict_pragmas=True`` promotes them to violations — the CI
+gate runs strict so suppressions can't outlive the code they excused.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.context import ModuleContext
-from repro.analysis.registry import AnalysisRule, all_rules
+from repro.analysis.registry import AnalysisRule, all_rules, rule_names
 from repro.analysis.violations import Violation
 
-__all__ = ["AnalysisReport", "run_analysis", "analyze_module", "collect_files"]
+__all__ = ["AnalysisReport", "run_analysis", "analyze_module",
+           "analyze_program", "collect_files", "stale_pragma_warnings"]
 
 _SKIP_DIR_SUFFIXES = (".egg-info",)
 _SKIP_DIR_NAMES = ("__pycache__", ".git", ".hypothesis", ".pytest_cache")
+
 
 
 @dataclass
@@ -23,6 +40,9 @@ class AnalysisReport:
     violations: List[Violation] = field(default_factory=list)
     #: ``(path, message)`` pairs for files that could not be analyzed.
     errors: List[Tuple[str, str]] = field(default_factory=list)
+    #: Non-fatal findings (stale pragmas); promoted to violations under
+    #: ``--strict-pragmas``.
+    warnings: List[Violation] = field(default_factory=list)
     checked_files: int = 0
     rules: List[str] = field(default_factory=list)
 
@@ -36,6 +56,7 @@ def collect_files(paths: Iterable[Path]) -> List[Path]:
     """Expand files/directories into a sorted list of ``.py`` files."""
     found = set()
     for path in paths:
+        path = Path(path)
         if path.is_dir():
             for candidate in path.rglob("*.py"):
                 parts = candidate.parts
@@ -53,24 +74,102 @@ def collect_files(paths: Iterable[Path]) -> List[Path]:
 def analyze_module(ctx: ModuleContext,
                    rules: Optional[Sequence[AnalysisRule]] = None
                    ) -> List[Violation]:
-    """Run ``rules`` (default: all registered) over one parsed module.
+    """Run module-scoped ``rules`` (default: all) over one parsed module.
 
     Violations on lines carrying a matching ``# repro: ignore[...]`` pragma
     are filtered out here, so rules never need to know about suppressions.
+    Program-scoped rules are skipped — they need
+    :func:`analyze_program`.
     """
     if rules is None:
         rules = all_rules()
     violations: List[Violation] = []
     for rule in rules:
+        if rule.scope == "program":
+            continue
         for v in rule.check(ctx):
             if not ctx.is_suppressed(v.rule, v.line):
                 violations.append(v)
     return sorted(violations)
 
 
+def analyze_program(contexts: Sequence[ModuleContext],
+                    rules: Optional[Sequence[AnalysisRule]] = None
+                    ) -> List[Violation]:
+    """Run program-scoped ``rules`` over ``contexts`` as one program.
+
+    The import lives here (not at module top) so :mod:`repro.analysis`
+    stays importable even if the flow package is being bisected.
+    """
+    from repro.analysis.flow.program import ProgramContext
+
+    if rules is None:
+        rules = all_rules()
+    program_rules = [r for r in rules if r.scope == "program"]
+    if not program_rules or not contexts:
+        return []
+    program = ProgramContext.build(list(contexts))
+    by_path = {str(ctx.path): ctx for ctx in contexts}
+    violations: List[Violation] = []
+    for rule in program_rules:
+        for v in rule.check_program(program):
+            ctx = by_path.get(v.path)
+            if ctx is not None and ctx.is_suppressed(v.rule, v.line):
+                continue
+            violations.append(v)
+    return sorted(violations)
+
+
+def stale_pragma_warnings(ctx: ModuleContext,
+                          ran: Set[str]) -> List[Violation]:
+    """Pragmas in ``ctx`` that did nothing during a run of rules ``ran``.
+
+    Staleness is only judged for pragmas whose consuming rules actually
+    ran: an ``ignore[determinism]`` is not stale just because the run was
+    ``--rules exports``.  Blanket ``# repro: ignore`` pragmas are judged
+    only when every registered rule ran, for the same reason.
+    """
+    known = set(rule_names())
+    out: List[Violation] = []
+
+    def warn(line: int, message: str) -> None:
+        out.append(Violation(path=str(ctx.path), line=line, col=0,
+                             rule="stale-pragma", message=message))
+
+    for line in sorted(ctx.suppressions):
+        names = ctx.suppressions[line]
+        used = {r for (ln, r) in ctx.used_suppressions if ln == line}
+        if "*" in names:
+            if known <= ran and not used:
+                warn(line, "blanket '# repro: ignore' suppresses nothing "
+                           "on this line; remove it")
+            continue
+        for rule in sorted(names):
+            if rule not in known:
+                warn(line, "'# repro: ignore[%s]' names an unknown rule "
+                           "(known: %s)" % (rule, ", ".join(sorted(known))))
+            elif rule in ran and rule not in used:
+                warn(line, "'# repro: ignore[%s]' no longer suppresses "
+                           "anything on this line; remove it" % rule)
+
+    # Boundary/hot-loop staleness is structural — a pragma attached to no
+    # except handler / loop header does nothing no matter which rules run.
+    for line in sorted(ctx.boundary_pragma_lines
+                       - ctx.matched_boundary_pragma_lines):
+        warn(line, "'# repro: boundary' pragma is not attached to an "
+                   "except handler; remove or move it")
+
+    for line in sorted(ctx.hot_loop_pragma_lines
+                       - ctx.matched_hot_loop_pragma_lines):
+        warn(line, "'# hot-loop' pragma is not attached to a "
+                   "for/while loop header; remove or move it")
+
+    return out
+
+
 def run_analysis(paths: Sequence[Path],
-                 rules: Optional[Sequence[AnalysisRule]] = None
-                 ) -> AnalysisReport:
+                 rules: Optional[Sequence[AnalysisRule]] = None,
+                 strict_pragmas: bool = False) -> AnalysisReport:
     """Analyze every ``.py`` file under ``paths`` with ``rules``."""
     if rules is None:
         rules = all_rules()
@@ -81,6 +180,7 @@ def run_analysis(paths: Sequence[Path],
             files.extend(collect_files([path]))
         except FileNotFoundError:
             report.errors.append((str(path), "not a .py file or directory"))
+    contexts: List[ModuleContext] = []
     for path in sorted(set(files)):
         try:
             ctx = ModuleContext.from_file(path)
@@ -89,6 +189,15 @@ def run_analysis(paths: Sequence[Path],
                 type(exc).__name__, exc)))
             continue
         report.checked_files += 1
+        contexts.append(ctx)
         report.violations.extend(analyze_module(ctx, rules))
+    report.violations.extend(analyze_program(contexts, rules))
+    ran = {r.name for r in rules}
+    for ctx in contexts:
+        report.warnings.extend(stale_pragma_warnings(ctx, ran))
+    if strict_pragmas:
+        report.violations.extend(report.warnings)
+        report.warnings = []
     report.violations.sort()
+    report.warnings.sort()
     return report

@@ -30,19 +30,40 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.bigraph.csr import CSRAdjacency
 from repro.bigraph.graph import BipartiteGraph
 from repro.exceptions import GraphConstructionError
 
 __all__ = [
+    "SharedMemoryLike",
     "SharedGraphMeta",
     "SharedGraphExport",
     "AttachedGraph",
     "export_shared_graph",
     "attach_shared_graph",
 ]
+
+
+class SharedMemoryLike(Protocol):
+    """Structural type of ``multiprocessing.shared_memory.SharedMemory``.
+
+    The stdlib class is imported lazily (platforms without ``/dev/shm``
+    degrade to the inline payload), so the handle lists are typed against
+    this protocol instead of the concrete class — which also keeps the
+    test fakes honest about the lifecycle surface they must provide.
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def buf(self) -> memoryview: ...
+
+    def close(self) -> None: ...
+
+    def unlink(self) -> None: ...
 
 #: ``(logical name, typecode)`` of the three CSR buffers, in a fixed order.
 _BUFFERS: Tuple[Tuple[str, str], ...] = (
@@ -71,7 +92,8 @@ class SharedGraphMeta:
 class SharedGraphExport:
     """Owner handle for the exported segments (parent-process side)."""
 
-    def __init__(self, meta: SharedGraphMeta, segments: List[object]) -> None:
+    def __init__(self, meta: SharedGraphMeta,
+                 segments: List[SharedMemoryLike]) -> None:
         self.meta = meta
         self._segments = segments
         self._closed = False
@@ -93,11 +115,11 @@ class SharedGraphExport:
         self._closed = True
         for shm in self._segments:
             try:
-                shm.close()  # type: ignore[attr-defined]
+                shm.close()
             except (OSError, BufferError):
                 pass
             try:
-                shm.unlink()  # type: ignore[attr-defined]
+                shm.unlink()
             except (OSError, FileNotFoundError):
                 pass
         self._segments = []
@@ -112,7 +134,8 @@ class SharedGraphExport:
 class AttachedGraph:
     """Worker-side view: the rebuilt graph plus the handles backing it."""
 
-    def __init__(self, graph: BipartiteGraph, segments: List[object]) -> None:
+    def __init__(self, graph: BipartiteGraph,
+                 segments: List[SharedMemoryLike]) -> None:
         self.graph = graph
         self._segments = segments
         self._closed = False
@@ -130,7 +153,7 @@ class AttachedGraph:
         self.graph = None  # type: ignore[assignment]
         for shm in self._segments:
             try:
-                shm.close()  # type: ignore[attr-defined]
+                shm.close()
             except (OSError, BufferError):
                 # A surviving external reference to a row keeps the mapping
                 # alive; the OS reclaims it when the process exits.
@@ -169,7 +192,7 @@ def export_shared_graph(graph: BipartiteGraph) -> SharedGraphExport:
 
     meta = SharedGraphMeta(mode="shm", n_upper=csr_graph.n_upper,
                            n_lower=csr_graph.n_lower)
-    segments: List[object] = []
+    segments: List[SharedMemoryLike] = []
     try:
         for name, code in _BUFFERS:
             buf = buffers[name]
@@ -185,8 +208,8 @@ def export_shared_graph(graph: BipartiteGraph) -> SharedGraphExport:
         # was created and degrade to the inline payload.
         for shm in segments:
             try:
-                shm.close()  # type: ignore[attr-defined]
-                shm.unlink()  # type: ignore[attr-defined]
+                shm.close()
+                shm.unlink()
             except (OSError, FileNotFoundError):
                 pass
         return _export_inline(csr_graph, buffers)
@@ -223,7 +246,7 @@ def attach_shared_graph(meta: SharedGraphMeta) -> AttachedGraph:
 
     from multiprocessing import shared_memory
 
-    segments: List[object] = []
+    segments: List[SharedMemoryLike] = []
     typed: Dict[str, memoryview] = {}
     try:
         for name, (shm_name, code, count) in meta.segments.items():
@@ -236,11 +259,14 @@ def attach_shared_graph(meta: SharedGraphMeta) -> AttachedGraph:
             shm = shared_memory.SharedMemory(name=shm_name)
             segments.append(shm)
             nbytes = array(code).itemsize * count
-            typed[name] = shm.buf[:nbytes].cast(code)
+            # Read-only views: a worker that writes through the adjacency
+            # would corrupt the graph for every sibling; make the mistake
+            # a TypeError here instead of a heisenbug there.
+            typed[name] = shm.buf[:nbytes].cast(code).toreadonly()
     except (OSError, FileNotFoundError):
         for shm in segments:
             try:
-                shm.close()  # type: ignore[attr-defined]
+                shm.close()
             except (OSError, BufferError):
                 pass
         raise

@@ -128,7 +128,7 @@ def critical_vertices(
     current_size = len(base_core)
 
     for _ in range(budget):
-        candidates = [v for v in base_core if v not in removed]
+        candidates = sorted(v for v in base_core if v not in removed)
         best = None
         best_size = current_size
         for v in candidates:

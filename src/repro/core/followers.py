@@ -98,7 +98,10 @@ def compute_followers(
 
     dead: List[int] = []
     alive: Set[int] = set(candidates)
-    for u in candidates:  # hot-loop
+    # Sorted so the worklist is seeded in vertex order: the surviving set
+    # is order-free (peeling is confluent), but a deterministic queue keeps
+    # traces and instrumentation reproducible.
+    for u in sorted(candidates):  # hot-loop
         threshold = alpha if u < n_upper else beta
         if support[u] < threshold:
             dead.append(u)

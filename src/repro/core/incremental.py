@@ -344,7 +344,7 @@ class VerificationCache:
             if ids:
                 doomed |= ids
         entries = self._entries[side]
-        for x in doomed:
+        for x in sorted(doomed):
             entry = entries.pop(x)
             self._unindex(side, x, entry)
             self.evictions += 1

@@ -133,7 +133,7 @@ def two_hop_filter_cached(
                 pool = _dominator_pool(graph, order, x, sig_x,
                                        candidate_set, _NO_VISITED)
                 # Order-free: an existence test over the pool.
-                verdict = not any(  # repro: ignore[determinism]
+                verdict = not any(
                     (len(sigs[w]), w) > key for w in pool)
             cache.store_survivor(side, x, verdict)
         if verdict:

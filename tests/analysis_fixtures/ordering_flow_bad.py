@@ -1,0 +1,43 @@
+"""Fixture: unordered values reaching order-sensitive code or sinks.
+
+Analyzed as a module inside ``repro.core``, where iterating a tainted
+value with an order-sensitive loop body is itself a violation.
+"""
+
+import json
+import os
+
+
+def deletion_order(vertices):
+    """A set iterated by a loop that appends: element order escapes."""
+    doomed = {v for v in vertices if v % 2}
+    order = []
+    for v in doomed:  # ordering-flow violation (append observes order)
+        order.append(v)
+    return order
+
+
+def dirty_candidates(graph):
+    """Producer: returns an unordered set (tracked interprocedurally)."""
+    return {v for v in graph if graph[v]}
+
+
+def ranked(graph):
+    """Consumer: first-wins selection over a producer's unordered return."""
+    best = None
+    for v in dirty_candidates(graph):  # ordering-flow violation (carry)
+        if best is None or graph[v] > graph[best]:
+            best = v
+    return best
+
+
+def export_labels(labels):
+    """A set passed straight into a byte-identity sink."""
+    names = set(labels)
+    return json.dumps(names)  # ordering-flow violation (sink arg)
+
+
+def checkpoint_files(root):
+    """Filesystem enumeration joined into observable bytes."""
+    files = os.listdir(root)
+    return ",".join(files)  # ordering-flow violation (str.join sink)

@@ -1,0 +1,49 @@
+"""Clean counterpart of ``ordering_flow_bad.py``: every unordered value
+is sorted, reduced, or consumed by a loop body that commutes."""
+
+import json
+
+
+def deletion_order(vertices):
+    """sorted() canonicalizes the set before the appending loop."""
+    doomed = {v for v in vertices if v % 2}
+    order = []
+    for v in sorted(doomed):
+        order.append(v)
+    return order
+
+
+def degree_map(graph, vertices):
+    """Keyed stores commute: each element writes its own slot."""
+    doomed = {v for v in vertices}
+    degrees = {}
+    for v in doomed:
+        degrees[v] = len(graph[v])
+    return degrees
+
+
+def count_odd(vertices):
+    """Set accumulation and constant counting commute."""
+    seen = set()
+    for v in vertices:
+        seen.add(v)
+    total = 0
+    for v in seen:
+        total += 1
+    return total
+
+
+def pooled(vertices):
+    """A list built over a set is tainted until .sort() canonicalizes."""
+    pool = [v for v in {v for v in vertices}]
+    pool.sort()
+    out = []
+    for v in pool:
+        out.append(v)
+    return out
+
+
+def export_labels(labels):
+    """sorted() between the set and the sink."""
+    names = set(labels)
+    return json.dumps(sorted(names))

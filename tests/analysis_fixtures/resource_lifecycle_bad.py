@@ -1,0 +1,31 @@
+"""Fixture: shared resources acquired but not released on all paths."""
+
+from multiprocessing import Pool
+from multiprocessing.shared_memory import SharedMemory
+
+
+def attach_unbound(name):
+    """The handle is dropped on the floor: never bound, never closed."""
+    SharedMemory(name=name)  # resource-lifecycle violation (unbound)
+    return name
+
+
+def attach_no_release(name):
+    """Bound but no close()/unlink() anywhere."""
+    shm = SharedMemory(name=name)  # resource-lifecycle violation
+    return shm.size
+
+
+def write_happy_path(path, payload):
+    """close() runs only when write() does not raise."""
+    handle = open(path, "wb")  # resource-lifecycle violation
+    handle.write(payload)
+    handle.close()
+
+
+def evaluate_pool(jobs):
+    """terminate() only on the fall-through path."""
+    pool = Pool(2)  # resource-lifecycle violation
+    results = pool.map(len, jobs)
+    pool.terminate()
+    return results

@@ -1,0 +1,25 @@
+"""Fixture: writes through CSR views borrowed from repro.bigraph."""
+
+from repro.bigraph.csr import adjacency_arrays
+
+
+def clobber(graph, v):
+    """Every flavor of write through a borrowed view."""
+    indptr, indices = adjacency_arrays(graph)
+    indices[0] = v  # shared-mutation violation (subscript store)
+    indptr += 1  # shared-mutation violation (in-place operator)
+    indices.sort()  # shared-mutation violation (mutating method)
+    indptr.setflags(write=True)  # shared-mutation violation (re-arm)
+    return indices
+
+
+def borrow(graph):
+    """Producer: hands a shared view to its caller."""
+    indptr, indices = adjacency_arrays(graph)
+    return indices
+
+
+def poke(graph):
+    """A write through the producer's return value."""
+    arr = borrow(graph)
+    arr[0] = 1  # shared-mutation violation (via producer)

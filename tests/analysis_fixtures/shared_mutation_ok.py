@@ -1,0 +1,34 @@
+"""Clean counterpart of ``shared_mutation_bad.py``: reads are free, and
+every write happens on an explicit copy."""
+
+from repro.bigraph.csr import adjacency_arrays
+
+
+def degree(graph, v):
+    """Reading through the view is the intended use."""
+    indptr, indices = adjacency_arrays(graph)
+    return int(indptr[v + 1] - indptr[v])
+
+
+def mutate_copy(graph, v):
+    """.copy() detaches from the shared buffer; writes are then fine."""
+    indptr, indices = adjacency_arrays(graph)
+    local = indices.copy()
+    local[0] = v
+    local.sort()
+    return local
+
+
+def snapshot(graph):
+    """list() conversion copies too."""
+    indptr, _indices = adjacency_arrays(graph)
+    items = list(indptr)
+    items.append(0)
+    return items
+
+
+def freeze(graph):
+    """setflags(write=False) is the sanctioned export idiom."""
+    indptr, indices = adjacency_arrays(graph)
+    indices.setflags(write=False)
+    return indices

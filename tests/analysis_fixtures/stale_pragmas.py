@@ -1,0 +1,9 @@
+"""Fixture: suppression pragmas that no longer do anything."""
+
+UNUSED = 1  # repro: ignore[determinism]
+
+# hot-loop
+TOTAL = UNUSED + 1
+
+# repro: boundary
+FLAG = TOTAL > 0

@@ -48,10 +48,12 @@ def marked_lines(fixture: str):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         assert rule_names() == ["determinism", "encapsulation",
                                 "exception-boundaries", "exports",
-                                "hot-path", "layer-safety", "recompute"]
+                                "hot-path", "layer-safety",
+                                "ordering-flow", "recompute",
+                                "resource-lifecycle", "shared-mutation"]
 
     def test_unknown_rule_raises(self):
         with pytest.raises(KeyError):

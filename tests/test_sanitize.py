@@ -1,0 +1,151 @@
+"""Tests for the runtime sanitizer gate (repro.analysis.sanitize).
+
+The failure taxonomy is unit-tested through the pure
+:func:`~repro.analysis.sanitize.evaluate_run`; the ``SharedMemory``
+instrumentation is exercised in throwaway subprocesses (so the
+monkeypatch never touches this test process); and the driver runs
+end-to-end against tiny generated suites.
+"""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sanitize import evaluate_run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+ENV = {"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"}
+
+
+class TestEvaluateRun:
+    def test_clean_run_has_no_problems(self):
+        stderr = ("repro-sanitize: tracking shm=True fd-baseline=12\n"
+                  "repro-sanitize: fd-baseline=12 fd-final=13\n"
+                  "repro-sanitize: done handles=0 segments=0\n")
+        assert evaluate_run(0, stderr, set(), set(), 8, seed=7) == []
+
+    def test_nonzero_exit_names_the_seed(self):
+        problems = evaluate_run(1, "", set(), set(), 8, seed=42)
+        assert len(problems) == 1
+        assert "PYTHONHASHSEED=42" in problems[0]
+
+    def test_leak_markers_become_problems(self):
+        stderr = ("repro-sanitize: leaked-shm-handle name=psm_x "
+                  "created=True\n"
+                  "repro-sanitize: leaked-shm-segment name=psm_x\n")
+        problems = evaluate_run(0, stderr, set(), set(), 8, seed=0)
+        assert len(problems) == 2
+        assert any(p.startswith("leaked-shm-handle") for p in problems)
+        assert any(p.startswith("leaked-shm-segment") for p in problems)
+
+    def test_unmarked_stderr_lines_are_ignored(self):
+        stderr = "some test wrote leaked-shm-handle to stderr\n"
+        assert evaluate_run(0, stderr, set(), set(), 8, seed=0) == []
+
+    def test_fd_delta_respects_tolerance(self):
+        stderr = "repro-sanitize: fd-baseline=10 fd-final=20\n"
+        assert evaluate_run(0, stderr, set(), set(), 10, seed=0) == []
+        problems = evaluate_run(0, stderr, set(), set(), 8, seed=0)
+        assert len(problems) == 1 and "fd delta +10" in problems[0]
+
+    def test_resource_tracker_warning_is_a_problem(self):
+        stderr = ("UserWarning: resource_tracker: There appear to be 1 "
+                  "leaked shared_memory objects to clean up at shutdown\n")
+        problems = evaluate_run(0, stderr, set(), set(), 8, seed=0)
+        assert len(problems) == 1 and "worker-side leak" in problems[0]
+
+    def test_surviving_dev_shm_segments_are_reported(self):
+        problems = evaluate_run(0, "", {"psm_old"}, {"psm_old", "psm_new"},
+                                8, seed=0)
+        assert len(problems) == 1
+        assert "psm_new" in problems[0] and "psm_old" not in problems[0]
+
+
+def run_plugin_script(body: str) -> str:
+    """Run the instrumentation in a throwaway process; return its stderr."""
+    script = textwrap.dedent("""\
+        import repro.analysis._sanitize_plugin as plugin
+        from multiprocessing import shared_memory
+
+        plugin.pytest_sessionstart(None)
+        %s
+        plugin.pytest_sessionfinish(None, 0)
+    """) % textwrap.dedent(body)
+    proc = subprocess.run([sys.executable, "-c", script],
+                          capture_output=True, text=True,
+                          cwd=str(REPO_ROOT), env=ENV)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stderr
+
+
+@pytest.mark.skipif(sys.platform.startswith("win"),
+                    reason="POSIX shared memory")
+class TestSanitizePlugin:
+    def test_closed_and_unlinked_segment_reports_clean(self):
+        stderr = run_plugin_script("""\
+            shm = shared_memory.SharedMemory(create=True, size=64)
+            shm.close()
+            shm.unlink()
+        """)
+        assert "repro-sanitize: done handles=0 segments=0" in stderr
+        assert "leaked-shm" not in stderr
+        assert evaluate_run(0, stderr, set(), set(), 1024, seed=0) == []
+
+    def test_leaked_handle_and_segment_are_reported(self):
+        stderr = run_plugin_script("""\
+            shm = shared_memory.SharedMemory(create=True, size=64)
+            plugin.pytest_sessionfinish(None, 0)
+            shm.close()
+            shm.unlink()
+        """)
+        # The first sessionfinish (inside the body, while the handle is
+        # still live) must report both leak shapes; the parser must then
+        # turn them into gate failures.
+        assert "leaked-shm-handle" in stderr
+        assert "leaked-shm-segment" in stderr
+        problems = evaluate_run(0, stderr, set(), set(), 1024, seed=0)
+        assert any("leaked-shm-segment" in p for p in problems)
+
+    def test_attached_handle_without_close_is_a_handle_leak_only(self):
+        stderr = run_plugin_script("""\
+            shm = shared_memory.SharedMemory(create=True, size=64)
+            shm.close()
+            attached = shared_memory.SharedMemory(name=shm.name)
+            plugin.pytest_sessionfinish(None, 0)
+            attached.close()
+            shm.unlink()
+        """)
+        assert "leaked-shm-handle" in stderr
+        assert "created=False" in stderr
+
+
+class TestSanitizeMain:
+    def run_main(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis.sanitize", *args],
+            capture_output=True, text=True, cwd=str(REPO_ROOT), env=ENV)
+
+    def test_passing_suite_is_clean_and_seed_is_pinned(self, tmp_path):
+        target = tmp_path / "test_tiny_pass.py"
+        target.write_text("def test_ok():\n    assert True\n",
+                          encoding="utf-8")
+        proc = self.run_main("--seed", "7", "--runs", "3",
+                             "--fd-tolerance", "256", str(target))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        # --seed pins the hash seed and forces a single run.
+        assert "run 1/1 seed=7 ok" in proc.stdout
+        assert "clean" in proc.stdout
+
+    def test_failing_suite_fails_the_gate_and_names_the_seed(self, tmp_path):
+        target = tmp_path / "test_tiny_fail.py"
+        target.write_text("def test_no():\n    assert False\n",
+                          encoding="utf-8")
+        proc = self.run_main("--seed", "11", "--fd-tolerance", "256",
+                             str(target))
+        assert proc.returncode == 1
+        assert "suite failed under PYTHONHASHSEED=11" in proc.stdout
+        assert "repro.analysis.sanitize: FAILED" in proc.stdout
