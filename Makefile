@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-faults coverage lint sanitize typecheck bench \
-	bench-smoke bench-parallel-smoke bench-engine-smoke report examples \
-	clean
+	bench-smoke bench-parallel-smoke bench-engine-smoke \
+	bench-sharded-smoke report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -69,6 +69,14 @@ bench-parallel-smoke:
 # in BENCH_engine.json ($$REPRO_BENCH_ENGINE_JSON to override).
 bench-engine-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_engine.py --benchmark-only -q
+
+# Component-sharding gate: sharded and memmap-backed campaigns must export
+# byte-identical canonical JSON, the sharded run must beat serial >= 1.5x,
+# and loading the graph under backend=memmap must peak below in-RAM CSR.
+# Numbers land in bench_sharded.json ($$REPRO_BENCH_SHARDED_JSON to
+# override).
+bench-sharded-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_sharded.py --benchmark-only -q
 
 report:
 	$(PYTHON) -m repro.experiments report --scale 0.25 --out report.md

@@ -47,11 +47,19 @@ def _add_graph_source(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="surrogate scale (with --dataset)")
     parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--backend", choices=("list", "csr", "memmap"),
+                        default="csr",
+                        help="adjacency storage for --input graphs: in-RAM "
+                             "lists or CSR, or out-of-core memory-mapped CSR")
+    parser.add_argument("--memmap-dir", metavar="DIR", default=None,
+                        help="directory for --backend memmap buffers "
+                             "(default: a self-cleaning temp dir)")
 
 
 def _load_graph(args: argparse.Namespace):
     if args.input:
-        return read_edge_list(args.input)
+        return read_edge_list(args.input, backend=args.backend,
+                              memmap_dir=args.memmap_dir)
     return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
 
 
@@ -77,6 +85,10 @@ def _parser() -> argparse.ArgumentParser:
                    help="candidate-verification worker processes "
                         "(filver/filver+/filver++ only; results are "
                         "identical to --workers 1)")
+    r.add_argument("--shards", type=int, default=None,
+                   help="run on the component-sharded substrate with at "
+                        "most this many shards (filver/filver+/filver++ "
+                        "only; results are identical to unsharded)")
     r.add_argument("--json", metavar="PATH", default=None,
                    help="write the full result as JSON")
     r.add_argument("--checkpoint", metavar="PATH", default=None,
@@ -122,7 +134,7 @@ def _cmd_reinforce(args: argparse.Namespace) -> int:
                        method=args.method, t=args.t,
                        time_limit=args.time_limit,
                        checkpoint=args.checkpoint, resume_from=args.resume,
-                       workers=args.workers)
+                       workers=args.workers, shards=args.shards)
     print(result.summary())
     print("upper anchors:",
           [graph.label_of(a) for a in result.upper_anchors(graph.n_upper)])

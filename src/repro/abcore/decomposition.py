@@ -85,7 +85,14 @@ def _peel(
     else:
         alive = bytearray(n)
         deg = [0] * n
-        members = list(subset)
+        # Sorted so the round-robin seed order is a canonical function of the
+        # subset *as a set*: callers pass regions and relaxed cores built in
+        # whatever order their traversal produced, and the deletion order must
+        # not depend on that history.  Id-ascending seeding also makes the
+        # subset path consistent with the full-graph path above — which is
+        # what lets a component-local peel reproduce the global peel's
+        # relative order under monotone renumbering (repro.core.sharded).
+        members = sorted(subset)
         for v in members:
             alive[v] = 1
         alive_at = alive.__getitem__

@@ -84,9 +84,10 @@ class GraphBuilder:
             collapsed to simple graphs).  When ``False`` a duplicate edge
             raises :class:`GraphConstructionError`.
         backend:
-            Adjacency backend: ``"list"`` (default) or ``"csr"`` for the
-            flat-array layout, built directly from the staged edges without
-            intermediate per-vertex lists.
+            Adjacency backend: ``"list"`` (default), ``"csr"`` for the
+            flat-array layout built directly from the staged edges without
+            intermediate per-vertex lists, or ``"memmap"`` for the same
+            layout file-backed in a temporary directory.
         """
         return from_edge_list(
             self._edges,
@@ -107,18 +108,25 @@ def from_edge_list(
     lower_labels: Optional[Sequence[object]] = None,
     dedupe: bool = True,
     backend: str = "list",
+    memmap_dir: Optional[str] = None,
 ) -> BipartiteGraph:
     """Build a graph from ``(upper_index, lower_index)`` pairs.
 
     Indices are per-layer (both zero-based); layer sizes default to one plus
     the largest index seen.  Isolated vertices beyond the largest index can be
     forced by passing explicit ``n_upper`` / ``n_lower``.  ``backend="csr"``
-    packs the adjacency into flat arrays instead of per-vertex lists.
+    packs the adjacency into flat arrays instead of per-vertex lists;
+    ``backend="memmap"`` builds the same flat arrays file-backed under
+    ``memmap_dir`` (a fresh temporary directory when ``None``, removed when
+    the graph is collected) so the adjacency never has to be resident.
     """
-    if backend not in ("list", "csr"):
+    if backend not in ("list", "csr", "memmap"):
         raise GraphConstructionError(
-            "unknown adjacency backend %r (expected 'list' or 'csr')"
-            % (backend,))
+            "unknown adjacency backend %r (expected 'list', 'csr' or"
+            " 'memmap')" % (backend,))
+    if memmap_dir is not None and backend != "memmap":
+        raise GraphConstructionError(
+            "memmap_dir only applies to backend='memmap'")
     edge_list = list(edges)
     max_u = max((e[0] for e in edge_list), default=-1)
     max_v = max((e[1] for e in edge_list), default=-1)
@@ -141,6 +149,15 @@ def from_edge_list(
                               upper_labels=upper_labels,
                               lower_labels=lower_labels,
                               _validate=False)
+
+    if backend == "memmap":
+        # Local import: keeps the numpy dependency out of list/csr builds.
+        from repro.bigraph.memmap import memmap_graph_from_indexed_edges
+
+        return memmap_graph_from_indexed_edges(
+            lambda: iter(edge_list), n_upper, n_lower, path=memmap_dir,
+            dedupe=dedupe, upper_labels=upper_labels,
+            lower_labels=lower_labels)
 
     adjacency: List[List[int]] = [[] for _ in range(n_upper + n_lower)]
     for u, v in edge_list:

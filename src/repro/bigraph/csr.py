@@ -50,6 +50,10 @@ class CSRAdjacency:
 
     __slots__ = ("offsets", "neighbors", "degrees", "_view")
 
+    #: Reported through :attr:`BipartiteGraph.backend`; subclasses with a
+    #: different storage substrate (e.g. the memory-mapped variant) override.
+    backend_name = "csr"
+
     def __init__(
         self,
         offsets: array,

@@ -152,8 +152,10 @@ class BipartiteGraph:
 
     @property
     def backend(self) -> str:
-        """Adjacency backend name: ``"csr"`` or ``"list"``."""
-        return "csr" if isinstance(self._adj, CSRAdjacency) else "list"
+        """Adjacency backend name: ``"csr"``, ``"memmap"`` or ``"list"``."""
+        if isinstance(self._adj, CSRAdjacency):
+            return self._adj.backend_name
+        return "list"
 
     def upper_vertices(self) -> range:
         """Ids of all upper-layer vertices."""

@@ -89,7 +89,8 @@ def _open_text(path, mode: str):
 
 def read_edge_list(source: PathOrFile, dedupe: bool = True,
                    backend: str = "list", on_error: str = "raise",
-                   stats: Optional[LoadStats] = None) -> BipartiteGraph:
+                   stats: Optional[LoadStats] = None,
+                   memmap_dir: Optional[str] = None) -> BipartiteGraph:
     """Read a bipartite graph from a path (optionally ``.gz``) or open file.
 
     Tokens in the first column become upper-layer labels and tokens in the
@@ -98,21 +99,28 @@ def read_edge_list(source: PathOrFile, dedupe: bool = True,
 
     ``backend="csr"`` streams the file once and builds the flat-array
     adjacency directly (counts pass → fill pass) without materializing
-    per-vertex Python lists — the loader to use for large datasets.  Label
-    ids are assigned in first-seen order either way, so both backends
-    produce identical vertex numbering.
+    per-vertex Python lists — the loader to use for large datasets.
+    ``backend="memmap"`` goes one step further and writes those flat arrays
+    file-backed under ``memmap_dir`` (a temporary directory when ``None``,
+    removed when the graph is collected), so the neighbor table itself
+    never has to be resident.  Label ids are assigned in first-seen order
+    in every backend, so all three produce identical vertex numbering.
 
     ``on_error="skip"`` tolerates malformed data lines instead of raising,
     recording how many were dropped in ``stats`` (see
-    :func:`parse_edge_lines`); both backends honour it identically.
+    :func:`parse_edge_lines`); all backends honour it identically.
     """
     fault_site("io.read_edge_list")
-    if backend == "csr":
-        return _read_edge_list_csr(source, dedupe, on_error, stats)
+    if backend in ("csr", "memmap"):
+        return _read_edge_list_csr(source, dedupe, on_error, stats,
+                                   backend=backend, memmap_dir=memmap_dir)
     if backend != "list":
         raise GraphConstructionError(
-            "unknown adjacency backend %r (expected 'list' or 'csr')"
-            % (backend,))
+            "unknown adjacency backend %r (expected 'list', 'csr' or"
+            " 'memmap')" % (backend,))
+    if memmap_dir is not None:
+        raise GraphConstructionError(
+            "memmap_dir only applies to backend='memmap'")
     builder = GraphBuilder()
     if isinstance(source, (str, os.PathLike)):
         with _open_text(source, "r") as handle:
@@ -124,7 +132,9 @@ def read_edge_list(source: PathOrFile, dedupe: bool = True,
 
 def _read_edge_list_csr(source: PathOrFile, dedupe: bool,
                         on_error: str = "raise",
-                        stats: Optional[LoadStats] = None) -> BipartiteGraph:
+                        stats: Optional[LoadStats] = None,
+                        backend: str = "csr",
+                        memmap_dir: Optional[str] = None) -> BipartiteGraph:
     """Streaming CSR loader: one parse of the input, two passes over flat
     index buffers (degree counts, then neighbor fill).
 
@@ -133,6 +143,10 @@ def _read_edge_list_csr(source: PathOrFile, dedupe: bool,
     Python list per vertex.  Re-reading the source is deliberately avoided:
     for ``.gz`` inputs a second pass would decompress the whole file again,
     and arbitrary file objects may not be seekable.
+
+    With ``backend="memmap"`` the output buffers are file-backed from the
+    start, so peak resident memory is the index buffers plus label tables —
+    never the neighbor table.
     """
     upper_index: Dict[str, int] = {}
     lower_index: Dict[str, int] = {}
@@ -164,6 +178,13 @@ def _read_edge_list_csr(source: PathOrFile, dedupe: bool,
 
     n_upper = len(upper_labels)
     n_lower = len(lower_labels)
+    if backend == "memmap":
+        from repro.bigraph.memmap import memmap_graph_from_indexed_edges
+
+        return memmap_graph_from_indexed_edges(
+            lambda: zip(us, vs), n_upper, n_lower, path=memmap_dir,
+            dedupe=dedupe, upper_labels=upper_labels,
+            lower_labels=lower_labels)
     csr = csr_from_indexed_edges(
         lambda: zip(us, vs), n_upper, n_lower, dedupe=dedupe)
     return BipartiteGraph(n_upper, n_lower, csr,

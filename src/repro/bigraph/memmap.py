@@ -1,0 +1,359 @@
+"""Memory-mapped CSR adjacency: the out-of-core graph backend.
+
+``backend="memmap"`` keeps the three CSR buffers
+(``offsets``/``neighbors``/``degrees``, see :mod:`repro.bigraph.csr`) in
+files under one directory and exposes them through ``np.memmap`` views, so
+a campaign touches graph pages on demand instead of holding the whole
+adjacency resident.  The buffers reach :class:`CSRAdjacency` as
+``memoryview`` wrappers — the same buffer-protocol route the shared-memory
+attach path uses — so every algorithm layer works unchanged.
+
+On-disk layout (one directory per graph)::
+
+    header.json     {"schema", "n_upper", "n_lower", "n_entries",
+                     "upper_labels", "lower_labels"}
+    offsets.bin     int64[n_vertices + 1]
+    neighbors.bin   int32[>= n_entries]   (file may be longer after dedupe)
+    degrees.bin     int32[n_vertices]
+
+The header is written last (atomically), so a directory with a readable
+header is always complete.
+
+Lifecycle: :class:`MemmapStore` owns the maps and releases them in
+:meth:`MemmapStore.close`; :class:`MemmapCSRAdjacency` holds the store and
+forwards :meth:`MemmapCSRAdjacency.close`.  Graphs built into an unnamed
+temporary directory clean the files up when the store is collected.
+
+numpy is an optional dependency of this module only; constructors raise
+:class:`GraphConstructionError` when it is unavailable instead of breaking
+imports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import weakref
+from array import array
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bigraph.csr import CSRAdjacency
+from repro.bigraph.graph import BipartiteGraph
+from repro.exceptions import GraphConstructionError
+from repro.resilience.atomic import atomic_write_text
+
+__all__ = [
+    "MEMMAP_SCHEMA",
+    "MemmapStore",
+    "MemmapCSRAdjacency",
+    "save_graph_memmap",
+    "load_graph_memmap",
+    "memmap_graph_from_indexed_edges",
+]
+
+#: Bump when the on-disk layout changes; loaders reject other versions.
+MEMMAP_SCHEMA = 1
+
+_HEADER = "header.json"
+_FILES = (("offsets", "offsets.bin"), ("neighbors", "neighbors.bin"),
+          ("degrees", "degrees.bin"))
+
+
+def _require_numpy():
+    try:
+        import numpy
+    except ImportError as error:  # pragma: no cover - image ships numpy
+        raise GraphConstructionError(
+            "backend='memmap' requires numpy, which is not installed"
+        ) from error
+    return numpy
+
+
+class MemmapStore:
+    """Owner of the three file-backed buffer maps of one graph directory.
+
+    The store acquires its ``np.memmap`` views in :meth:`open` (called by
+    the constructor) and releases them in :meth:`close`; dropping every
+    external ``memoryview`` first is the caller's job (the adjacency does
+    this), after which the OS reclaims the mapping.  Safe to close twice.
+    """
+
+    def __init__(self, path: "os.PathLike[str] | str") -> None:
+        self.path = os.fspath(path)
+        self.header = _read_header(self.path)
+        self._maps: List[object] = []
+        self.offsets: Optional[memoryview] = None
+        self.neighbors: Optional[memoryview] = None
+        self.degrees: Optional[memoryview] = None
+        self._closed = False
+        self.open()
+
+    def open(self) -> None:
+        """Map the three buffer files read-only."""
+        np = _require_numpy()
+        header = self.header
+        n = int(header["n_upper"]) + int(header["n_lower"])
+        n_entries = int(header["n_entries"])
+        shapes = {"offsets": (n + 1,), "neighbors": (n_entries,),
+                  "degrees": (n,)}
+        dtypes = {"offsets": np.int64, "neighbors": np.int32,
+                  "degrees": np.int32}
+        formats = {"offsets": "q", "neighbors": "i", "degrees": "i"}
+        views = {}
+        try:
+            for name, filename in _FILES:
+                if shapes[name][0] == 0:
+                    # mmap refuses empty files; an edge-free graph has an
+                    # empty neighbor table, which needs no backing pages.
+                    views[name] = memoryview(b"").cast(formats[name])
+                    continue
+                mapped = np.memmap(os.path.join(self.path, filename),
+                                   dtype=dtypes[name], mode="r",
+                                   shape=shapes[name])
+                self._maps.append(mapped)
+                views[name] = memoryview(mapped)
+        except (OSError, ValueError):
+            self.close()
+            raise
+        self.offsets = views["offsets"]
+        self.neighbors = views["neighbors"]
+        self.degrees = views["degrees"]
+        self._closed = False
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes covered by the three maps."""
+        total = 0
+        for view in (self.offsets, self.neighbors, self.degrees):
+            if view is not None:
+                total += view.itemsize * len(view)
+        return total
+
+    def close(self) -> None:
+        """Release the views and drop the maps; safe to call twice.
+
+        A caller that still holds row memoryviews keeps the pages mapped
+        until those views die — same contract as the shared-memory attach
+        path.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for view in (self.offsets, self.neighbors, self.degrees):
+            if view is not None:
+                view.release()
+        self.offsets = self.neighbors = self.degrees = None
+        self._maps = []
+
+    def __enter__(self) -> "MemmapStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class MemmapCSRAdjacency(CSRAdjacency):
+    """A :class:`CSRAdjacency` whose buffers live in a :class:`MemmapStore`.
+
+    Structurally identical to the in-RAM CSR table (rows are memoryview
+    slices, equality is value-based across backends); the only additions
+    are the owning ``store`` and :meth:`close`.
+    """
+
+    __slots__ = ("store",)
+
+    #: Reported through :attr:`BipartiteGraph.backend`.
+    backend_name = "memmap"
+
+    def __init__(self, store: MemmapStore) -> None:
+        if store.offsets is None or store.neighbors is None \
+                or store.degrees is None:
+            raise GraphConstructionError(
+                "memmap store %s is closed" % store.path)
+        super().__init__(
+            store.offsets,  # type: ignore[arg-type]
+            store.neighbors,  # type: ignore[arg-type]
+            store.degrees,  # type: ignore[arg-type]
+        )
+        self.store = store
+
+    def close(self) -> None:
+        """Drop the row view and release the underlying store."""
+        self._view.release()
+        self.store.close()
+
+
+def _read_header(path: str) -> dict:
+    header_path = os.path.join(path, _HEADER)
+    try:
+        with open(header_path, "r", encoding="utf-8") as handle:
+            header = json.load(handle)
+    except OSError as error:
+        raise GraphConstructionError(
+            "cannot read memmap graph header %s: %s"
+            % (header_path, error)) from error
+    except json.JSONDecodeError as error:
+        raise GraphConstructionError(
+            "memmap graph header %s is not valid JSON: %s"
+            % (header_path, error)) from error
+    if header.get("schema") != MEMMAP_SCHEMA:
+        raise GraphConstructionError(
+            "memmap graph %s has schema %r; this build reads version %d"
+            % (path, header.get("schema"), MEMMAP_SCHEMA))
+    return header
+
+
+def _write_header(path: str, n_upper: int, n_lower: int, n_entries: int,
+                  upper_labels: Optional[Sequence[object]],
+                  lower_labels: Optional[Sequence[object]]) -> None:
+    header = {
+        "schema": MEMMAP_SCHEMA,
+        "n_upper": n_upper,
+        "n_lower": n_lower,
+        "n_entries": n_entries,
+        # Labels round-trip through JSON: strings and ints come back
+        # unchanged, tuples come back as lists.
+        "upper_labels": list(upper_labels) if upper_labels is not None else None,
+        "lower_labels": list(lower_labels) if lower_labels is not None else None,
+    }
+    atomic_write_text(os.path.join(path, _HEADER),
+                      json.dumps(header, sort_keys=True) + "\n")
+
+
+def save_graph_memmap(graph: BipartiteGraph,
+                      path: "os.PathLike[str] | str") -> str:
+    """Persist ``graph`` as a memmap directory; returns the directory path.
+
+    List-backed graphs are converted (one transient CSR copy); the source
+    graph is never mutated.  The header is written last, so a crash leaves
+    no readable-but-truncated graph behind.
+    """
+    csr_graph = graph.to_csr()
+    adj = csr_graph.adjacency
+    assert isinstance(adj, CSRAdjacency)
+    target = os.fspath(path)
+    os.makedirs(target, exist_ok=True)
+    for name, filename in _FILES:
+        buf = getattr(adj, name)
+        with open(os.path.join(target, filename), "wb") as handle:
+            if len(buf):
+                handle.write(memoryview(buf).cast("B"))
+    _write_header(target, csr_graph.n_upper, csr_graph.n_lower,
+                  len(adj.neighbors),
+                  csr_graph._upper_labels, csr_graph._lower_labels)
+    return target
+
+
+def load_graph_memmap(path: "os.PathLike[str] | str",
+                      _cleanup_dir: bool = False) -> BipartiteGraph:
+    """Open a memmap graph directory as a :class:`BipartiteGraph`.
+
+    The returned graph's adjacency pages stream from disk on access; call
+    ``graph.adjacency.close()`` (or drop the graph) to release the maps.
+    With ``_cleanup_dir`` (used for unnamed temporary directories) the
+    directory is deleted once the store is garbage-collected.
+    """
+    store = MemmapStore(path)
+    if _cleanup_dir:
+        # rmtree on a still-mapped file is fine on POSIX: the pages live
+        # until the mapping dies, the directory entry goes away now.
+        weakref.finalize(store, shutil.rmtree, store.path,
+                         ignore_errors=True)
+    adjacency = MemmapCSRAdjacency(store)
+    header = store.header
+    return BipartiteGraph(
+        int(header["n_upper"]), int(header["n_lower"]), adjacency,
+        upper_labels=header.get("upper_labels"),
+        lower_labels=header.get("lower_labels"),
+        _validate=False)
+
+
+def memmap_graph_from_indexed_edges(
+    pairs: Callable[[], Iterable[Tuple[int, int]]],
+    n_upper: int,
+    n_lower: int,
+    path: Optional["os.PathLike[str] | str"] = None,
+    dedupe: bool = True,
+    upper_labels: Optional[Sequence[object]] = None,
+    lower_labels: Optional[Sequence[object]] = None,
+) -> BipartiteGraph:
+    """Build a memmap-backed graph from per-layer index pairs, out of core.
+
+    The two-pass CSR construction of
+    :func:`repro.bigraph.csr.csr_from_indexed_edges` is replayed with the
+    output buffers file-backed from the start, so peak resident memory is
+    the caller's edge iterator plus one int64 cursor per vertex — never the
+    neighbor table itself.  ``pairs`` is invoked twice (counts pass, fill
+    pass), exactly like the in-RAM builder.
+
+    ``path=None`` builds into a fresh temporary directory that is removed
+    when the returned graph's store is garbage-collected.
+    """
+    np = _require_numpy()
+    if n_upper < 0 or n_lower < 0:
+        raise GraphConstructionError("layer sizes must be non-negative")
+    cleanup = path is None
+    target = (tempfile.mkdtemp(prefix="repro-memmap-")
+              if path is None else os.fspath(path))
+    os.makedirs(target, exist_ok=True)
+    n = n_upper + n_lower
+
+    degrees = np.memmap(os.path.join(target, "degrees.bin"),
+                        dtype=np.int32, mode="w+", shape=(max(1, n),))
+    degrees[:] = 0
+    for u, v in pairs():
+        if not 0 <= u < n_upper or not 0 <= v < n_lower:
+            raise GraphConstructionError(
+                "edge index out of range: (%d, %d) with layers (%d, %d)"
+                % (u, v, n_upper, n_lower))
+        degrees[u] += 1
+        degrees[n_upper + v] += 1
+
+    offsets = np.memmap(os.path.join(target, "offsets.bin"),
+                        dtype=np.int64, mode="w+", shape=(n + 1,))
+    offsets[0] = 0
+    if n:
+        np.cumsum(degrees[:n], out=offsets[1:])
+    total = int(offsets[n])
+
+    neighbors = np.memmap(os.path.join(target, "neighbors.bin"),
+                          dtype=np.int32, mode="w+",
+                          shape=(max(1, total),))
+    cursor = np.array(offsets[:n], dtype=np.int64, copy=True)
+    for u, v in pairs():
+        gv = n_upper + v
+        slot = cursor[u]
+        neighbors[slot] = gv
+        cursor[u] = slot + 1
+        slot = cursor[gv]
+        neighbors[slot] = u
+        cursor[gv] = slot + 1
+    del cursor
+
+    # Canonicalise: sort each row in place, drop (or reject) duplicates.
+    # Mirrors csr_from_indexed_edges; the dedupe-compacted tail of the
+    # neighbors file is simply never mapped on reload.
+    write = 0
+    for v in range(n):
+        start = int(offsets[v])
+        end = int(offsets[v + 1])
+        row = np.sort(neighbors[start:end])
+        if dedupe:
+            row = np.unique(row)
+        elif len(row) > 1 and (row[1:] == row[:-1]).any():
+            raise GraphConstructionError("duplicate edge with dedupe=False")
+        width = len(row)
+        neighbors[write:write + width] = row
+        offsets[v] = write
+        degrees[v] = width
+        write += width
+    offsets[n] = write
+
+    for mapped in (degrees, offsets, neighbors):
+        mapped.flush()
+    del degrees, offsets, neighbors
+    _write_header(target, n_upper, n_lower, write,
+                  upper_labels, lower_labels)
+    return load_graph_memmap(target, _cleanup_dir=cleanup)

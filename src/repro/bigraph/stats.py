@@ -73,14 +73,27 @@ def degree_histogram(graph: BipartiteGraph, layer: str = "upper") -> Dict[int, i
     return histogram
 
 
-def memory_footprint(graph: BipartiteGraph) -> Dict[str, object]:
+def memory_footprint(graph: BipartiteGraph,
+                     per_component: bool = False) -> Dict[str, object]:
     """Bytes held by the adjacency representation, per backend.
 
-    Returns ``{"backend", "adjacency_bytes", "bytes_per_edge"}``.  For CSR
-    this is the exact size of the three flat buffers; for the list backend
-    it is ``sys.getsizeof`` over the outer list, every row, and one boxed
-    ``int`` per stored endpoint (small ints are interned by CPython, so the
-    list estimate is an upper bound for tiny graphs and accurate at scale).
+    Returns ``{"backend", "adjacency_bytes", "resident_bytes",
+    "mapped_bytes", "bytes_per_edge"}``.  For CSR this is the exact size of
+    the three flat buffers; for the list backend it is ``sys.getsizeof``
+    over the outer list, every row, and one boxed ``int`` per stored
+    endpoint (small ints are interned by CPython, so the list estimate is an
+    upper bound for tiny graphs and accurate at scale).
+
+    ``resident_bytes`` vs ``mapped_bytes`` is what makes the out-of-core
+    claim measurable: a ``backend="memmap"`` graph reports its adjacency
+    entirely as mapped (the OS pages it in on demand and may evict it under
+    pressure), every other backend entirely as resident.
+
+    With ``per_component=True`` the result also carries ``"components"`` —
+    a list of ``{"n_upper", "n_lower", "n_edges", "adjacency_bytes"}`` rows,
+    one per connected component (CSR cost model: 4 bytes per endpoint on
+    both sides + 8-byte offset and 4-byte degree per vertex), which is the
+    per-shard size breakdown the sharded campaign substrate plans with.
     """
     adj = graph.adjacency
     if isinstance(adj, CSRAdjacency):
@@ -90,12 +103,30 @@ def memory_footprint(graph: BipartiteGraph) -> Dict[str, object]:
         int_size = sys.getsizeof(1 << 20)
         for row in adj:
             total += sys.getsizeof(row) + int_size * len(row)
+    backend = graph.backend
+    mapped = total if backend == "memmap" else 0
     m = graph.n_edges
-    return {
-        "backend": graph.backend,
+    footprint: Dict[str, object] = {
+        "backend": backend,
         "adjacency_bytes": total,
+        "resident_bytes": total - mapped,
+        "mapped_bytes": mapped,
         "bytes_per_edge": (total / m) if m else 0.0,
     }
+    if per_component:
+        from repro.bigraph.components import component_sizes
+
+        rows: List[Dict[str, int]] = []
+        for n_upper, n_lower, n_edges in component_sizes(graph):
+            n_vertices = n_upper + n_lower
+            rows.append({
+                "n_upper": n_upper,
+                "n_lower": n_lower,
+                "n_edges": n_edges,
+                "adjacency_bytes": 8 * n_edges + 12 * n_vertices,
+            })
+        footprint["components"] = rows
+    return footprint
 
 
 def average_degrees(graph: BipartiteGraph) -> Dict[str, float]:

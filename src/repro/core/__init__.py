@@ -43,6 +43,7 @@ from repro.core.reduction import (
     solve_max_coverage_exact,
 )
 from repro.core.result import AnchoredCoreResult, IterationRecord
+from repro.core.sharded import CampaignShard, plan_shards, run_sharded_engine
 from repro.core.signatures import two_hop_filter, two_hop_filter_cached
 from repro.core.verify import VerificationReport, verify_result
 
@@ -50,6 +51,7 @@ __all__ = [
     "METHODS",
     "AnchorSetMaintainer",
     "AnchoredCoreResult",
+    "CampaignShard",
     "CollapseResult",
     "EdgePlan",
     "EdgeReinforcementResult",
@@ -71,6 +73,7 @@ __all__ = [
     "compute_order",
     "compute_orders",
     "follower_count",
+    "plan_shards",
     "r_scores",
     "reachable_from",
     "reduce_max_coverage",
@@ -84,6 +87,7 @@ __all__ = [
     "run_filver_plus_plus",
     "run_naive",
     "run_random",
+    "run_sharded_engine",
     "run_top_degree",
     "signature",
     "solve_max_coverage_exact",

@@ -59,6 +59,7 @@ def reinforce(
     workers: int = 1,
     memoize: bool = True,
     flat_kernel: Optional[bool] = None,
+    shards: Optional[int] = None,
 ) -> AnchoredCoreResult:
     """Reinforce ``graph`` by anchoring ``b1 + b2`` vertices.
 
@@ -95,6 +96,11 @@ def reinforce(
         selects the flat-array CSR follower kernel (``None`` = auto on
         CSR-backed graphs).  Both preserve byte-identical results — see
         ``docs/PERF.md``.
+    shards:
+        Run the campaign on the component-sharded substrate with at most
+        this many shards (engine family only; ``None`` = unsharded).
+        Results are byte-identical to the unsharded path; checkpoints use
+        the sharded envelope format (``docs/RESILIENCE.md``).
 
     Returns
     -------
@@ -113,6 +119,10 @@ def reinforce(
         raise InvalidParameterError(
             "workers > 1 is only supported by %s, not %r"
             % (", ".join(PARALLEL_METHODS), method))
+    if shards is not None and method not in CHECKPOINTABLE_METHODS:
+        raise InvalidParameterError(
+            "shards is only supported by %s, not %r"
+            % (", ".join(CHECKPOINTABLE_METHODS), method))
     deadline = (time.perf_counter() + time_limit) if time_limit else None
     if method == "random":
         return run_random(graph, alpha, beta, b1, b2, seed=seed)
@@ -128,16 +138,17 @@ def reinforce(
         return run_filver(graph, alpha, beta, b1, b2, deadline=deadline,
                           checkpoint=checkpoint, resume_from=resume_from,
                           workers=workers, memoize=memoize,
-                          flat_kernel=flat_kernel)
+                          flat_kernel=flat_kernel, shards=shards)
     if method == "filver+":
         return run_filver_plus(graph, alpha, beta, b1, b2, deadline=deadline,
                                checkpoint=checkpoint, resume_from=resume_from,
                                workers=workers, memoize=memoize,
-                               flat_kernel=flat_kernel)
+                               flat_kernel=flat_kernel, shards=shards)
     if method == "filver++":
         return run_filver_plus_plus(graph, alpha, beta, b1, b2, t=t,
                                     deadline=deadline, checkpoint=checkpoint,
                                     resume_from=resume_from, workers=workers,
-                                    memoize=memoize, flat_kernel=flat_kernel)
+                                    memoize=memoize, flat_kernel=flat_kernel,
+                                    shards=shards)
     raise InvalidParameterError(
         "unknown method %r; expected one of %s" % (method, ", ".join(METHODS)))

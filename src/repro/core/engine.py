@@ -229,6 +229,7 @@ def run_engine(
             if kernel is not None:
                 kernel.begin_iteration(state.upper.position,
                                        state.lower.position, state.core)
+            fault_site("engine.filter")
             scored, candidates_total = _filter_stage(
                 graph, state, upper_left, lower_left, options,
                 cache=cache, kernel=kernel)
@@ -348,8 +349,12 @@ def _filter_stage(
     ``kernel``, fresh ``rf(x)`` sets come from the flat-array DFS.  The
     survivor set, the bounds, and hence the ranked list are identical on
     every path (``docs/PERF.md``).
+
+    The ``engine.filter`` fault site fires in the caller, once per
+    iteration — the sharded substrate runs this stage once per dirty shard
+    and must hit the site at the same per-iteration cadence as the serial
+    engine.
     """
-    fault_site("engine.filter")
     scored: List[ScoredCandidate] = []
     candidates_total = 0
     sides: List[Tuple[DeletionOrder, int]] = []

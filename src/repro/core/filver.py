@@ -36,6 +36,7 @@ def run_filver(
     workers: int = 1,
     memoize: bool = True,
     flat_kernel: Optional[bool] = None,
+    shards: Optional[int] = None,
 ) -> AnchoredCoreResult:
     """Solve the anchored (α,β)-core problem with FILVER.
 
@@ -44,8 +45,19 @@ def run_filver(
     pool with results identical to the serial scan, and ``memoize`` /
     ``flat_kernel`` control the cross-iteration verification cache and the
     flat-array CSR follower kernel — both byte-identity-preserving
-    accelerations (see :func:`repro.core.engine.run_engine`).
+    accelerations (see :func:`repro.core.engine.run_engine`).  ``shards``
+    (an int ≥ 1) runs the campaign on the component-sharded substrate
+    (:func:`repro.core.sharded.run_sharded_engine`, sharded checkpoint
+    format) — results are byte-identical to the unsharded path.
     """
+    if shards is not None:
+        from repro.core.sharded import run_sharded_engine
+
+        return run_sharded_engine(graph, alpha, beta, b1, b2, FILVER_OPTIONS,
+                                  algorithm="filver", shards=shards,
+                                  deadline=deadline, checkpoint=checkpoint,
+                                  resume_from=resume_from, workers=workers,
+                                  memoize=memoize, flat_kernel=flat_kernel)
     return run_engine(graph, alpha, beta, b1, b2, FILVER_OPTIONS,
                       algorithm="filver", deadline=deadline,
                       checkpoint=checkpoint, resume_from=resume_from,

@@ -1,0 +1,690 @@
+"""Component-sharded campaigns with a byte-identical global merge.
+
+Followers never cross connected components (Lemma 1: every follower of an
+anchor is order-reachable from it, and reachability walks edges), so the
+greedy filter–verification loop factorizes: each component can maintain its
+own deletion orders, verification cache, and ranked candidate list, and the
+global iteration only needs to merge per-shard rankings and route the
+chosen anchors back to their shards.  This module implements that substrate
+on top of the unsharded engine's stages:
+
+* :func:`plan_shards` groups components into ``shards`` balanced groups;
+* :class:`CampaignShard` owns one group's local state — an
+  :class:`~repro.core.order_maintenance.OrderState` and
+  :class:`~repro.core.incremental.VerificationCache` over the
+  component-local subgraph — plus its ranked-candidate memo;
+* :func:`run_sharded_engine` runs the global greedy loop, merging shard
+  rankings with :func:`heapq.merge` and replaying the serial engine's exact
+  decision sequence over the merged stream.
+
+Why the merge is byte-identical (``docs/PERF.md`` carries the full
+argument): local ids are assigned monotonically (ascending global order,
+uppers first — :class:`~repro.bigraph.components.SubgraphView`), so every
+id-ordered tie-break inside a shard resolves exactly as it would globally;
+each shard's ranked list is sorted by ``(-bound, local id)`` which is
+therefore also ``(-bound, global id)`` order, and a k-way merge under that
+key reproduces the serial engine's globally sorted candidate list element
+for element.  Candidate ``x`` ids are unique, so the sort key never ties
+deeper.  The verification scan, the anchor-set maintainer, the fallback
+rule, budget accounting, and the ``engine.filter`` / ``engine.verify``
+fault cadence all run once per *global* iteration, exactly as unsharded.
+
+What sharding buys: after an iteration anchors only components in the
+winning shards, so every other shard's ranked list, cache, and deletion
+orders are reused untouched next iteration — the serial engine re-filters
+the whole graph.  Shards also bound peak memory (one component's working
+set at a time) and give the parallel evaluator (:mod:`repro.parallel`)
+shard-granular work units.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+import warnings
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.abcore.decomposition import abcore, anchored_abcore
+from repro.bigraph.components import ComponentDecomposition, SubgraphView
+from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.kernel import FollowerKernel, kernel_for
+from repro.bigraph.validation import validate_problem
+from repro.core.anchor_set import AnchorSetMaintainer
+from repro.core.engine import EngineOptions, ProgressCallback, _filter_stage
+from repro.core.followers import compute_followers
+from repro.core.incremental import VerificationCache
+from repro.core.order_maintenance import OrderState
+from repro.core.result import AnchoredCoreResult, IterationRecord
+from repro.exceptions import AbortCampaign, CheckpointError, InvalidParameterError
+from repro.resilience.checkpoint import (
+    CampaignCheckpoint,
+    graph_fingerprint,
+    load_checkpoint,
+)
+from repro.resilience.faults import active_plan, fault_site
+from repro.resilience.sharded import (
+    ShardedCampaignCheckpoint,
+    load_sharded_checkpoint,
+    shard_checkpoint_path,
+)
+
+if TYPE_CHECKING:
+    import os
+
+    from repro.parallel.shards import ShardedEvaluator
+
+__all__ = ["CampaignShard", "plan_shards", "run_sharded_engine"]
+
+#: One merged ranked candidate:
+#: ``((-bound, global_x), shard, local_x, order, rf_local)``.  The leading
+#: pair is the serial engine's sort key, pre-negated so plain tuple
+#: comparison orders candidates without a key function (``global_x`` is
+#: unique, so the shard objects behind it are never compared); the rest
+#: lets the verification scan evaluate the candidate inside its shard.
+MergedCandidate = Tuple[Tuple[int, int], "CampaignShard", int, object,
+                        Optional[Set[int]]]
+
+#: A sharded-checkpoint source: envelope path or loaded envelope.
+ShardedCheckpointSource = Union[
+    str, "os.PathLike[str]", ShardedCampaignCheckpoint]
+
+
+def plan_shards(sizes: Sequence[Tuple[int, int, int]],
+                shards: int) -> List[Tuple[int, ...]]:
+    """Group components into at most ``shards`` balanced groups.
+
+    Greedy longest-processing-time assignment on edge counts: components in
+    decreasing ``n_edges`` order (ties by component id) each go to the
+    currently lightest group (ties by group index).  Deterministic by
+    construction, and — like every planning choice here — irrelevant to
+    results: grouping affects locality and schedule only, never values.
+
+    Returns each group's component ids sorted ascending; groups are ordered
+    by their first component id so shard numbering is itself canonical.
+    """
+    if shards < 1:
+        raise InvalidParameterError("shards must be >= 1, got %d" % shards)
+    n_components = len(sizes)
+    n_groups = min(shards, n_components)
+    if n_groups == 0:
+        return []
+    order = sorted(range(n_components),
+                   key=lambda c: (-sizes[c][2], c))
+    loads = [(0, g) for g in range(n_groups)]
+    heapq.heapify(loads)
+    groups: List[List[int]] = [[] for _ in range(n_groups)]
+    for c in order:
+        load, g = heapq.heappop(loads)
+        groups[g].append(c)
+        heapq.heappush(loads, (load + sizes[c][2], g))
+    members = [tuple(sorted(group)) for group in groups if group]
+    members.sort(key=lambda group: group[0])
+    return members
+
+
+class CampaignShard:
+    """One shard's component-local campaign state.
+
+    Owns the subgraph view, the local :class:`OrderState`, the optional
+    local :class:`VerificationCache` and follower kernel, the ranked
+    candidate memo, and the local-id bookkeeping (anchors, budget use,
+    per-iteration batches) that per-shard checkpoints are built from.
+
+    The ranked memo is the substrate's core saving: :meth:`ranked` reruns
+    the filter stage only when an anchor batch touched this shard (or the
+    budget situation changed which sides are eligible); otherwise the
+    previous iteration's list — provably identical to a fresh recompute,
+    because nothing it depends on changed — is returned as-is.
+    """
+
+    __slots__ = ("index", "view", "graph", "state", "cache", "kernel",
+                 "local_anchors", "local_upper_used", "local_iterations",
+                 "_ranked", "_fingerprint")
+
+    def __init__(self, index: int, view: SubgraphView, alpha: int, beta: int,
+                 options: EngineOptions, memoize: bool,
+                 flat_kernel: Optional[bool]) -> None:
+        self.index = index
+        self.view = view
+        self.graph = view.graph
+        self.state = OrderState(self.graph, alpha, beta,
+                                maintain=options.maintain_orders)
+        self.cache = VerificationCache(self.graph) if memoize else None
+        if flat_kernel is None:
+            self.kernel: Optional[FollowerKernel] = kernel_for(self.graph)
+        elif flat_kernel:
+            self.kernel = FollowerKernel(self.graph)
+        else:
+            self.kernel = None
+        self.local_anchors: List[int] = []
+        self.local_upper_used = 0
+        self.local_iterations: List[IterationRecord] = []
+        # sides-key -> (entries, candidates_total); entries are merged-form
+        # MergedCandidate tuples sorted by their (-bound, global_x) head.
+        self._ranked: Dict[Tuple[bool, bool], Tuple[List, int]] = {}
+        self._fingerprint: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        """Structure fingerprint of the local graph (memoized)."""
+        if self._fingerprint is None:
+            self._fingerprint = graph_fingerprint(self.graph)
+        return self._fingerprint
+
+    def ranked(self, upper_left: int, lower_left: int,
+               options: EngineOptions) -> Tuple[List, int]:
+        """This shard's ranked candidates for the current budget situation.
+
+        The memo key is only which *sides* still have budget — the filter
+        stage uses the budgets for side eligibility, never for values — so
+        a shard untouched since its last filter pass hits the memo even as
+        the budgets shrink.
+        """
+        key = (upper_left > 0, lower_left > 0)
+        hit = self._ranked.get(key)
+        if hit is not None:
+            return hit
+        if self.kernel is not None:
+            # Stamp lazily, only when this shard actually refilters: a
+            # clean shard's previous stamp is still valid because its
+            # positions and core are untouched since then.
+            self.kernel.begin_iteration(self.state.upper.position,
+                                        self.state.lower.position,
+                                        self.state.core)
+        scored, candidates_total = _filter_stage(
+            self.graph, self.state, upper_left, lower_left, options,
+            cache=self.cache, kernel=self.kernel)
+        to_global = self.view.to_global
+        # Stored directly in merged form so the per-iteration global merge
+        # is a C-level concatenate-and-sort over memoized lists, with no
+        # per-candidate Python work for clean shards.
+        entries = [((-bound, to_global[x]), self, x, order, rf)
+                   for bound, x, order, rf in scored]
+        self._ranked[key] = (entries, candidates_total)
+        return self._ranked[key]
+
+    def apply(self, batch: Sequence[int]) -> None:
+        """Anchor a local-id batch, invalidating caches and bookkeeping.
+
+        Mirrors the serial engine's apply step on the shard's local state;
+        the appended local record carries only the batch (per-shard
+        checkpoints compare batches, nothing else), with the remaining
+        fields fixed at zero so replayed and original bookkeeping are
+        identical.
+        """
+        before = len(self.state.core)
+        dirty = self.state.apply_anchors(list(batch))
+        if self.cache is not None:
+            self.cache.invalidate(dirty)
+        self._ranked.clear()
+        self.local_anchors.extend(batch)
+        is_upper = self.graph.is_upper
+        self.local_upper_used += sum(1 for x in batch if is_upper(x))
+        self.local_iterations.append(IterationRecord(
+            anchors=list(batch),
+            marginal_followers=len(self.state.core) - before - len(batch),
+            candidates_total=0, candidates_after_filter=0,
+            verifications=0, elapsed=0.0))
+
+    def checkpoint_payload(self, algorithm: str, alpha: int, beta: int,
+                           b1: int, b2: int, options_dict: Dict[str, object],
+                           exhausted: bool,
+                           elapsed: float) -> CampaignCheckpoint:
+        """A standard schema-1 checkpoint over the shard's local graph."""
+        return CampaignCheckpoint(
+            algorithm=algorithm, alpha=alpha, beta=beta, b1=b1, b2=b2,
+            options=options_dict, graph_fingerprint=self.fingerprint(),
+            anchors=list(self.local_anchors),
+            upper_used=self.local_upper_used,
+            iterations=list(self.local_iterations),
+            exhausted=exhausted, elapsed=elapsed)
+
+
+def _merged_stream(per_shard: List[List[MergedCandidate]],
+                   ) -> List[MergedCandidate]:
+    """K-way merge of shard rankings in the serial engine's sort order.
+
+    Each shard's entries are sorted by ``(-bound, local_x)``; monotone
+    renumbering makes that ``(-bound, global_x)`` order too, so merging
+    under the global key reproduces the serial engine's single sorted
+    list.  ``global_x`` is unique across shards — the order never ties, so
+    any sort yields exactly what a streaming ``heapq.merge`` would.
+    Entries carry their negated key as the leading tuple element, making
+    this a key-function-free ``list.sort`` whose Timsort galloping mode
+    merges the pre-sorted per-shard runs in C.
+    """
+    merged: List[MergedCandidate] = []
+    for entries in per_shard:
+        merged += entries
+    merged.sort()
+    return merged
+
+
+def _merged_verification(
+    graph: BipartiteGraph,
+    merged: List[MergedCandidate],
+    maintainer: AnchorSetMaintainer,
+    t: int,
+    alpha: int,
+    beta: int,
+    deadline: Optional[float],
+) -> Tuple[int, bool]:
+    """The serial verification scan over the merged candidate stream.
+
+    Identical decision sequence to the unsharded ``_verification_stage``:
+    deadline, coverage, threshold (with the ``t = 1`` early stop), then
+    evaluate-or-reuse.  Follower sets are computed in the candidate's shard
+    (local ids) and globalized for coverage and the maintainer — follower
+    sets never leave their component, so the globalized union equals the
+    serial scan's global set exactly.
+    """
+    covered: Set[int] = set()
+    verifications = 0
+    for (neg_bound, gx), shard, lx, order, rf in merged:
+        if deadline is not None and time.perf_counter() > deadline:
+            return verifications, True
+        if gx in covered:
+            continue
+        if -neg_bound <= maintainer.skip_threshold():
+            if t == 1:
+                break
+            continue
+        side = order.side
+        cache = shard.cache
+        follower_set = (cache.followers_for(side, lx)
+                        if cache is not None else None)
+        if follower_set is None:
+            if shard.kernel is not None:
+                follower_set = shard.kernel.followers(side, lx, alpha, beta,
+                                                      candidates=rf)
+            else:
+                follower_set = compute_followers(shard.graph, order, lx,
+                                                 core=shard.state.core,
+                                                 candidates=rf)
+            if cache is not None:
+                cache.store_followers(side, lx, follower_set)
+        verifications += 1
+        follower_global = shard.view.globalize(follower_set)
+        covered |= follower_global
+        if follower_global:
+            maintainer.offer(gx, follower_global)
+    return verifications, False
+
+
+def _parallel_merged_verification(
+    merged: List[MergedCandidate],
+    maintainer: AnchorSetMaintainer,
+    t: int,
+    deadline: Optional[float],
+    evaluator: "ShardedEvaluator",
+    shard_states: Sequence[OrderState],
+    dirty_shards: Set[int],
+) -> Tuple[int, bool]:
+    """The merged scan over pool-precomputed follower sets.
+
+    The sharded analogue of the engine's parallel stage: cache misses are
+    dispatched as ``(shard, side, local_x)`` items, the state broadcast
+    carries only the shards anchored since the previous broadcast, and the
+    scan splices cached sets with streamed ones in merged order.  Decision
+    points and counting match :func:`_merged_verification` exactly.
+    """
+    from repro.parallel import EvaluationStopped
+
+    covered: Set[int] = set()
+    verifications = 0
+    cached_sets: List[Optional[Set[int]]] = []
+    items: List[Tuple[int, str, int]] = []
+    for _key, shard, lx, order, _rf in merged:
+        follower_set = (shard.cache.followers_for(order.side, lx)
+                        if shard.cache is not None else None)
+        cached_sets.append(follower_set)
+        if follower_set is None:
+            items.append((shard.index, order.side, lx))
+    evaluator.begin_iteration(shard_states, dirty_shards, deadline)
+    dirty_shards.clear()
+    stream = evaluator.evaluate(items)
+    try:
+        for ((neg_bound, gx), shard, lx, order, _rf), follower_set in zip(
+                merged, cached_sets):
+            if follower_set is None:
+                follower_set = next(stream)
+                if shard.cache is not None:
+                    shard.cache.store_followers(order.side, lx, follower_set)
+            if deadline is not None and time.perf_counter() > deadline:
+                return verifications, True
+            if gx in covered:
+                continue
+            if -neg_bound <= maintainer.skip_threshold():
+                if t == 1:
+                    break
+                continue
+            verifications += 1
+            follower_global = shard.view.globalize(follower_set)
+            covered |= follower_global
+            if follower_global:
+                maintainer.offer(gx, follower_global)
+    except EvaluationStopped:
+        return verifications, True
+    finally:
+        stream.close()
+    return verifications, False
+
+
+def _merged_fallback(graph: BipartiteGraph, merged: List[MergedCandidate],
+                     t: int, upper_left: int, lower_left: int) -> List[int]:
+    """Top-bound candidates within budget — the zero-follower fallback.
+
+    Same rule as the engine's ``_fallback_anchors``, walking the merged
+    (= serial sorted) order with global ids.
+    """
+    chosen: List[int] = []
+    for (_neg_bound, gx), _shard, _lx, _order, _rf in merged:
+        if len(chosen) >= t:
+            break
+        if graph.is_upper(gx):
+            if upper_left <= 0:
+                continue
+            upper_left -= 1
+        else:
+            if lower_left <= 0:
+                continue
+            lower_left -= 1
+        chosen.append(gx)
+    return chosen
+
+
+def _expected_local_batches(
+    campaign: CampaignCheckpoint,
+    shard_list: List[CampaignShard],
+    shard_of: Dict[int, int],
+    labels: Sequence[int],
+) -> List[List[List[int]]]:
+    """Per-shard local anchor batches implied by global iteration records.
+
+    Exactly the batches :func:`run_sharded_engine` would have handed each
+    shard while producing those records — the envelope is therefore always
+    sufficient to rebuild every shard's state, which is what makes a
+    missing or stale per-shard file survivable.
+    """
+    expected: List[List[List[int]]] = [[] for _ in shard_list]
+    for record in campaign.iterations:
+        if not record.anchors:
+            continue
+        per_shard: Dict[int, List[int]] = {}
+        for gx in record.anchors:
+            per_shard.setdefault(shard_of[labels[gx]], []).append(gx)
+        for sid in sorted(per_shard):
+            expected[sid].append(
+                shard_list[sid].view.localize(per_shard[sid]))
+    return expected
+
+
+def _replay_shard(shard: CampaignShard, batches: List[List[int]],
+                  envelope_path: Optional[str], alpha: int, beta: int,
+                  b1: int, b2: int,
+                  options_dict: Dict[str, object]) -> None:
+    """Restore one shard's state, preferring its own checkpoint file.
+
+    The shard file is loaded and validated (fingerprint, parameters, and
+    recorded batches against the envelope-derived ``batches``); when it is
+    missing, corrupt, or disagrees — a *dead shard*, e.g. its file was lost
+    with a failed node — the shard degrades to replaying the envelope's
+    batches with a warning, mirroring how the parallel evaluator buries a
+    dead worker and recomputes its chunk.  Both paths replay the same
+    batches, so the rebuilt state is identical either way; the file adds
+    integrity checking, not information.
+
+    A shard file recorded one iteration *ahead* of the envelope (crash
+    after the shard write, before the envelope write) is expected and
+    accepted silently — the extra batch is simply not replayed.
+    """
+    if envelope_path is not None:
+        path = shard_checkpoint_path(envelope_path, shard.index)
+        try:
+            restored = load_checkpoint(path)
+            restored.validate_for(shard.graph, alpha, beta, b1, b2,
+                                  options_dict)
+            recorded = [record.anchors for record in restored.iterations
+                        if record.anchors]
+            if recorded[:len(batches)] != batches:
+                raise CheckpointError(
+                    "shard %d checkpoint disagrees with the campaign "
+                    "envelope" % shard.index)
+        except CheckpointError as error:
+            warnings.warn(
+                "shard %d checkpoint unusable (%s); replaying this shard "
+                "from the campaign envelope" % (shard.index, error),
+                RuntimeWarning, stacklevel=3)
+    for batch in batches:
+        shard.apply(batch)
+
+
+def run_sharded_engine(
+    graph: BipartiteGraph,
+    alpha: int,
+    beta: int,
+    b1: int,
+    b2: int,
+    options: EngineOptions,
+    algorithm: str,
+    shards: int,
+    deadline: Optional[float] = None,
+    on_iteration: Optional[ProgressCallback] = None,
+    checkpoint: Optional[Union[str, "os.PathLike[str]"]] = None,
+    resume_from: Optional[ShardedCheckpointSource] = None,
+    workers: int = 1,
+    memoize: bool = True,
+    flat_kernel: Optional[bool] = None,
+) -> AnchoredCoreResult:
+    """Run the greedy loop on a component-sharded substrate.
+
+    Produces a result byte-identical (canonical form, ``elapsed``
+    excluded) to :func:`~repro.core.engine.run_engine` with the same
+    problem and options, for every ``shards``/``workers`` combination and
+    every adjacency backend — the differential suite in
+    ``tests/test_sharded_differential.py`` enforces exactly that.
+
+    ``checkpoint``/``resume_from`` use the sharded envelope format
+    (:mod:`repro.resilience.sharded`): one global envelope plus one file
+    per shard, written shard-files-first.  ``workers > 1`` schedules
+    verification chunks shard-by-shard on a process pool
+    (:class:`repro.parallel.shards.ShardedEvaluator`), sharing each
+    shard's CSR segment once.
+
+    Parameters mirror ``run_engine``; ``shards`` is the maximum shard
+    count (capped at the number of connected components).
+    """
+    validate_problem(graph, alpha, beta, b1, b2)
+    t = options.anchors_per_iteration
+    if t < 1:
+        raise ValueError("anchors_per_iteration must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1, got %d" % workers)
+
+    decomposition = ComponentDecomposition(graph)
+    plan = plan_shards(decomposition.sizes, shards)
+    shard_list = [
+        CampaignShard(index, decomposition.subgraph_view(components),
+                      alpha, beta, options, memoize, flat_kernel)
+        for index, components in enumerate(plan)]
+    # component label -> owning shard index, for routing chosen anchors.
+    shard_of: Dict[int, int] = {}
+    for shard_index, components in enumerate(plan):
+        for component in components:
+            shard_of[component] = shard_index
+    labels = decomposition.labels
+
+    evaluator: Optional["ShardedEvaluator"] = None
+    if workers > 1 and shard_list:
+        from repro.parallel.shards import create_sharded_evaluator
+
+        fault_plan = active_plan()
+        fault_specs = tuple(
+            spec for spec in (fault_plan.specs if fault_plan is not None
+                              else ())
+            if spec.site.startswith("parallel."))
+        evaluator = create_sharded_evaluator(
+            [shard.graph for shard in shard_list], workers,
+            fault_specs=fault_specs,
+            use_flat_kernel=any(shard.kernel is not None
+                                for shard in shard_list))
+    # Shards anchored since the last evaluator broadcast; starts at "all"
+    # so the first broadcast seeds every worker-side shard state.
+    dirty_shards: Set[int] = set(range(len(shard_list)))
+
+    start = time.perf_counter()
+    base_core: Set[int] = set()
+    for shard in shard_list:
+        base_core |= shard.view.globalize(abcore(shard.graph, alpha, beta))
+
+    anchors: List[int] = []
+    upper_used = 0
+    is_upper = graph.is_upper
+    iterations: List[IterationRecord] = []
+    timed_out = False
+    interrupted = False
+    exhausted = False
+    elapsed_prior = 0.0
+    options_dict = asdict(options)
+    fingerprint = graph_fingerprint(graph) if checkpoint is not None else None
+
+    if resume_from is not None:
+        if isinstance(resume_from, ShardedCampaignCheckpoint):
+            envelope, envelope_path = resume_from, None
+        else:
+            import os as _os
+
+            envelope_path = _os.fspath(resume_from)
+            envelope = load_sharded_checkpoint(envelope_path)
+        envelope.validate_for(graph, alpha, beta, b1, b2, options_dict)
+        expected = _expected_local_batches(envelope.campaign, shard_list,
+                                           shard_of, labels)
+        for shard in shard_list:
+            _replay_shard(shard, expected[shard.index], envelope_path,
+                          alpha, beta, b1, b2, options_dict)
+        anchors = list(envelope.campaign.anchors)
+        upper_used = envelope.campaign.upper_used
+        iterations = list(envelope.campaign.iterations)
+        exhausted = envelope.campaign.exhausted
+        elapsed_prior = envelope.campaign.elapsed
+
+    def save_checkpoint() -> None:
+        if checkpoint is None:
+            return
+        elapsed = elapsed_prior + time.perf_counter() - start
+        global_checkpoint = CampaignCheckpoint(
+            algorithm=algorithm, alpha=alpha, beta=beta, b1=b1, b2=b2,
+            options=options_dict, graph_fingerprint=fingerprint or "",
+            anchors=list(anchors), upper_used=upper_used,
+            iterations=list(iterations), exhausted=exhausted,
+            elapsed=elapsed)
+        ShardedCampaignCheckpoint(
+            campaign=global_checkpoint, shards=len(shard_list),
+            shard_fingerprints=[shard.fingerprint()
+                                for shard in shard_list],
+        ).save(checkpoint, [
+            shard.checkpoint_payload(algorithm, alpha, beta, b1, b2,
+                                     options_dict, exhausted, elapsed)
+            for shard in shard_list])
+
+    try:
+        while not (timed_out or exhausted):
+            if deadline is not None and time.perf_counter() > deadline:
+                timed_out = True
+                break
+            upper_left = b1 - upper_used
+            lower_left = b2 - (len(anchors) - upper_used)
+            if upper_left <= 0 and lower_left <= 0:
+                break
+            iter_start = time.perf_counter()
+
+            # One filter pass per *global* iteration (the serial fault
+            # cadence), even though only dirty shards actually refilter.
+            fault_site("engine.filter")
+            candidates_total = 0
+            per_shard: List[List[MergedCandidate]] = []
+            for shard in shard_list:
+                entries, shard_total = shard.ranked(upper_left, lower_left,
+                                                    options)
+                candidates_total += shard_total
+                per_shard.append(entries)
+            merged = _merged_stream(per_shard)
+
+            maintainer = AnchorSetMaintainer(graph,
+                                             min(t, upper_left + lower_left),
+                                             upper_left, lower_left)
+            fault_site("engine.verify")
+            if evaluator is not None:
+                verifications, timed_out = _parallel_merged_verification(
+                    merged, maintainer, t, deadline, evaluator,
+                    [shard.state for shard in shard_list], dirty_shards)
+            else:
+                verifications, timed_out = _merged_verification(
+                    graph, merged, maintainer, t, alpha, beta, deadline)
+
+            chosen = [x for x in maintainer.anchors
+                      if maintainer.followers_of(x)]
+            if not chosen:
+                chosen = _merged_fallback(graph, merged, maintainer.t,
+                                          upper_left, lower_left)
+            if not chosen:
+                record = IterationRecord(
+                    anchors=[], marginal_followers=0,
+                    candidates_total=candidates_total,
+                    candidates_after_filter=len(merged),
+                    verifications=verifications,
+                    elapsed=time.perf_counter() - iter_start)
+                iterations.append(record)
+                exhausted = True
+                save_checkpoint()
+                if on_iteration is not None:
+                    on_iteration(record)
+                break
+
+            core_before = sum(len(shard.state.core) for shard in shard_list)
+            # Route the chosen batch to its shards; ascending shard order,
+            # each sub-batch preserving the chosen order (which is what the
+            # global apply would process).
+            batch_of: Dict[int, List[int]] = {}
+            for gx in chosen:
+                batch_of.setdefault(shard_of[labels[gx]], []).append(gx)
+            for shard_index in sorted(batch_of):
+                shard = shard_list[shard_index]
+                shard.apply(shard.view.localize(batch_of[shard_index]))
+                dirty_shards.add(shard_index)
+            core_after = sum(len(shard.state.core) for shard in shard_list)
+
+            anchors.extend(chosen)
+            upper_used += sum(1 for x in chosen if is_upper(x))
+            record = IterationRecord(
+                anchors=list(chosen),
+                marginal_followers=core_after - core_before - len(chosen),
+                candidates_total=candidates_total,
+                candidates_after_filter=len(merged),
+                verifications=verifications,
+                elapsed=time.perf_counter() - iter_start)
+            iterations.append(record)
+            save_checkpoint()
+            if on_iteration is not None:
+                on_iteration(record)
+    except AbortCampaign:
+        interrupted = True
+    except (KeyboardInterrupt, MemoryError):
+        interrupted = True
+    finally:
+        if evaluator is not None:
+            evaluator.shutdown()
+
+    # Authoritative objective, shard by shard: the anchored (α,β)-core of a
+    # disjoint union is the disjoint union of anchored cores.
+    final_core: Set[int] = set()
+    for shard in shard_list:
+        final_core |= shard.view.globalize(
+            anchored_abcore(shard.graph, alpha, beta, shard.local_anchors))
+    follower_set = final_core - base_core - set(anchors)
+    return AnchoredCoreResult(
+        algorithm=algorithm, alpha=alpha, beta=beta, b1=b1, b2=b2,
+        anchors=anchors, followers=follower_set,
+        base_core_size=len(base_core), final_core_size=len(final_core),
+        elapsed=elapsed_prior + time.perf_counter() - start,
+        iterations=iterations, timed_out=timed_out, interrupted=interrupted)

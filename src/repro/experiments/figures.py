@@ -252,7 +252,8 @@ def fig8_runtime(
             rows.append(run_method(
                 graph, code, method, alpha, beta, b1, b2,
                 t=defaults.t, time_limit=defaults.time_limit,
-                on_error=on_error, workers=defaults.workers))
+                on_error=on_error, workers=defaults.workers,
+                shards=defaults.shards))
     return rows
 
 
@@ -316,7 +317,8 @@ def fig9_degree_constraints(
                     graph, code, method, alpha, beta,
                     b1, b2, t=defaults.t,
                     time_limit=defaults.time_limit, on_error=on_error,
-                    workers=defaults.workers))
+                    workers=defaults.workers,
+                    shards=defaults.shards))
     return rows
 
 
@@ -340,7 +342,8 @@ def fig9_budgets(
                 rows.append(run_method(
                     graph, code, method, alpha, beta, b1, b2, t=defaults.t,
                     time_limit=defaults.time_limit, on_error=on_error,
-                    workers=defaults.workers))
+                    workers=defaults.workers,
+                    shards=defaults.shards))
     return rows
 
 

@@ -44,6 +44,9 @@ class ExperimentDefaults:
     #: Worker processes for engine-method candidate verification, and
     #: section-level threads for the full suite; 1 = fully serial.
     workers: int = 1
+    #: Component shards for engine-method campaigns (``None`` = unsharded);
+    #: byte-identity-preserving, like ``workers``.
+    shards: Optional[int] = None
 
 
 DEFAULTS = ExperimentDefaults()
@@ -101,6 +104,7 @@ def run_method(
     seed: Optional[int] = None,
     on_error: str = "raise",
     workers: int = 1,
+    shards: Optional[int] = None,
 ) -> MethodRun:
     """Run one algorithm with timing and timeout accounting.
 
@@ -110,22 +114,24 @@ def run_method(
     ``CRASH`` row carrying the traceback, and the caller keeps measuring
     the remaining methods.  The default ``"raise"`` propagates as before.
 
-    ``workers`` is forwarded only to the engine methods (baselines have no
-    parallel stage); results are identical either way, so measurement rows
-    stay comparable across worker counts.
+    ``workers`` and ``shards`` are forwarded only to the engine methods
+    (baselines have neither a parallel stage nor a sharded substrate);
+    results are identical either way, so measurement rows stay comparable
+    across worker and shard counts.
     """
     if on_error not in ("raise", "record"):
         raise InvalidParameterError(
             "on_error must be 'raise' or 'record', got %r" % (on_error,))
-    from repro.core.api import PARALLEL_METHODS
+    from repro.core.api import CHECKPOINTABLE_METHODS, PARALLEL_METHODS
 
     method_workers = workers if method in PARALLEL_METHODS else 1
+    method_shards = shards if method in CHECKPOINTABLE_METHODS else None
     started = time.perf_counter()
     try:
         fault_site("runner.run_method")
         result = reinforce(graph, alpha, beta, b1, b2, method=method, t=t,
                            seed=seed, time_limit=time_limit,
-                           workers=method_workers)
+                           workers=method_workers, shards=method_shards)
     except (Exception, KeyboardInterrupt, MemoryError):  # repro: boundary
         if on_error == "raise":
             raise

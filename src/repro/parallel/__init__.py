@@ -15,11 +15,19 @@ from repro.parallel.evaluator import (
     create_evaluator,
 )
 from repro.parallel.protocol import Candidate, Evaluator
+from repro.parallel.shards import (
+    ShardCandidate,
+    ShardedEvaluator,
+    create_sharded_evaluator,
+)
 
 __all__ = [
     "Candidate",
     "EvaluationStopped",
     "Evaluator",
     "ParallelEvaluator",
+    "ShardCandidate",
+    "ShardedEvaluator",
     "create_evaluator",
+    "create_sharded_evaluator",
 ]

@@ -23,6 +23,11 @@ streams candidate chunks round-robin to idle workers and yields follower
 sets back in candidate order.  Messages are processed FIFO per worker, so a
 chunk can never be interpreted under the wrong iteration's state.
 
+The pipe/chunk/burial machinery lives in :class:`_EvaluatorPool`, shared
+with the component-sharded evaluator (:mod:`repro.parallel.shards`); this
+module's :class:`ParallelEvaluator` adds the single-graph export and the
+one-``OrderState`` broadcast protocol on top.
+
 Failure semantics (see ``docs/PARALLEL.md``):
 
 * a worker raising :class:`~repro.exceptions.AbortCampaign` (observers,
@@ -113,59 +118,52 @@ class _WorkerHandle:
         self.dead = False
 
 
-class ParallelEvaluator:
-    """Evaluate ``F(x)`` for candidate batches on a process pool.
+class _EvaluatorPool:
+    """Generic chunk-streaming process pool with burial-based degradation.
 
-    Parameters
-    ----------
-    graph:
-        The problem graph.  Exported once (CSR, shared memory) at
-        construction; list-backed graphs are converted for the export only.
-    workers:
-        Number of worker processes, ≥ 2 (``workers=1`` means "don't build
-        an evaluator" — the engine keeps its serial path).
-    chunk_size:
-        Candidates per dispatched chunk; ``None`` auto-sizes per iteration.
-    start_method:
-        ``multiprocessing`` start method; default prefers ``fork`` (cheap,
-        Linux) and falls back to ``spawn``.
-    fault_specs:
-        :class:`~repro.resilience.faults.FaultSpec` entries replayed inside
-        each worker (sites ``parallel.*``) — the deterministic handle the
-        fault tests use to crash or abort a worker mid-chunk.
-    use_flat_kernel:
-        Let workers evaluate ``F(x)`` with the flat-array
-        :class:`~repro.bigraph.FollowerKernel` (the shared-memory graph is
-        always CSR, so the kernel is always constructible worker-side).
-        Kernel results are set-identical to ``compute_followers``, so this
-        is purely a speed switch; the engine passes its own kernel
-        selection through so "generic path" benchmark configurations stay
-        generic end to end.
+    Everything protocol-shaped lives here — spawning, round-robin chunk
+    dispatch, epoch-tagged replies, dead-worker burial with in-parent
+    recomputation, the drain invariant, and shutdown.  Subclasses provide
+    what varies between pool flavors:
+
+    * :meth:`_worker_target` / :meth:`_spawn_args` — the worker entry point
+      and its arguments (the shared-graph metadata travels here);
+    * :meth:`_local_chunk` — the in-parent serial fallback used for burial
+      and pool-exhaustion degradation;
+    * :meth:`release` — drop the shared segments at shutdown;
+    * a ``begin_iteration`` broadcast appropriate to its state shape.
+
+    Chunk item types are opaque to this class; only the worker entry point
+    and ``_local_chunk`` interpret them.
     """
 
-    def __init__(
-        self,
-        graph: BipartiteGraph,
-        workers: int,
-        chunk_size: Optional[int] = None,
-        start_method: Optional[str] = None,
-        fault_specs: Sequence[FaultSpec] = (),
-        use_flat_kernel: bool = True,
-    ) -> None:
+    @classmethod
+    def _check_pool_params(cls, workers: int,
+                           chunk_size: Optional[int]) -> None:
+        """Parameter validation, callable *before* acquiring any resource.
+
+        Subclass constructors that allocate shared memory ahead of the base
+        ``__init__`` call this first so a bad parameter cannot leak the
+        allocation.
+        """
         if workers < 2:
             raise InvalidParameterError(
-                "ParallelEvaluator needs workers >= 2, got %d" % workers)
+                "%s needs workers >= 2, got %d" % (cls.__name__, workers))
         if chunk_size is not None and chunk_size < 1:
             raise InvalidParameterError(
                 "chunk_size must be >= 1, got %d" % chunk_size)
-        self._graph = graph
+
+    def __init__(
+        self,
+        workers: int,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self._check_pool_params(workers, chunk_size)
         self._chunk_size = chunk_size
         self._epoch = 0
-        self._orders: Dict[str, DeletionOrder] = {}
-        self._core: Set[int] = set()
         self._closed = False
 
-        self._export = export_shared_graph(graph)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -176,9 +174,8 @@ class ParallelEvaluator:
             for _ in range(workers):
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
                 process = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, self._export.meta, self._stop,
-                          tuple(fault_specs), use_flat_kernel),
+                    target=self._worker_target(),
+                    args=self._spawn_args(child_conn),
                     daemon=True,
                 )
                 process.start()
@@ -187,6 +184,25 @@ class ParallelEvaluator:
         except (OSError, ValueError):
             self.shutdown()
             raise
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+
+    def _worker_target(self):
+        """The worker process entry point (a module-level function)."""
+        raise NotImplementedError
+
+    def _spawn_args(self, child_conn: mp_connection.Connection) -> Tuple:
+        """Full argument tuple for one worker process."""
+        raise NotImplementedError
+
+    def _local_chunk(self, items: Sequence) -> List[Set[int]]:
+        """The serial fallback: evaluate one chunk in the parent process."""
+        raise NotImplementedError
+
+    def release(self) -> None:
+        """Release shared-memory resources at shutdown (idempotent)."""
 
     # ------------------------------------------------------------------
     # Introspection (used by tests and the engine)
@@ -211,25 +227,14 @@ class ParallelEvaluator:
     # Per-iteration protocol
     # ------------------------------------------------------------------
 
-    def begin_iteration(self, state: "OrderState",
-                        deadline: Optional[float]) -> None:
-        """Broadcast this iteration's frozen evaluation state to the pool.
+    def _broadcast_state(self, payload: Dict[str, object]) -> None:
+        """Bump the epoch and send ``("state", epoch, payload)`` to the pool.
 
-        Must be called before :meth:`evaluate` each iteration; the epoch it
-        bumps is what lets stale results from an abandoned stream be
+        The epoch is what lets stale results from an abandoned stream be
         recognized and dropped.
         """
         self._epoch += 1
-        self._orders = {"upper": state.upper, "lower": state.lower}
-        self._core = state.core
-        message = ("state", self._epoch, {
-            "alpha": state.alpha,
-            "beta": state.beta,
-            "deadline": deadline,
-            "core": state.core,
-            "positions": {"upper": state.upper.position,
-                          "lower": state.lower.position},
-        })
+        message = ("state", self._epoch, payload)
         for worker in self._workers:
             if worker.dead:
                 continue
@@ -238,7 +243,7 @@ class ParallelEvaluator:
             except (OSError, BrokenPipeError):
                 self._bury(worker, results=None)
 
-    def evaluate(self, items: Sequence[Candidate],
+    def evaluate(self, items: Sequence,
                  ) -> Generator[Set[int], None, None]:
         """Yield ``F(x)`` for every candidate, in the given (serial) order.
 
@@ -249,12 +254,7 @@ class ParallelEvaluator:
         """
         if not items:
             return
-        size = self._chunk_size
-        if size is None:
-            per_pipeline = max(1, self.alive_workers) * _CHUNKS_PER_WORKER
-            size = max(1, min(_MAX_CHUNK, -(-len(items) // per_pipeline)))
-        chunks: List[Sequence[Candidate]] = [
-            items[i:i + size] for i in range(0, len(items), size)]
+        chunks = self._make_chunks(items)
         results: Dict[int, List[Set[int]]] = {}
         cursor = 0  # chunks[:cursor] have been dispatched (or run locally)
         next_yield = 0
@@ -284,7 +284,15 @@ class ParallelEvaluator:
     # Scheduling internals
     # ------------------------------------------------------------------
 
-    def _fill_idle(self, chunks: List[Sequence[Candidate]],
+    def _make_chunks(self, items: Sequence) -> List[Sequence]:
+        """Split ``items`` (order-preserving) into dispatchable chunks."""
+        size = self._chunk_size
+        if size is None:
+            per_pipeline = max(1, self.alive_workers) * _CHUNKS_PER_WORKER
+            size = max(1, min(_MAX_CHUNK, -(-len(items) // per_pipeline)))
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def _fill_idle(self, chunks: List[Sequence],
                    cursor: int) -> int:
         """Dispatch pending chunks to idle workers; return the new cursor."""
         for worker in self._workers:
@@ -349,7 +357,7 @@ class ParallelEvaluator:
                     "worker traceback:\n%s" % message[3]) from exc
 
     def _chunk_items(self, chunk_id: int,
-                     message: Tuple) -> Sequence[Candidate]:
+                     message: Tuple) -> Sequence:
         items = message[4] if len(message) > 4 else None
         if items is None:
             raise RuntimeError("worker error reply carried no chunk items")
@@ -370,14 +378,6 @@ class ParallelEvaluator:
             epoch, chunk_id, items = inflight
             if epoch == self._epoch:
                 results[chunk_id] = self._local_chunk(items)
-
-    def _local_chunk(self, items: Sequence[Candidate]) -> List[Set[int]]:
-        """The serial fallback: evaluate one chunk in the parent process."""
-        out: List[Set[int]] = []
-        for side, x in items:
-            out.append(compute_followers(self._graph, self._orders[side], x,
-                                         core=self._core))
-        return out
 
     def _drain(self) -> None:
         """Collect (and discard) every outstanding reply.
@@ -454,13 +454,101 @@ class ParallelEvaluator:
             except OSError:
                 pass
             worker.dead = True
-        self._export.close()
+        self.release()
 
-    def __enter__(self) -> "ParallelEvaluator":
+    def __enter__(self) -> "_EvaluatorPool":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
+
+
+class ParallelEvaluator(_EvaluatorPool):
+    """Evaluate ``F(x)`` for candidate batches on a process pool.
+
+    Parameters
+    ----------
+    graph:
+        The problem graph.  Exported once (CSR, shared memory) at
+        construction; list-backed graphs are converted for the export only.
+    workers:
+        Number of worker processes, ≥ 2 (``workers=1`` means "don't build
+        an evaluator" — the engine keeps its serial path).
+    chunk_size:
+        Candidates per dispatched chunk; ``None`` auto-sizes per iteration.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` (cheap,
+        Linux) and falls back to ``spawn``.
+    fault_specs:
+        :class:`~repro.resilience.faults.FaultSpec` entries replayed inside
+        each worker (sites ``parallel.*``) — the deterministic handle the
+        fault tests use to crash or abort a worker mid-chunk.
+    use_flat_kernel:
+        Let workers evaluate ``F(x)`` with the flat-array
+        :class:`~repro.bigraph.FollowerKernel` (the shared-memory graph is
+        always CSR, so the kernel is always constructible worker-side).
+        Kernel results are set-identical to ``compute_followers``, so this
+        is purely a speed switch; the engine passes its own kernel
+        selection through so "generic path" benchmark configurations stay
+        generic end to end.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        workers: int,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+        fault_specs: Sequence[FaultSpec] = (),
+        use_flat_kernel: bool = True,
+    ) -> None:
+        self._check_pool_params(workers, chunk_size)
+        self._graph = graph
+        self._orders: Dict[str, DeletionOrder] = {}
+        self._core: Set[int] = set()
+        self._fault_specs = tuple(fault_specs)
+        self._use_flat_kernel = use_flat_kernel
+        self._export = export_shared_graph(graph)
+        try:
+            super().__init__(workers, chunk_size=chunk_size,
+                             start_method=start_method)
+        except BaseException:  # repro: boundary - release, then re-raise
+            self._export.close()
+            raise
+
+    def _worker_target(self):
+        return _worker_main
+
+    def _spawn_args(self, child_conn: mp_connection.Connection) -> Tuple:
+        return (child_conn, self._export.meta, self._stop,
+                self._fault_specs, self._use_flat_kernel)
+
+    def begin_iteration(self, state: "OrderState",
+                        deadline: Optional[float]) -> None:
+        """Broadcast this iteration's frozen evaluation state to the pool.
+
+        Must be called before :meth:`evaluate` each iteration.
+        """
+        self._orders = {"upper": state.upper, "lower": state.lower}
+        self._core = state.core
+        self._broadcast_state({
+            "alpha": state.alpha,
+            "beta": state.beta,
+            "deadline": deadline,
+            "core": state.core,
+            "positions": {"upper": state.upper.position,
+                          "lower": state.lower.position},
+        })
+
+    def _local_chunk(self, items: Sequence[Candidate]) -> List[Set[int]]:
+        out: List[Set[int]] = []
+        for side, x in items:
+            out.append(compute_followers(self._graph, self._orders[side], x,
+                                         core=self._core))
+        return out
+
+    def release(self) -> None:
+        self._export.close()
 
 
 def create_evaluator(

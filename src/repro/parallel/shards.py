@@ -1,0 +1,334 @@
+"""Shard-granular parallel evaluation for component-sharded campaigns.
+
+Built on the same pool substrate as :class:`~repro.parallel.evaluator
+.ParallelEvaluator` (:class:`~repro.parallel.evaluator._EvaluatorPool`:
+pipes, epoch-tagged chunks, dead-worker burial, drain/shutdown) with three
+sharded twists:
+
+* **one shared segment per shard** — every worker attaches every shard's
+  CSR graph at spawn; a chunk names its shard, so no per-iteration graph
+  traffic ever happens;
+* **incremental state broadcasts** — the per-iteration ``state`` message
+  carries deletion orders and cores only for the shards anchored since the
+  previous broadcast.  A clean shard's worker-side state is still valid
+  precisely because nothing that defines it changed — the same argument
+  that lets the engine reuse clean shards' ranked lists;
+* **whole-shard chunks** — candidate chunks are split at shard boundaries,
+  so each dispatched unit of work touches exactly one shard's graph and
+  state (shard-granular scheduling with cache locality), while chunk
+  *order* still follows the merged ranking, keeping the parent's reduction
+  identical to the serial scan.
+
+Failure semantics are inherited unchanged: worker death degrades to
+in-parent recomputation, ``stopped`` replies surface as
+:class:`~repro.parallel.evaluator.EvaluationStopped`, aborts as
+:class:`~repro.exceptions.AbortCampaign`.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback
+from contextlib import nullcontext
+from multiprocessing import connection as mp_connection
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.kernel import FollowerKernel, kernel_for
+from repro.bigraph.shm import (
+    SharedGraphExport,
+    SharedGraphMeta,
+    attach_shared_graph,
+    export_shared_graph,
+)
+from repro.core.deletion_order import DeletionOrder
+from repro.core.followers import compute_followers
+from repro.exceptions import AbortCampaign
+from repro.parallel.evaluator import _EvaluatorPool, _CHUNKS_PER_WORKER, _MAX_CHUNK
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    deactivate_inherited_plan,
+    fault_site,
+)
+
+if TYPE_CHECKING:  # runtime import would be circular via repro.core.sharded
+    from repro.core.order_maintenance import OrderState
+
+__all__ = ["ShardCandidate", "ShardedEvaluator", "create_sharded_evaluator"]
+
+#: One unit of sharded verification work: ``(shard_index, side, local_x)``.
+ShardCandidate = Tuple[int, str, int]
+
+
+class ShardedEvaluator(_EvaluatorPool):
+    """Evaluate ``F(x)`` for merged candidate batches across shard graphs.
+
+    Parameters
+    ----------
+    shard_graphs:
+        The component-local graphs, indexed by shard; each is exported to
+        shared memory once at construction.
+    workers / chunk_size / start_method / fault_specs / use_flat_kernel:
+        As for :class:`~repro.parallel.ParallelEvaluator`; workers build
+        one follower kernel per shard when ``use_flat_kernel`` is set.
+    """
+
+    def __init__(
+        self,
+        shard_graphs: Sequence[BipartiteGraph],
+        workers: int,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+        fault_specs: Sequence[FaultSpec] = (),
+        use_flat_kernel: bool = True,
+    ) -> None:
+        self._check_pool_params(workers, chunk_size)
+        self._graphs = list(shard_graphs)
+        self._orders: Dict[int, Dict[str, DeletionOrder]] = {}
+        self._cores: Dict[int, Set[int]] = {}
+        self._fault_specs = tuple(fault_specs)
+        self._use_flat_kernel = use_flat_kernel
+        self._exports: List[SharedGraphExport] = []
+        try:
+            for shard_graph in shard_graphs:
+                self._exports.append(export_shared_graph(shard_graph))
+            super().__init__(workers, chunk_size=chunk_size,
+                             start_method=start_method)
+        except BaseException:  # repro: boundary - release, then re-raise
+            self.release()
+            raise
+
+    def _worker_target(self):
+        return _sharded_worker_main
+
+    def _spawn_args(self, child_conn: mp_connection.Connection) -> Tuple:
+        return (child_conn, tuple(export.meta for export in self._exports),
+                self._stop, self._fault_specs, self._use_flat_kernel)
+
+    def begin_iteration(self, shard_states: Sequence["OrderState"],
+                        dirty_shards: Iterable[int],
+                        deadline: Optional[float]) -> None:
+        """Broadcast this iteration's deadline and *changed* shard states.
+
+        ``dirty_shards`` must contain every shard anchored since the last
+        broadcast (all shards on the first call); clean shards keep their
+        previous worker-side state, which is still exact.
+        """
+        payload_shards: Dict[int, Dict[str, object]] = {}
+        for shard_index in sorted(dirty_shards):
+            state = shard_states[shard_index]
+            self._orders[shard_index] = {"upper": state.upper,
+                                         "lower": state.lower}
+            self._cores[shard_index] = state.core
+            payload_shards[shard_index] = {
+                "core": state.core,
+                "positions": {"upper": state.upper.position,
+                              "lower": state.lower.position},
+            }
+        reference = shard_states[0]
+        self._broadcast_state({
+            "alpha": reference.alpha,
+            "beta": reference.beta,
+            "deadline": deadline,
+            "shards": payload_shards,
+        })
+
+    def _make_chunks(self, items: Sequence[ShardCandidate]) -> List[Sequence]:
+        """Order-preserving chunks, additionally split at shard boundaries.
+
+        Every chunk is single-shard — the shard-granular scheduling unit —
+        but chunk order still follows ``items`` (the merged ranking), so
+        the base class's in-order reduction is untouched.
+        """
+        size = self._chunk_size
+        if size is None:
+            per_pipeline = max(1, self.alive_workers) * _CHUNKS_PER_WORKER
+            size = max(1, min(_MAX_CHUNK, -(-len(items) // per_pipeline)))
+        chunks: List[List[ShardCandidate]] = []
+        current: List[ShardCandidate] = []
+        for item in items:
+            if current and (len(current) >= size or item[0] != current[-1][0]):
+                chunks.append(current)
+                current = []
+            current.append(item)
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def _local_chunk(self, items: Sequence[ShardCandidate]) -> List[Set[int]]:
+        out: List[Set[int]] = []
+        for shard_index, side, x in items:
+            out.append(compute_followers(
+                self._graphs[shard_index],
+                self._orders[shard_index][side], x,
+                core=self._cores[shard_index]))
+        return out
+
+    def release(self) -> None:
+        for export in self._exports:
+            export.close()
+
+
+def create_sharded_evaluator(
+    shard_graphs: Sequence[BipartiteGraph],
+    workers: int,
+    chunk_size: Optional[int] = None,
+    fault_specs: Sequence[FaultSpec] = (),
+    use_flat_kernel: bool = True,
+) -> Optional[ShardedEvaluator]:
+    """Build a sharded evaluator, or ``None`` to keep the serial path.
+
+    Mirrors :func:`repro.parallel.create_evaluator`: ``workers <= 1``, an
+    empty shard list, or pool-construction failure all degrade to serial.
+    """
+    if workers <= 1 or not shard_graphs:
+        return None
+    try:
+        return ShardedEvaluator(shard_graphs, workers, chunk_size=chunk_size,
+                                fault_specs=fault_specs,
+                                use_flat_kernel=use_flat_kernel)
+    except (OSError, ValueError):  # repro: boundary
+        return None
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _sharded_worker_main(conn: mp_connection.Connection,
+                         metas: Sequence[SharedGraphMeta], stop_event: object,
+                         fault_specs: Tuple[FaultSpec, ...],
+                         use_flat_kernel: bool = True) -> None:
+    """Worker loop: attach every shard graph, evaluate chunks until stopped."""
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (OSError, ValueError):  # pragma: no cover - non-main thread
+        pass
+    handles = []
+    kernels: List[Optional[FollowerKernel]] = []
+    try:
+        for meta in metas:
+            handles.append(attach_shared_graph(meta))
+        deactivate_inherited_plan()
+        plan = FaultPlan(specs=list(fault_specs)) if fault_specs else None
+        kernels = [kernel_for(handle.graph) if use_flat_kernel else None
+                   for handle in handles]
+        state: Dict[str, object] = {"shards": {}}
+        with (plan.active() if plan is not None else nullcontext()):
+            _sharded_worker_loop(conn, [h.graph for h in handles],
+                                 stop_event, state, kernels)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    finally:
+        for kernel in kernels:
+            if kernel is not None:
+                kernel.release()
+        for handle in handles:
+            handle.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _sharded_worker_loop(conn: mp_connection.Connection,
+                         graphs: List[BipartiteGraph], stop_event: object,
+                         state: Dict[str, object],
+                         kernels: List[Optional[FollowerKernel]]) -> None:
+    shards: Dict[int, Dict[str, object]] = state["shards"]  # type: ignore[assignment]
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "state":
+            _, epoch, payload = message
+            state["epoch"] = epoch
+            state["deadline"] = payload["deadline"]
+            state["alpha"] = payload["alpha"]
+            state["beta"] = payload["beta"]
+            # Only dirty shards travel; the rest keep their prior state,
+            # which is exact because nothing anchored them since.
+            for shard_index, shard_payload in payload["shards"].items():
+                orders = {}
+                for side in ("upper", "lower"):
+                    orders[side] = DeletionOrder(
+                        side=side,
+                        position=shard_payload["positions"][side],
+                        core=shard_payload["core"],
+                        relaxed_core=set(),
+                        alpha=payload["alpha"],
+                        beta=payload["beta"],
+                    )
+                shards[shard_index] = {"orders": orders,
+                                       "core": shard_payload["core"]}
+                kernel = kernels[shard_index]
+                if kernel is not None:
+                    kernel.begin_iteration(
+                        shard_payload["positions"]["upper"],
+                        shard_payload["positions"]["lower"],
+                        shard_payload["core"])
+            continue
+        # ("chunk", epoch, chunk_id, items)
+        _, epoch, chunk_id, items = message
+        try:
+            follower_sets = _evaluate_sharded_chunk(graphs, state, items,
+                                                    stop_event, kernels)
+        except AbortCampaign as exc:
+            conn.send(("abort", epoch, chunk_id, str(exc)))
+            continue
+        except Exception:  # repro: boundary
+            conn.send(("error", epoch, chunk_id, traceback.format_exc(),
+                       items))
+            continue
+        if follower_sets is None:
+            conn.send(("stopped", epoch, chunk_id))
+        else:
+            conn.send(("result", epoch, chunk_id, follower_sets))
+
+
+def _evaluate_sharded_chunk(graphs: List[BipartiteGraph],
+                            state: Dict[str, object],
+                            items: Sequence[ShardCandidate],
+                            stop_event: object,
+                            kernels: List[Optional[FollowerKernel]],
+                            ) -> Optional[List[Set[int]]]:
+    """Follower sets for one single-shard chunk; ``None`` on deadline/stop."""
+    fault_site("parallel.chunk")
+    shards: Dict[int, Dict[str, object]] = state["shards"]  # type: ignore[assignment]
+    deadline = state["deadline"]
+    alpha = state["alpha"]
+    beta = state["beta"]
+    is_stopped = stop_event.is_set  # type: ignore[attr-defined]
+    now = time.perf_counter
+    out: List[Set[int]] = []
+    for shard_index, side, x in items:
+        if is_stopped():
+            return None
+        if deadline is not None and now() > deadline:  # type: ignore[operator]
+            return None
+        kernel = kernels[shard_index]
+        if kernel is not None:
+            out.append(kernel.followers(side, x, alpha, beta))  # type: ignore[arg-type]
+        else:
+            shard_state = shards[shard_index]
+            out.append(compute_followers(
+                graphs[shard_index],
+                shard_state["orders"][side],  # type: ignore[index]
+                x, core=shard_state["core"]))  # type: ignore[arg-type]
+    return out

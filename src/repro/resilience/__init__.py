@@ -28,14 +28,24 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.faults import FaultPlan, FaultSpec, active_plan, fault_site
 from repro.resilience.retry import Backoff, retry
+from repro.resilience.sharded import (
+    SHARDED_CHECKPOINT_SCHEMA,
+    ShardedCampaignCheckpoint,
+    load_sharded_checkpoint,
+    shard_checkpoint_path,
+)
 
 __all__ = [
     "atomic_write_text",
     "atomic_writer",
     "CHECKPOINT_SCHEMA",
+    "SHARDED_CHECKPOINT_SCHEMA",
     "CampaignCheckpoint",
+    "ShardedCampaignCheckpoint",
     "graph_fingerprint",
     "load_checkpoint",
+    "load_sharded_checkpoint",
+    "shard_checkpoint_path",
     "FaultPlan",
     "FaultSpec",
     "active_plan",

@@ -1,0 +1,165 @@
+"""Composable checkpoints for component-sharded campaigns.
+
+A sharded campaign (:mod:`repro.core.sharded`) makes progress in two id
+spaces at once: global greedy iterations (anchors in the full graph's ids)
+and per-shard order-maintenance state (anchors in each shard's local ids).
+Its checkpoint mirrors that split:
+
+* one **envelope** file at the requested path — the familiar
+  :class:`~repro.resilience.checkpoint.CampaignCheckpoint` payload holding
+  global progress, wrapped in a checksummed JSON envelope with the distinct
+  schema marker ``"sharded-1"`` (so a plain :func:`load_checkpoint` refuses
+  it cleanly, and vice versa), plus the shard count and each shard's local
+  graph fingerprint;
+* one **per-shard** file next to it (``<path>.shard-<k>.json``) — a
+  standard schema-1 :class:`CampaignCheckpoint` over the shard's *local*
+  graph: local-id anchors, local per-iteration batches, local budget use.
+  Each is independently loadable and validatable with the ordinary
+  checkpoint tooling.
+
+The envelope is written **last**, after every shard file, so a crash
+mid-save leaves the previous envelope pointing at the previous consistent
+shard set (a shard file may be one iteration ahead; resume detects and
+ignores that).  The global record in the envelope is authoritative: a
+missing, corrupt, or stale shard file never blocks a resume — the engine
+degrades to replaying that shard's batches from the envelope's global
+iteration records (with a warning), mirroring how the parallel evaluator
+buries a dead worker and recomputes its chunk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+from repro.exceptions import CheckpointError
+from repro.resilience.atomic import atomic_write_text
+from repro.resilience.checkpoint import CampaignCheckpoint, _checksum
+from repro.resilience.faults import fault_site
+
+__all__ = [
+    "SHARDED_CHECKPOINT_SCHEMA",
+    "ShardedCampaignCheckpoint",
+    "load_sharded_checkpoint",
+    "shard_checkpoint_path",
+]
+
+#: Deliberately a string, not an int: plain-checkpoint loaders compare
+#: against ``CHECKPOINT_SCHEMA = 1`` and reject this marker outright.
+SHARDED_CHECKPOINT_SCHEMA = "sharded-1"
+
+
+def shard_checkpoint_path(path: Union[str, "os.PathLike[str]"],
+                          index: int) -> str:
+    """File name of shard ``index``'s checkpoint next to envelope ``path``."""
+    return "%s.shard-%d.json" % (os.fspath(path), index)
+
+
+@dataclass
+class ShardedCampaignCheckpoint:
+    """Envelope-level view of a sharded campaign's progress.
+
+    ``campaign`` carries the global progress in global vertex ids — the
+    same payload an unsharded run would checkpoint, which is what makes
+    the envelope self-sufficient for resume.  ``shards`` is the shard
+    count the saved plan was built with and ``shard_fingerprints[k]`` the
+    structure fingerprint of shard ``k``'s local graph; both let a resume
+    decide whether the per-shard files match its own plan before trusting
+    them.
+    """
+
+    campaign: CampaignCheckpoint
+    shards: int
+    shard_fingerprints: List[str] = field(default_factory=list)
+
+    def to_payload(self) -> Dict[str, object]:
+        """The JSON-safe envelope body (without the checksum wrapper)."""
+        return {
+            "campaign": self.campaign.to_payload(),
+            "shards": self.shards,
+            "shard_fingerprints": list(self.shard_fingerprints),
+        }
+
+    @classmethod
+    def from_payload(
+            cls, payload: Dict[str, object]) -> "ShardedCampaignCheckpoint":
+        """Rebuild the envelope from a parsed payload dict."""
+        try:
+            return cls(
+                campaign=CampaignCheckpoint.from_payload(
+                    payload["campaign"]),  # type: ignore[arg-type]
+                shards=int(payload["shards"]),  # type: ignore[arg-type]
+                shard_fingerprints=[
+                    str(f) for f in payload["shard_fingerprints"]],  # type: ignore[union-attr]
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                "malformed sharded checkpoint payload: %s" % error) from error
+
+    def save(self, path: Union[str, "os.PathLike[str]"],
+             shard_checkpoints: Sequence[CampaignCheckpoint]) -> None:
+        """Persist every shard file, then the envelope, all atomically.
+
+        Write order is the crash-safety contract: shard files first, the
+        envelope last, so a readable envelope always refers to shard files
+        that are at least as new as itself.
+        """
+        if len(shard_checkpoints) != len(self.shard_fingerprints):
+            raise CheckpointError(
+                "got %d shard checkpoints for %d recorded fingerprints"
+                % (len(shard_checkpoints), len(self.shard_fingerprints)))
+        for index, shard_checkpoint in enumerate(shard_checkpoints):
+            shard_checkpoint.save(shard_checkpoint_path(path, index))
+        fault_site("checkpoint.write")
+        payload = self.to_payload()
+        envelope = {
+            "schema": SHARDED_CHECKPOINT_SCHEMA,
+            "checksum": _checksum(payload),
+            "payload": payload,
+        }
+        atomic_write_text(path, json.dumps(envelope, indent=2,
+                                           sort_keys=True) + "\n")
+
+    def validate_for(self, graph, alpha: int, beta: int, b1: int, b2: int,
+                     options: Dict[str, object]) -> None:
+        """Refuse to resume against a different graph or problem.
+
+        Delegates to the embedded global checkpoint — shard count and
+        grouping are deliberately *not* validated here, because they do
+        not affect results; a resume under a different plan simply falls
+        back to envelope replay for every shard.
+        """
+        self.campaign.validate_for(graph, alpha, beta, b1, b2, options)
+
+
+def load_sharded_checkpoint(
+        path: Union[str, "os.PathLike[str]"]) -> ShardedCampaignCheckpoint:
+    """Read and verify a sharded-campaign envelope (schema + checksum)."""
+    fault_site("checkpoint.load")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+    except OSError as error:
+        raise CheckpointError(
+            "cannot read sharded checkpoint %s: %s" % (path, error)) from error
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            "sharded checkpoint %s is not valid JSON (truncated write?): %s"
+            % (path, error)) from error
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        raise CheckpointError(
+            "sharded checkpoint %s has no payload envelope" % path)
+    schema = envelope.get("schema")
+    if schema != SHARDED_CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            "checkpoint %s has schema %r; expected %r (plain campaign "
+            "checkpoints resume through run_engine, not the sharded path)"
+            % (path, schema, SHARDED_CHECKPOINT_SCHEMA))
+    payload = envelope["payload"]
+    if envelope.get("checksum") != _checksum(payload):
+        raise CheckpointError(
+            "sharded checkpoint %s failed its checksum; the file is corrupt"
+            % path)
+    return ShardedCampaignCheckpoint.from_payload(payload)

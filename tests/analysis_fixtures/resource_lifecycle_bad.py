@@ -29,3 +29,18 @@ def evaluate_pool(jobs):
     results = pool.map(len, jobs)
     pool.terminate()
     return results
+
+
+import numpy as np
+
+
+def scan_counts_unbound(path, n):
+    """A memmap dropped on the floor: never bound, never released."""
+    np.memmap(path, dtype="i4", mode="r", shape=(n,))  # resource-lifecycle violation (unbound)
+    return n
+
+
+def scan_counts_no_release(path, n):
+    """Bound, but the mapping is never released on any path."""
+    mapped = np.memmap(path, dtype="i4", mode="r", shape=(n,))  # resource-lifecycle violation
+    return int(mapped[0])

@@ -49,3 +49,28 @@ class Segment:
 def register(segments, name):
     """The handle escapes into a container the caller owns."""
     segments.append(SharedMemory(name=name))
+
+
+import numpy as np
+
+
+class MappedBuffers:
+    """Owns its maps and releases them in close() (the MemmapStore idiom)."""
+
+    def __init__(self, path, n):
+        self._maps = []
+        self._maps.append(np.memmap(path, dtype="i4", mode="r", shape=(n,)))
+
+    def close(self):
+        """Drop the maps so the OS reclaims the mapping."""
+        self._maps = []
+
+
+def open_counts(path, n):
+    """Ownership of the mapping transfers to the caller."""
+    return np.memmap(path, dtype="i4", mode="r", shape=(n,))
+
+
+def register_map(maps, path, n):
+    """The mapping escapes into a container the caller owns."""
+    maps.append(np.memmap(path, dtype="i4", mode="r", shape=(n,)))

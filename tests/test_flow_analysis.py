@@ -258,6 +258,18 @@ class TestResourceLifecycle:
         assert any("never bound" in m for m in messages)
         assert any("never released" in m for m in messages)
 
+    def test_numpy_memmap_acquisitions_are_tracked(self):
+        found = flow_violations("resource_lifecycle_bad.py",
+                                "resource-lifecycle")
+        memmap_messages = [v.message for v in found
+                           if "numpy.memmap" in v.message]
+        assert any("never bound" in m for m in memmap_messages)
+        assert any("never released" in m for m in memmap_messages)
+        # The clean idioms (owning class, container escape, ownership
+        # transfer) must not fire for memmap either.
+        assert flow_violations("resource_lifecycle_ok.py",
+                               "resource-lifecycle") == []
+
     def test_owning_class_without_releaser_is_flagged(self):
         src = ('"""Holder without a close method leaks its segment."""\n\n'
                "from multiprocessing.shared_memory import SharedMemory\n\n\n"

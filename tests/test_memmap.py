@@ -1,0 +1,219 @@
+"""Tests for the memory-mapped CSR backend (repro.bigraph.memmap).
+
+Covers the on-disk store lifecycle (open/close, header-last write order,
+schema rejection), the out-of-core builder (round trips, dedupe both
+ways, validation), the ``backend="memmap"`` thread through
+``from_edge_list``/``read_edge_list``, the resident-vs-mapped accounting
+in ``memory_footprint``, and the end-to-end guarantee: a campaign on a
+memmap graph is byte-identical to the same campaign on the in-RAM CSR
+built from the same edge stream.
+"""
+
+import json
+
+import pytest
+
+from repro.bigraph import from_edge_list, read_edge_list, write_edge_list
+from repro.bigraph.memmap import (
+    MEMMAP_SCHEMA,
+    MemmapCSRAdjacency,
+    MemmapStore,
+    load_graph_memmap,
+    memmap_graph_from_indexed_edges,
+    save_graph_memmap,
+)
+from repro.bigraph.stats import memory_footprint
+from repro.core.api import reinforce
+from repro.exceptions import GraphConstructionError
+from repro.experiments.export import canonical_result_dict
+
+from conftest import random_bigraph
+
+EDGES = [(0, 0), (0, 1), (1, 0), (1, 2), (2, 2), (3, 1)]
+
+
+def same_structure(a, b):
+    assert (a.n_upper, a.n_lower, a.n_edges) == (b.n_upper, b.n_lower,
+                                                 b.n_edges)
+    for v in range(a.n_vertices):
+        assert list(a.neighbors(v)) == list(b.neighbors(v))
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_preserves_structure_and_labels(self, tmp_path):
+        graph = from_edge_list(EDGES, n_upper=4, n_lower=3,
+                               upper_labels=["u%d" % i for i in range(4)],
+                               lower_labels=["l%d" % i for i in range(3)])
+        target = save_graph_memmap(graph, tmp_path / "g")
+        loaded = load_graph_memmap(target)
+        assert loaded.backend == "memmap"
+        same_structure(graph, loaded)
+        assert loaded.label_of(0) == "u0"
+        assert loaded.label_of(loaded.n_upper) == "l0"
+        loaded.adjacency.close()
+
+    def test_round_trip_of_random_graph(self, tmp_path):
+        graph = random_bigraph(3, density=0.3).to_csr()
+        loaded = load_graph_memmap(save_graph_memmap(graph, tmp_path / "g"))
+        same_structure(graph, loaded)
+        loaded.adjacency.close()
+
+    def test_empty_graph_round_trips(self, tmp_path):
+        graph = from_edge_list([], n_upper=2, n_lower=2)
+        loaded = load_graph_memmap(save_graph_memmap(graph, tmp_path / "g"))
+        assert loaded.n_edges == 0 and loaded.n_vertices == 4
+        loaded.adjacency.close()
+
+
+class TestStoreLifecycle:
+    def test_close_is_idempotent_and_releases_views(self, tmp_path):
+        target = save_graph_memmap(
+            from_edge_list(EDGES, n_upper=4, n_lower=3), tmp_path / "g")
+        store = MemmapStore(target)
+        assert store.nbytes > 0
+        store.close()
+        store.close()
+        assert store.offsets is None and store.nbytes == 0
+
+    def test_store_is_a_context_manager(self, tmp_path):
+        target = save_graph_memmap(
+            from_edge_list(EDGES, n_upper=4, n_lower=3), tmp_path / "g")
+        with MemmapStore(target) as store:
+            assert store.neighbors is not None
+        assert store.neighbors is None
+
+    def test_adjacency_refuses_closed_store(self, tmp_path):
+        target = save_graph_memmap(
+            from_edge_list(EDGES, n_upper=4, n_lower=3), tmp_path / "g")
+        store = MemmapStore(target)
+        store.close()
+        with pytest.raises(GraphConstructionError, match="closed"):
+            MemmapCSRAdjacency(store)
+
+    def test_graph_adjacency_close_is_safe_after_use(self, tmp_path):
+        target = save_graph_memmap(
+            from_edge_list(EDGES, n_upper=4, n_lower=3), tmp_path / "g")
+        graph = load_graph_memmap(target)
+        assert sorted(graph.neighbors(0)) == [4, 5]
+        graph.adjacency.close()
+
+
+class TestHeaderValidation:
+    def make_dir(self, tmp_path):
+        return save_graph_memmap(
+            from_edge_list(EDGES, n_upper=4, n_lower=3), tmp_path / "g")
+
+    def test_wrong_schema_is_rejected(self, tmp_path):
+        target = self.make_dir(tmp_path)
+        header_path = tmp_path / "g" / "header.json"
+        header = json.loads(header_path.read_text())
+        header["schema"] = MEMMAP_SCHEMA + 1
+        header_path.write_text(json.dumps(header))
+        with pytest.raises(GraphConstructionError, match="schema"):
+            load_graph_memmap(target)
+
+    def test_missing_header_is_rejected(self, tmp_path):
+        target = self.make_dir(tmp_path)
+        (tmp_path / "g" / "header.json").unlink()
+        with pytest.raises(GraphConstructionError, match="header"):
+            load_graph_memmap(target)
+
+    def test_corrupt_header_is_rejected(self, tmp_path):
+        target = self.make_dir(tmp_path)
+        (tmp_path / "g" / "header.json").write_text("{truncated")
+        with pytest.raises(GraphConstructionError, match="JSON"):
+            load_graph_memmap(target)
+
+
+class TestOutOfCoreBuilder:
+    def test_matches_in_ram_builder(self, tmp_path):
+        in_ram = from_edge_list(EDGES, n_upper=4, n_lower=3, backend="csr")
+        built = memmap_graph_from_indexed_edges(
+            lambda: iter(EDGES), 4, 3, path=tmp_path / "g")
+        same_structure(in_ram, built)
+        built.adjacency.close()
+
+    def test_dedupe_collapses_duplicates(self, tmp_path):
+        built = memmap_graph_from_indexed_edges(
+            lambda: iter(EDGES + [EDGES[0], EDGES[3]]), 4, 3,
+            path=tmp_path / "g")
+        same_structure(from_edge_list(EDGES, n_upper=4, n_lower=3), built)
+        built.adjacency.close()
+
+    def test_duplicate_with_dedupe_off_is_rejected(self, tmp_path):
+        with pytest.raises(GraphConstructionError, match="duplicate"):
+            memmap_graph_from_indexed_edges(
+                lambda: iter(EDGES + [EDGES[0]]), 4, 3,
+                path=tmp_path / "g", dedupe=False)
+
+    def test_out_of_range_edge_is_rejected(self, tmp_path):
+        with pytest.raises(GraphConstructionError, match="out of range"):
+            memmap_graph_from_indexed_edges(
+                lambda: iter([(5, 0)]), 4, 3, path=tmp_path / "g")
+        with pytest.raises(GraphConstructionError, match="non-negative"):
+            memmap_graph_from_indexed_edges(lambda: iter([]), -1, 3)
+
+    def test_unnamed_temporary_directory(self):
+        built = memmap_graph_from_indexed_edges(lambda: iter(EDGES), 4, 3)
+        same_structure(from_edge_list(EDGES, n_upper=4, n_lower=3), built)
+        built.adjacency.close()
+
+
+class TestBackendThreading:
+    def test_from_edge_list_backend_memmap(self, tmp_path):
+        graph = from_edge_list(EDGES, n_upper=4, n_lower=3,
+                               backend="memmap",
+                               memmap_dir=str(tmp_path / "g"))
+        assert graph.backend == "memmap"
+        same_structure(from_edge_list(EDGES, n_upper=4, n_lower=3), graph)
+        graph.adjacency.close()
+
+    def test_read_edge_list_backend_memmap(self, tmp_path):
+        source = tmp_path / "edges.txt"
+        write_edge_list(random_bigraph(9, density=0.3), source)
+        csr = read_edge_list(source, backend="csr")
+        mm = read_edge_list(source, backend="memmap",
+                            memmap_dir=str(tmp_path / "g"))
+        same_structure(csr, mm)
+        mm.adjacency.close()
+
+
+class TestFootprintAccounting:
+    def test_memmap_bytes_are_mapped_not_resident(self, tmp_path):
+        graph = random_bigraph(4, density=0.3)
+        mm = load_graph_memmap(
+            save_graph_memmap(graph, tmp_path / "g"))
+        resident = memory_footprint(graph.to_csr())
+        mapped = memory_footprint(mm)
+        assert resident["mapped_bytes"] == 0
+        assert resident["resident_bytes"] == resident["adjacency_bytes"] > 0
+        assert mapped["resident_bytes"] == 0
+        assert mapped["mapped_bytes"] == mapped["adjacency_bytes"] > 0
+        mm.adjacency.close()
+
+    def test_per_component_breakdown_covers_all_edges(self, tmp_path):
+        graph = random_bigraph(4, density=0.3)
+        mm = load_graph_memmap(save_graph_memmap(graph, tmp_path / "g"))
+        rows = memory_footprint(mm, per_component=True)["components"]
+        assert sum(row["n_edges"] for row in rows) == graph.n_edges
+        assert all(row["adjacency_bytes"] > 0 for row in rows
+                   if row["n_edges"])
+        mm.adjacency.close()
+
+
+class TestMemmapCampaign:
+    def test_campaign_is_byte_identical_to_in_ram_csr(self, tmp_path):
+        base = random_bigraph(1, n1_range=(12, 16), n2_range=(12, 16),
+                              density=0.2)
+        edges = [(u, v - base.n_upper) for u, v in base.edges()]
+        csr = from_edge_list(edges, n_upper=base.n_upper,
+                             n_lower=base.n_lower, backend="csr")
+        mm = from_edge_list(edges, n_upper=base.n_upper,
+                            n_lower=base.n_lower, backend="memmap",
+                            memmap_dir=str(tmp_path / "g"))
+        on_csr = reinforce(csr, 3, 3, 3, 3, method="filver++", t=2)
+        on_mm = reinforce(mm, 3, 3, 3, 3, method="filver++", t=2)
+        assert on_csr.n_followers > 0
+        assert (json.dumps(canonical_result_dict(on_mm), sort_keys=True)
+                == json.dumps(canonical_result_dict(on_csr), sort_keys=True))
+        mm.adjacency.close()

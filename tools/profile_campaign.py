@@ -11,9 +11,17 @@ command away::
     PYTHONPATH=src python tools/profile_campaign.py
     PYTHONPATH=src python tools/profile_campaign.py --no-memoize --parts 10
     PYTHONPATH=src python tools/profile_campaign.py --method filver+ --top 30
+    PYTHONPATH=src python tools/profile_campaign.py --shards 30 --peak-rss
+
+``--shards`` routes the campaign through the component-sharded engine and
+prints a per-shard wall-clock breakdown (ranking vs apply) next to the
+profile, so an unbalanced shard plan shows up as one long row.
+``--peak-rss`` appends the process peak resident set size — the number to
+watch when comparing ``backend="memmap"`` against the in-RAM CSR.
 
 Profiles are wall-clock-free diagnostics — nothing here gates CI; the
-enforced numbers live in ``benchmarks/bench_engine.py``.
+enforced numbers live in ``benchmarks/bench_engine.py`` and
+``benchmarks/bench_sharded.py``.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import os
 import pstats
 import sys
 import time
+from contextlib import contextmanager
 
 sys.path.insert(0, os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
@@ -31,6 +40,56 @@ sys.path.insert(0, os.path.join(
 from repro.bigraph import disjoint_union  # noqa: E402
 from repro.core import reinforce  # noqa: E402
 from repro.generators.planted import planted_core_graph  # noqa: E402
+
+
+@contextmanager
+def shard_timers():
+    """Instrument ``CampaignShard`` ranking/apply with per-shard timers.
+
+    Timing is collected in the tool, not the engine: the substrate stays
+    measurement-free, and the accounting cost is only paid when profiling.
+    Yields a dict ``{shard_index: {"ranked": s, "apply": s, "calls": n}}``.
+    """
+    from repro.core.sharded import CampaignShard
+
+    totals: dict = {}
+    original_ranked = CampaignShard.ranked
+    original_apply = CampaignShard.apply
+
+    def record(shard, stage, seconds):
+        row = totals.setdefault(shard.index,
+                                {"ranked": 0.0, "apply": 0.0, "calls": 0})
+        row[stage] += seconds
+        row["calls"] += 1
+
+    def timed_ranked(self, *args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return original_ranked(self, *args, **kwargs)
+        finally:
+            record(self, "ranked", time.perf_counter() - start)
+
+    def timed_apply(self, *args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return original_apply(self, *args, **kwargs)
+        finally:
+            record(self, "apply", time.perf_counter() - start)
+
+    CampaignShard.ranked = timed_ranked
+    CampaignShard.apply = timed_apply
+    try:
+        yield totals
+    finally:
+        CampaignShard.ranked = original_ranked
+        CampaignShard.apply = original_apply
+
+
+def peak_rss_kb() -> int:
+    """This process's peak resident set size in KiB."""
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
 
 def build_graph(parts: int, chains: int, chain_length: int):
@@ -62,29 +121,46 @@ def main(argv=None) -> int:
                         help="profile with the verification cache off")
     parser.add_argument("--no-kernel", action="store_true",
                         help="profile with the flat CSR kernel off")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="run component-sharded and print per-shard "
+                             "ranking/apply timings")
+    parser.add_argument("--peak-rss", action="store_true",
+                        help="print the process peak RSS after the run")
     args = parser.parse_args(argv)
 
     graph = build_graph(args.parts, args.chains, args.chain_length)
     print("graph: %d vertices, %d components (method=%s, memoize=%s, "
-          "flat_kernel=%s)"
+          "flat_kernel=%s, shards=%s)"
           % (graph.n_upper + graph.n_lower, args.parts, args.method,
-             not args.no_memoize, not args.no_kernel))
+             not args.no_memoize, not args.no_kernel, args.shards))
 
     profiler = cProfile.Profile()
-    start = time.perf_counter()
-    profiler.enable()
-    result = reinforce(graph, 4, 4, args.budget, args.budget,
-                       method=args.method, t=args.t,
-                       memoize=not args.no_memoize,
-                       flat_kernel=False if args.no_kernel else None)
-    profiler.disable()
-    elapsed = time.perf_counter() - start
+    with shard_timers() as shard_totals:
+        start = time.perf_counter()
+        profiler.enable()
+        result = reinforce(graph, 4, 4, args.budget, args.budget,
+                           method=args.method, t=args.t,
+                           memoize=not args.no_memoize,
+                           flat_kernel=False if args.no_kernel else None,
+                           shards=args.shards)
+        profiler.disable()
+        elapsed = time.perf_counter() - start
 
     print("campaign: %d iterations, %d followers, %.2fs (instrumented)"
           % (len(result.iterations), result.n_followers, elapsed))
+    if shard_totals:
+        print()
+        print("per-shard wall clock (instrumented):")
+        print("  %-6s %10s %10s %8s" % ("shard", "ranked", "apply", "calls"))
+        for index in sorted(shard_totals):
+            row = shard_totals[index]
+            print("  %-6d %9.3fs %9.3fs %8d"
+                  % (index, row["ranked"], row["apply"], row["calls"]))
     print()
     stats = pstats.Stats(profiler)
     stats.sort_stats("cumulative").print_stats(args.top)
+    if args.peak_rss:
+        print("peak RSS: %.1f MB" % (peak_rss_kb() / 1024.0))
     return 0
 
 
