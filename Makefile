@@ -2,9 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults coverage lint sanitize typecheck bench \
-	bench-smoke bench-parallel-smoke bench-engine-smoke \
-	bench-sharded-smoke report examples clean
+.PHONY: install test test-faults test-service-faults soak-service coverage \
+	lint sanitize typecheck bench bench-smoke bench-parallel-smoke \
+	bench-engine-smoke bench-sharded-smoke report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -17,6 +17,17 @@ test:
 test-faults:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults.py \
 		tests/test_resilience.py -q
+
+# Campaign-service gate: functional + deterministic chaos + differential
+# byte-identity tests for repro.service (docs/SERVICE.md).
+test-service-faults:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_service.py \
+		tests/test_service_faults.py tests/test_service_differential.py -q
+
+# ~30s soak of the campaign service: repeated submit / drain-kill /
+# restart-resume cycles, asserting zero lost jobs and a stable RSS.
+soak-service:
+	PYTHONPATH=src $(PYTHON) tools/soak_service.py --duration 30
 
 # Coverage gate: total line coverage of src/repro must stay above the
 # floor recorded in .coverage-baseline (measured baseline minus one point).

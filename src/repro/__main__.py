@@ -98,6 +98,11 @@ def _parser() -> argparse.ArgumentParser:
                    help="resume a campaign from a checkpoint file; the "
                         "checkpoint must match the graph, constraints and "
                         "budgets")
+    r.add_argument("--graceful-sigterm", action="store_true",
+                   help="on SIGTERM, finish the current iteration, flush "
+                        "the checkpoint, and report the verified "
+                        "best-so-far result (interrupted=True) instead of "
+                        "dying mid-iteration (filver/filver+/filver++ only)")
 
     s = sub.add_parser("stats", help="print Table-II style statistics")
     _add_graph_source(s)
@@ -134,7 +139,10 @@ def _cmd_reinforce(args: argparse.Namespace) -> int:
                        method=args.method, t=args.t,
                        time_limit=args.time_limit,
                        checkpoint=args.checkpoint, resume_from=args.resume,
-                       workers=args.workers, shards=args.shards)
+                       workers=args.workers, shards=args.shards,
+                       handle_sigterm=args.graceful_sigterm)
+    if result.interrupted:
+        print("campaign interrupted; reporting verified best-so-far")
     print(result.summary())
     print("upper anchors:",
           [graph.label_of(a) for a in result.upper_anchors(graph.n_upper)])

@@ -91,7 +91,16 @@ class MemmapStore:
         self.open()
 
     def open(self) -> None:
-        """Map the three buffer files read-only."""
+        """Map the three buffer files read-only.
+
+        Before mapping, each body file's on-disk size is checked against
+        the length the header promises (``>=``, not ``==`` — the
+        neighbors file legitimately keeps a dead tail after dedupe
+        compaction).  A shorter file means the write was truncated or
+        the body was damaged after the header landed; that raises a
+        :class:`GraphConstructionError` naming the file instead of a
+        baffling mmap/IndexError deep inside a campaign.
+        """
         np = _require_numpy()
         header = self.header
         n = int(header["n_upper"]) + int(header["n_lower"])
@@ -101,6 +110,26 @@ class MemmapStore:
         dtypes = {"offsets": np.int64, "neighbors": np.int32,
                   "degrees": np.int32}
         formats = {"offsets": "q", "neighbors": "i", "degrees": "i"}
+        itemsizes = {"offsets": 8, "neighbors": 4, "degrees": 4}
+        for name, filename in _FILES:
+            if shapes[name][0] == 0:
+                continue
+            file_path = os.path.join(self.path, filename)
+            needed = itemsizes[name] * shapes[name][0]
+            try:
+                actual = os.path.getsize(file_path)
+            except OSError as error:
+                raise GraphConstructionError(
+                    "memmap graph %s is missing its %s file %s: %s"
+                    % (self.path, name, filename, error)) from error
+            if actual < needed:
+                raise GraphConstructionError(
+                    "memmap graph %s has a truncated %s file: %s holds "
+                    "%d bytes but the header requires at least %d "
+                    "(%d entries of %d bytes); the graph directory is "
+                    "corrupt — rebuild it with save_graph_memmap"
+                    % (self.path, name, filename, actual, needed,
+                       shapes[name][0], itemsizes[name]))
         views = {}
         try:
             for name, filename in _FILES:

@@ -12,6 +12,7 @@ from typing import Callable, Dict, Optional
 
 from repro.bigraph.graph import BipartiteGraph
 from repro.core.baselines import run_degree_greedy, run_random, run_top_degree
+from repro.core.engine import ProgressCallback
 from repro.core.exact import run_exact
 from repro.core.filver import run_filver
 from repro.core.filver_plus import run_filver_plus
@@ -60,6 +61,8 @@ def reinforce(
     memoize: bool = True,
     flat_kernel: Optional[bool] = None,
     shards: Optional[int] = None,
+    on_iteration: Optional[ProgressCallback] = None,
+    handle_sigterm: bool = False,
 ) -> AnchoredCoreResult:
     """Reinforce ``graph`` by anchoring ``b1 + b2`` vertices.
 
@@ -101,6 +104,13 @@ def reinforce(
         this many shards (engine family only; ``None`` = unsharded).
         Results are byte-identical to the unsharded path; checkpoints use
         the sharded envelope format (``docs/RESILIENCE.md``).
+    on_iteration / handle_sigterm:
+        Engine-family observability and lifecycle hooks (ignored by the
+        baselines): ``on_iteration`` streams each finished iteration
+        record to an observer — the campaign service uses it for
+        heartbeats and cooperative drain — and ``handle_sigterm``
+        converts ``SIGTERM`` at an iteration boundary into a graceful
+        ``interrupted=True`` best-so-far result (see ``docs/SERVICE.md``).
 
     Returns
     -------
@@ -138,17 +148,22 @@ def reinforce(
         return run_filver(graph, alpha, beta, b1, b2, deadline=deadline,
                           checkpoint=checkpoint, resume_from=resume_from,
                           workers=workers, memoize=memoize,
-                          flat_kernel=flat_kernel, shards=shards)
+                          flat_kernel=flat_kernel, shards=shards,
+                          on_iteration=on_iteration,
+                          handle_sigterm=handle_sigterm)
     if method == "filver+":
         return run_filver_plus(graph, alpha, beta, b1, b2, deadline=deadline,
                                checkpoint=checkpoint, resume_from=resume_from,
                                workers=workers, memoize=memoize,
-                               flat_kernel=flat_kernel, shards=shards)
+                               flat_kernel=flat_kernel, shards=shards,
+                               on_iteration=on_iteration,
+                               handle_sigterm=handle_sigterm)
     if method == "filver++":
         return run_filver_plus_plus(graph, alpha, beta, b1, b2, t=t,
                                     deadline=deadline, checkpoint=checkpoint,
                                     resume_from=resume_from, workers=workers,
                                     memoize=memoize, flat_kernel=flat_kernel,
-                                    shards=shards)
+                                    shards=shards, on_iteration=on_iteration,
+                                    handle_sigterm=handle_sigterm)
     raise InvalidParameterError(
         "unknown method %r; expected one of %s" % (method, ", ".join(METHODS)))

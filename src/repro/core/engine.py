@@ -43,6 +43,7 @@ from repro.resilience.checkpoint import (
     load_checkpoint,
 )
 from repro.resilience.faults import active_plan, fault_site
+from repro.resilience.signals import TerminationFlag
 
 if TYPE_CHECKING:
     from repro.parallel.protocol import Evaluator
@@ -94,6 +95,7 @@ def run_engine(
     workers: int = 1,
     memoize: bool = True,
     flat_kernel: Optional[bool] = None,
+    handle_sigterm: bool = False,
 ) -> AnchoredCoreResult:
     """Run the greedy filter–verification loop to completion.
 
@@ -139,7 +141,15 @@ def run_engine(
       records as an uninterrupted run;
     * ``KeyboardInterrupt`` / ``MemoryError`` at an iteration boundary
       degrade gracefully into a verified best-so-far result flagged
-      ``interrupted=True`` instead of losing the campaign.
+      ``interrupted=True`` instead of losing the campaign;
+    * ``handle_sigterm=True`` additionally converts ``SIGTERM`` into the
+      same path: a :class:`repro.resilience.signals.TerminationFlag` is
+      installed for the duration of the run (main thread only — elsewhere
+      the flag is inert and the option is harmless), the loop polls it at
+      each iteration boundary, and a delivered signal yields the verified
+      best-so-far result with every completed iteration's checkpoint
+      already flushed, instead of a dead process.  Off by default; the
+      campaign service (:mod:`repro.service`) manages signals itself.
     """
     validate_problem(graph, alpha, beta, b1, b2)
     t = options.anchors_per_iteration
@@ -212,8 +222,15 @@ def run_engine(
             elapsed=elapsed_prior + time.perf_counter() - start,
         ).save(checkpoint)
 
+    termination = TerminationFlag().install() if handle_sigterm else None
     try:
         while not (timed_out or exhausted):
+            if termination is not None and termination.is_set():
+                # SIGTERM arrived: stop at this iteration boundary with the
+                # verified best-so-far (every completed iteration's
+                # checkpoint is already on disk).
+                interrupted = True
+                break
             if deadline is not None and time.perf_counter() > deadline:
                 # Deadline already spent (possibly before iteration one):
                 # return the valid partial result instead of burning a
@@ -293,6 +310,8 @@ def run_engine(
         # best-so-far result rather than losing hours of campaign.
         interrupted = True
     finally:
+        if termination is not None:
+            termination.restore()
         if evaluator is not None:
             evaluator.shutdown()
 

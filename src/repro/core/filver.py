@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.bigraph.graph import BipartiteGraph
-from repro.core.engine import EngineOptions, run_engine
+from repro.core.engine import EngineOptions, ProgressCallback, run_engine
 from repro.core.result import AnchoredCoreResult
 
 __all__ = ["run_filver", "FILVER_OPTIONS"]
@@ -37,6 +37,8 @@ def run_filver(
     memoize: bool = True,
     flat_kernel: Optional[bool] = None,
     shards: Optional[int] = None,
+    on_iteration: Optional[ProgressCallback] = None,
+    handle_sigterm: bool = False,
 ) -> AnchoredCoreResult:
     """Solve the anchored (α,β)-core problem with FILVER.
 
@@ -49,6 +51,11 @@ def run_filver(
     (an int ≥ 1) runs the campaign on the component-sharded substrate
     (:func:`repro.core.sharded.run_sharded_engine`, sharded checkpoint
     format) — results are byte-identical to the unsharded path.
+    ``on_iteration`` streams each finished
+    :class:`repro.core.result.IterationRecord` to an observer, and
+    ``handle_sigterm`` converts ``SIGTERM`` at an iteration boundary into
+    the graceful ``interrupted=True`` best-so-far result (see
+    :func:`repro.core.engine.run_engine`).
     """
     if shards is not None:
         from repro.core.sharded import run_sharded_engine
@@ -57,9 +64,12 @@ def run_filver(
                                   algorithm="filver", shards=shards,
                                   deadline=deadline, checkpoint=checkpoint,
                                   resume_from=resume_from, workers=workers,
-                                  memoize=memoize, flat_kernel=flat_kernel)
+                                  memoize=memoize, flat_kernel=flat_kernel,
+                                  on_iteration=on_iteration,
+                                  handle_sigterm=handle_sigterm)
     return run_engine(graph, alpha, beta, b1, b2, FILVER_OPTIONS,
                       algorithm="filver", deadline=deadline,
                       checkpoint=checkpoint, resume_from=resume_from,
                       workers=workers, memoize=memoize,
-                      flat_kernel=flat_kernel)
+                      flat_kernel=flat_kernel, on_iteration=on_iteration,
+                      handle_sigterm=handle_sigterm)

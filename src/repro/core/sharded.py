@@ -63,6 +63,7 @@ from repro.resilience.checkpoint import (
     load_checkpoint,
 )
 from repro.resilience.faults import active_plan, fault_site
+from repro.resilience.signals import TerminationFlag
 from repro.resilience.sharded import (
     ShardedCampaignCheckpoint,
     load_sharded_checkpoint,
@@ -475,6 +476,7 @@ def run_sharded_engine(
     workers: int = 1,
     memoize: bool = True,
     flat_kernel: Optional[bool] = None,
+    handle_sigterm: bool = False,
 ) -> AnchoredCoreResult:
     """Run the greedy loop on a component-sharded substrate.
 
@@ -491,7 +493,9 @@ def run_sharded_engine(
     (:class:`repro.parallel.shards.ShardedEvaluator`), sharing each
     shard's CSR segment once.
 
-    Parameters mirror ``run_engine``; ``shards`` is the maximum shard
+    Parameters mirror ``run_engine`` — including ``handle_sigterm``,
+    which converts ``SIGTERM`` at an iteration boundary into the graceful
+    ``interrupted=True`` best-so-far path; ``shards`` is the maximum shard
     count (capped at the number of connected components).
     """
     validate_problem(graph, alpha, beta, b1, b2)
@@ -587,8 +591,12 @@ def run_sharded_engine(
                                      options_dict, exhausted, elapsed)
             for shard in shard_list])
 
+    termination = TerminationFlag().install() if handle_sigterm else None
     try:
         while not (timed_out or exhausted):
+            if termination is not None and termination.is_set():
+                interrupted = True
+                break
             if deadline is not None and time.perf_counter() > deadline:
                 timed_out = True
                 break
@@ -672,6 +680,8 @@ def run_sharded_engine(
     except (KeyboardInterrupt, MemoryError):
         interrupted = True
     finally:
+        if termination is not None:
+            termination.restore()
         if evaluator is not None:
             evaluator.shutdown()
 

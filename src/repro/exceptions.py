@@ -16,6 +16,9 @@ __all__ = [
     "CheckpointError",
     "AbortCampaign",
     "FaultInjected",
+    "ServiceError",
+    "AdmissionError",
+    "QuarantinedJobError",
 ]
 
 
@@ -56,3 +59,29 @@ class AbortCampaign(ReproError):
 class FaultInjected(ReproError):
     """Default exception raised by the deterministic fault-injection harness
     (:mod:`repro.resilience.faults`) when a plan does not specify one."""
+
+
+class ServiceError(ReproError):
+    """Base class for campaign-service failures (:mod:`repro.service`):
+    draining shutdowns, unusable persisted queue state, jobs that the
+    service could not carry to completion."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when the campaign service refuses to accept a job: the
+    service is draining, the pending queue is full, or the memory budget
+    cannot ever accommodate the job (see ``docs/SERVICE.md``)."""
+
+
+class QuarantinedJobError(ServiceError):
+    """Raised by :meth:`repro.service.JobHandle.result` for a poison job.
+
+    Carries the job's structured :class:`repro.service.FailureRecord` list
+    in ``failures`` so callers can inspect every attempt that was made
+    before the job was quarantined.
+    """
+
+    def __init__(self, message: str, failures=()):  # type: ignore[no-untyped-def]
+        super().__init__(message)
+        #: The per-attempt failure records accumulated before quarantine.
+        self.failures = list(failures)

@@ -10,7 +10,10 @@ holds the pieces, each usable on its own:
 * :mod:`repro.resilience.faults` — deterministic seeded fault injection
   (:class:`FaultPlan` + instrumented ``fault_site`` calls);
 * :mod:`repro.resilience.retry` — bounded deterministic backoff for
-  transient artifact-write failures.
+  transient artifact-write failures;
+* :mod:`repro.resilience.signals` — :class:`TerminationFlag`, the
+  cooperative SIGTERM latch behind ``run_engine(handle_sigterm=True)``
+  and the campaign service's graceful drain.
 
 The engine hooks (``run_engine(checkpoint=..., resume_from=...)``, graceful
 ``interrupted=True`` degradation, :class:`repro.exceptions.AbortCampaign`)
@@ -28,6 +31,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.faults import FaultPlan, FaultSpec, active_plan, fault_site
 from repro.resilience.retry import Backoff, retry
+from repro.resilience.signals import TerminationFlag
 from repro.resilience.sharded import (
     SHARDED_CHECKPOINT_SCHEMA,
     ShardedCampaignCheckpoint,
@@ -52,4 +56,5 @@ __all__ = [
     "fault_site",
     "Backoff",
     "retry",
+    "TerminationFlag",
 ]

@@ -29,8 +29,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
 from repro.bigraph.graph import BipartiteGraph
 from repro.exceptions import CheckpointError
@@ -41,12 +42,19 @@ if TYPE_CHECKING:
     from repro.core.result import IterationRecord
 from repro.resilience.atomic import atomic_write_text
 from repro.resilience.faults import fault_site
+from repro.resilience.retry import Backoff, retry
 
-__all__ = ["CHECKPOINT_SCHEMA", "CampaignCheckpoint", "graph_fingerprint",
-           "load_checkpoint"]
+__all__ = ["CHECKPOINT_SCHEMA", "CHECKPOINT_WRITE_BACKOFF",
+           "CampaignCheckpoint", "graph_fingerprint", "load_checkpoint"]
 
 #: Bump when the payload layout changes; loaders reject other versions.
 CHECKPOINT_SCHEMA = 1
+
+#: Default retry policy for checkpoint persistence.  Checkpoints are the
+#: one artifact whose loss costs hours (a failed report write loses a
+#: file; a failed checkpoint write loses the crash-recovery story), so
+#: every save absorbs up to two transient ``OSError``\ s before giving up.
+CHECKPOINT_WRITE_BACKOFF = Backoff(attempts=3, base=0.05)
 
 
 def graph_fingerprint(graph: BipartiteGraph) -> str:
@@ -141,17 +149,33 @@ class CampaignCheckpoint:
             raise CheckpointError(
                 "malformed checkpoint payload: %s" % error) from error
 
-    def save(self, path: Union[str, "os.PathLike[str]"]) -> None:
-        """Atomically persist this checkpoint (checksummed JSON envelope)."""
-        fault_site("checkpoint.write")
+    def save(self, path: Union[str, "os.PathLike[str]"],
+             backoff: Optional[Backoff] = None,
+             sleep: Callable[[float], None] = time.sleep) -> None:
+        """Atomically persist this checkpoint (checksummed JSON envelope).
+
+        The write is wrapped in :func:`repro.resilience.retry.retry`
+        (:data:`CHECKPOINT_WRITE_BACKOFF` unless ``backoff`` overrides it):
+        a transient ``OSError`` — flaky NFS, a busy volume — is retried
+        with deterministic backoff instead of killing the campaign, and the
+        ``checkpoint.write`` fault site fires once per *attempt* so the
+        fault-injection suite can exercise both the absorbed-transient and
+        the exhausted-retries path.  ``sleep`` is injectable for tests.
+        """
         payload = self.to_payload()
         envelope = {
             "schema": CHECKPOINT_SCHEMA,
             "checksum": _checksum(payload),
             "payload": payload,
         }
-        atomic_write_text(path, json.dumps(envelope, indent=2,
-                                           sort_keys=True) + "\n")
+        text = json.dumps(envelope, indent=2, sort_keys=True) + "\n"
+
+        def _write() -> None:
+            fault_site("checkpoint.write")
+            atomic_write_text(path, text)
+
+        retry(_write, backoff=backoff or CHECKPOINT_WRITE_BACKOFF,
+              retry_on=(OSError,), sleep=sleep)
 
     # ------------------------------------------------------------------
     # Resume-time validation

@@ -29,12 +29,18 @@ site                   where it fires
 ``runner.run_method``  entry of ``experiments.runner.run_method``
 ``parallel.dispatch``  parent side, before each chunk is sent to a worker
 ``parallel.chunk``     worker side, at the start of each received chunk
+``service.admit``      campaign-service submission, before admission control
+``service.dispatch``   service supervisor, before each job attempt starts
+``service.heartbeat``  each supervision sweep of the service monitor
+``service.result``     service supervisor, before a finished result is posted
 =====================  ===================================================
 
 The two ``parallel.*`` sites span a process boundary: ``run_engine``
 forwards any active plan's ``parallel.``-prefixed specs into each worker,
 where they replay against that worker's own counters (see
-``docs/PARALLEL.md`` for how worker faults degrade).
+``docs/PARALLEL.md`` for how worker faults degrade).  The four
+``service.*`` sites drive the campaign-service chaos suite
+(``tests/test_service_faults.py``; see ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations

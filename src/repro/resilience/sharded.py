@@ -31,13 +31,19 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.exceptions import CheckpointError
 from repro.resilience.atomic import atomic_write_text
-from repro.resilience.checkpoint import CampaignCheckpoint, _checksum
+from repro.resilience.checkpoint import (
+    CHECKPOINT_WRITE_BACKOFF,
+    CampaignCheckpoint,
+    _checksum,
+)
 from repro.resilience.faults import fault_site
+from repro.resilience.retry import Backoff, retry
 
 __all__ = [
     "SHARDED_CHECKPOINT_SCHEMA",
@@ -99,28 +105,40 @@ class ShardedCampaignCheckpoint:
                 "malformed sharded checkpoint payload: %s" % error) from error
 
     def save(self, path: Union[str, "os.PathLike[str]"],
-             shard_checkpoints: Sequence[CampaignCheckpoint]) -> None:
+             shard_checkpoints: Sequence[CampaignCheckpoint],
+             backoff: Optional[Backoff] = None,
+             sleep: Callable[[float], None] = time.sleep) -> None:
         """Persist every shard file, then the envelope, all atomically.
 
         Write order is the crash-safety contract: shard files first, the
         envelope last, so a readable envelope always refers to shard files
-        that are at least as new as itself.
+        that are at least as new as itself.  Every file write — each shard
+        checkpoint and the envelope — is retried on transient ``OSError``
+        with deterministic backoff
+        (:data:`repro.resilience.checkpoint.CHECKPOINT_WRITE_BACKOFF`),
+        with the ``checkpoint.write`` fault site firing once per attempt.
         """
         if len(shard_checkpoints) != len(self.shard_fingerprints):
             raise CheckpointError(
                 "got %d shard checkpoints for %d recorded fingerprints"
                 % (len(shard_checkpoints), len(self.shard_fingerprints)))
         for index, shard_checkpoint in enumerate(shard_checkpoints):
-            shard_checkpoint.save(shard_checkpoint_path(path, index))
-        fault_site("checkpoint.write")
+            shard_checkpoint.save(shard_checkpoint_path(path, index),
+                                  backoff=backoff, sleep=sleep)
         payload = self.to_payload()
         envelope = {
             "schema": SHARDED_CHECKPOINT_SCHEMA,
             "checksum": _checksum(payload),
             "payload": payload,
         }
-        atomic_write_text(path, json.dumps(envelope, indent=2,
-                                           sort_keys=True) + "\n")
+        text = json.dumps(envelope, indent=2, sort_keys=True) + "\n"
+
+        def _write() -> None:
+            fault_site("checkpoint.write")
+            atomic_write_text(path, text)
+
+        retry(_write, backoff=backoff or CHECKPOINT_WRITE_BACKOFF,
+              retry_on=(OSError,), sleep=sleep)
 
     def validate_for(self, graph, alpha: int, beta: int, b1: int, b2: int,
                      options: Dict[str, object]) -> None:

@@ -1,0 +1,90 @@
+"""Cooperative termination: turn SIGTERM into graceful degradation.
+
+``kill <pid>`` (the default, polite form) delivers ``SIGTERM`` — and
+Python's default disposition is to die on the spot, which throws away a
+campaign exactly like a crash would.  :class:`TerminationFlag` converts the
+signal into a *checkable flag*: the engine polls it at iteration boundaries
+and finalizes the verified best-so-far result (``interrupted=True``,
+checkpoint already flushed for every completed iteration) instead of
+leaving a dead process.
+
+Signal handlers can only be installed from the main thread of the main
+interpreter; elsewhere :meth:`TerminationFlag.install` is a documented
+no-op (the flag simply never sets) so callers — notably service worker
+threads, whose process-level signal handling lives in
+:mod:`repro.service` — do not need to special-case their thread identity.
+The previous handler is restored on :meth:`TerminationFlag.restore`, and
+the flag can also be set programmatically with
+:meth:`TerminationFlag.set`, which is what makes the behavior testable
+without ever delivering a real signal.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from types import FrameType
+from typing import Iterable, Optional
+
+__all__ = ["TerminationFlag"]
+
+
+class TerminationFlag:
+    """A context manager mapping termination signals onto an event.
+
+    While installed, each configured signal (default: ``SIGTERM``) sets an
+    internal :class:`threading.Event` instead of killing the process.  The
+    code being protected polls :meth:`is_set` at its own safe points —
+    nothing is raised asynchronously, so no invariant can be torn mid-update.
+    """
+
+    def __init__(self,
+                 signals: Iterable[int] = (signal.SIGTERM,)) -> None:
+        self._signals = tuple(signals)
+        self._event = threading.Event()
+        self._previous: dict = {}
+        self._installed = False
+
+    def _handler(self, signum: int,
+                 frame: Optional[FrameType]) -> None:
+        self._event.set()
+
+    def install(self) -> "TerminationFlag":
+        """Install the handlers; a no-op outside the main thread."""
+        if self._installed:
+            return self
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        try:
+            for signum in self._signals:
+                self._previous[signum] = signal.signal(signum, self._handler)
+        except ValueError:
+            # Non-main interpreter or exotic embedding: same contract as
+            # the non-main-thread case — the flag just never fires.
+            self._previous.clear()
+            return self
+        self._installed = True
+        return self
+
+    def restore(self) -> None:
+        """Put the previous handlers back; safe to call twice."""
+        if not self._installed:
+            return
+        self._installed = False
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()
+
+    def set(self) -> None:
+        """Set the flag programmatically (tests, in-process drains)."""
+        self._event.set()
+
+    def is_set(self) -> bool:
+        """Whether a configured signal arrived (or :meth:`set` was called)."""
+        return self._event.is_set()
+
+    def __enter__(self) -> "TerminationFlag":
+        return self.install()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.restore()

@@ -1,0 +1,89 @@
+"""Result cache with request coalescing for the campaign service.
+
+The byte-identity invariant makes caching trivially sound: two jobs whose
+:func:`~repro.service.jobs.cache_key` match are *guaranteed* the same
+canonical result, whatever execution strategy (workers, shards, resume
+path) either would have used.  The cache therefore has two layers:
+
+* **completed** — key → finished :class:`AnchoredCoreResult`.  Only clean
+  results are stored: anything ``interrupted`` or ``timed_out`` is a
+  partial answer and must not shadow a future full run.
+* **in-flight** — key → the queued/running :class:`Job`.  A second
+  submission of an identical spec gets a handle onto the *existing* job
+  instead of a duplicate campaign (request coalescing); the entry is
+  released when the job reaches a terminal state.
+
+Thread safety: one lock around both indexes; every method is a short
+critical section and never calls back into service code.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.core.result import AnchoredCoreResult
+from repro.service.jobs import Job
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Completed-result memo plus in-flight coalescing index."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._completed: Dict[Tuple[object, ...], AnchoredCoreResult] = {}
+        self._inflight: Dict[Tuple[object, ...], Job] = {}
+        self._hits = 0
+        self._coalesced = 0
+
+    def lookup(self, key: Tuple[object, ...]) -> Optional[AnchoredCoreResult]:
+        """A previously completed clean result for ``key``, if any."""
+        with self._lock:
+            result = self._completed.get(key)
+            if result is not None:
+                self._hits += 1
+            return result
+
+    def claim_inflight(self, key: Tuple[object, ...],
+                       job: Job) -> Optional[Job]:
+        """Register ``job`` as the runner for ``key``, or coalesce.
+
+        Returns the already-registered job when one exists (the caller
+        should hand out a handle to *that* job and discard ``job``), else
+        registers ``job`` and returns None.
+        """
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self._coalesced += 1
+                return existing
+            self._inflight[key] = job
+            return None
+
+    def release(self, key: Tuple[object, ...], job: Job) -> None:
+        """Drop the in-flight entry for ``key`` if ``job`` still owns it."""
+        with self._lock:
+            if self._inflight.get(key) is job:
+                del self._inflight[key]
+
+    def store(self, key: Tuple[object, ...],
+              result: AnchoredCoreResult) -> None:
+        """Memoize a finished result; partial answers are refused here.
+
+        The caller filters, but this guards the invariant anyway: an
+        ``interrupted`` or ``timed_out`` result is silently not cached.
+        """
+        if result.interrupted or result.timed_out:
+            return
+        with self._lock:
+            self._completed[key] = result
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for ``CampaignService.stats()``."""
+        with self._lock:
+            return {"completed": len(self._completed),
+                    "inflight": len(self._inflight),
+                    "hits": self._hits,
+                    "coalesced": self._coalesced}

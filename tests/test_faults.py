@@ -158,16 +158,36 @@ class TestGracefulDegradation:
             self, tmp_path):
         graph = campaign_graph()
         ckpt = tmp_path / "c.json"
-        plan = FaultPlan().add("checkpoint.write", call=2, exc=OSError)
+        # The save retries transient OSError (CHECKPOINT_WRITE_BACKOFF has
+        # 3 attempts), so the second iteration's write only fails for good
+        # when all three attempts die: site calls 2, 3, and 4.
+        plan = FaultPlan()
+        for call in (2, 3, 4):
+            plan.add("checkpoint.write", call=call, exc=OSError)
         with plan.active():
             with pytest.raises(OSError):
                 run_filver(graph, 3, 3, 3, 3, checkpoint=str(ckpt))
+        assert plan.call_count("checkpoint.write") == 4
         # The first iteration's checkpoint survives intact and resumable.
         restored = load_checkpoint(ckpt)
         assert len(restored.iterations) == 1
         resumed = run_filver(graph, 3, 3, 3, 3, resume_from=str(ckpt))
         full = run_filver(graph, 3, 3, 3, 3)
         assert resumed.anchors == full.anchors
+
+    def test_transient_checkpoint_write_fault_is_absorbed(self, tmp_path):
+        graph = campaign_graph()
+        ckpt = tmp_path / "c.json"
+        baseline = run_filver(graph, 3, 3, 3, 3)
+        # One transient OSError on the second iteration's first write
+        # attempt: the retry wrapper absorbs it and the campaign finishes.
+        plan = FaultPlan().add("checkpoint.write", call=2, exc=OSError)
+        with plan.active():
+            result = run_filver(graph, 3, 3, 3, 3, checkpoint=str(ckpt))
+        assert result.anchors == baseline.anchors
+        restored = load_checkpoint(ckpt)
+        assert restored.anchors == list(baseline.anchors)
+        assert restored.exhausted or len(restored.iterations) > 1
 
     def test_loader_fault_site(self, tmp_path):
         graph = random_bigraph(3)

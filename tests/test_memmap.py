@@ -125,6 +125,54 @@ class TestHeaderValidation:
             load_graph_memmap(target)
 
 
+class TestBodyValidation:
+    """Truncated/missing body segments must fail loudly at open time.
+
+    The header is written last, so a readable header normally implies
+    complete bodies — but bytes can vanish after the fact (filesystem
+    corruption, a partial copy of the directory).  The loader must catch
+    that with a clear error instead of an mmap failure or, worse, a
+    silently short neighbor table."""
+
+    def make_dir(self, tmp_path):
+        return save_graph_memmap(
+            from_edge_list(EDGES, n_upper=4, n_lower=3), tmp_path / "g")
+
+    @pytest.mark.parametrize("filename", ["offsets.bin", "neighbors.bin",
+                                          "degrees.bin"])
+    def test_truncated_body_is_rejected(self, tmp_path, filename):
+        target = self.make_dir(tmp_path)
+        body = tmp_path / "g" / filename
+        body.write_bytes(body.read_bytes()[:-4])
+        with pytest.raises(GraphConstructionError, match="truncated"):
+            load_graph_memmap(target)
+
+    @pytest.mark.parametrize("filename", ["offsets.bin", "neighbors.bin",
+                                          "degrees.bin"])
+    def test_missing_body_is_rejected(self, tmp_path, filename):
+        target = self.make_dir(tmp_path)
+        (tmp_path / "g" / filename).unlink()
+        with pytest.raises(GraphConstructionError, match="missing"):
+            load_graph_memmap(target)
+
+    def test_error_names_the_bad_file(self, tmp_path):
+        target = self.make_dir(tmp_path)
+        body = tmp_path / "g" / "neighbors.bin"
+        body.write_bytes(body.read_bytes()[:3])
+        with pytest.raises(GraphConstructionError, match="neighbors.bin"):
+            load_graph_memmap(target)
+
+    def test_oversized_neighbors_file_is_fine(self, tmp_path):
+        # The dedupe-compacted tail legitimately leaves the neighbors file
+        # longer than n_entries; padding must not be mistaken for damage.
+        target = self.make_dir(tmp_path)
+        body = tmp_path / "g" / "neighbors.bin"
+        body.write_bytes(body.read_bytes() + b"\x00" * 8)
+        graph = load_graph_memmap(target)
+        assert graph.n_edges == len(EDGES)
+        graph.adjacency.close()
+
+
 class TestOutOfCoreBuilder:
     def test_matches_in_ram_builder(self, tmp_path):
         in_ram = from_edge_list(EDGES, n_upper=4, n_lower=3, backend="csr")

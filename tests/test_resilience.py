@@ -162,6 +162,14 @@ class TestGraphFingerprint:
         b = from_biadjacency([[1, 1], [0, 1]])
         assert graph_fingerprint(a) != graph_fingerprint(b)
 
+    def test_chunked_digest_matches_across_chunk_boundary(self):
+        # 70 x 70 complete bipartite graph: 4900 edges, crossing the
+        # 4096-edge digest chunk; the fingerprint must not depend on
+        # where the chunk boundary falls.
+        big = from_biadjacency([[1] * 70 for _ in range(70)])
+        assert big.n_edges > 4096
+        assert graph_fingerprint(big) == graph_fingerprint(big.to_csr())
+
 
 class TestCheckpointRoundTrip:
     def test_save_load_round_trip(self, tmp_path):
@@ -208,6 +216,12 @@ class TestCheckpointRoundTrip:
         with pytest.raises(CheckpointError, match="cannot read"):
             load_checkpoint(tmp_path / "nope.json")
 
+    def test_file_without_payload_envelope_is_refused(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(CheckpointError, match="no payload envelope"):
+            load_checkpoint(path)
+
     def test_malformed_payload_is_refused(self):
         with pytest.raises(CheckpointError, match="malformed"):
             CampaignCheckpoint.from_payload({"algorithm": "filver"})
@@ -240,3 +254,133 @@ class TestResumeValidation:
         changed = dict(ckpt.options, use_two_hop_filter=True)
         with pytest.raises(CheckpointError, match="options"):
             ckpt.validate_for(graph, 2, 2, 2, 2, changed)
+
+
+class TestTerminationFlag:
+    def test_sigterm_sets_flag_and_restore_reinstates_handler(self):
+        import os
+        import signal
+
+        from repro.resilience import TerminationFlag
+
+        previous = signal.getsignal(signal.SIGTERM)
+        flag = TerminationFlag().install()
+        try:
+            assert not flag.is_set()
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert flag.is_set()
+        finally:
+            flag.restore()
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+    def test_programmatic_set(self):
+        from repro.resilience import TerminationFlag
+
+        flag = TerminationFlag()
+        assert not flag.is_set()
+        flag.set()
+        assert flag.is_set()
+
+    def test_uninstallable_signal_degrades_to_never_firing(self):
+        import signal
+
+        from repro.resilience import TerminationFlag
+
+        previous = signal.getsignal(signal.SIGTERM)
+        flag = TerminationFlag(signals=(signal.NSIG + 7,)).install()
+        try:
+            assert flag._installed is False
+            assert not flag.is_set()
+        finally:
+            flag.restore()
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+    def test_double_install_is_a_noop(self):
+        import signal
+
+        from repro.resilience import TerminationFlag
+
+        previous = signal.getsignal(signal.SIGTERM)
+        flag = TerminationFlag().install()
+        try:
+            assert flag.install() is flag
+        finally:
+            flag.restore()
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+    def test_context_manager_restores(self):
+        import signal
+
+        from repro.resilience import TerminationFlag
+
+        previous = signal.getsignal(signal.SIGTERM)
+        with TerminationFlag():
+            assert signal.getsignal(signal.SIGTERM) is not previous
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+    def test_install_is_a_noop_off_the_main_thread(self):
+        import signal
+        import threading
+
+        from repro.resilience import TerminationFlag
+
+        previous = signal.getsignal(signal.SIGTERM)
+        outcome = {}
+
+        def target():
+            flag = TerminationFlag().install()
+            outcome["installed"] = flag._installed
+            flag.restore()
+
+        worker = threading.Thread(target=target)
+        worker.start()
+        worker.join()
+        assert outcome["installed"] is False
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+
+class TestEngineGracefulSigterm:
+    def test_sigterm_yields_verified_best_so_far(self, tmp_path):
+        import os
+        import signal
+
+        from repro.core.filver import run_filver
+        from conftest import random_bigraph
+
+        graph = random_bigraph(1, n1_range=(12, 16), n2_range=(12, 16),
+                               density=0.2)
+        full = run_filver(graph, 3, 3, 3, 3)
+        assert len(full.iterations) >= 2
+
+        fired = {"n": 0}
+
+        def terminate_after_first(record):
+            fired["n"] += 1
+            if fired["n"] == 1:
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        ckpt = tmp_path / "c.json"
+        partial = run_filver(graph, 3, 3, 3, 3, checkpoint=str(ckpt),
+                             on_iteration=terminate_after_first,
+                             handle_sigterm=True)
+        assert partial.interrupted
+        assert len(partial.iterations) < len(full.iterations)
+        # The flushed checkpoint resumes to the byte-identical full result.
+        resumed = run_filver(graph, 3, 3, 3, 3, resume_from=str(ckpt))
+        assert resumed.anchors == full.anchors
+        assert not resumed.interrupted
+        # The process-level handler was restored on the way out.
+        assert signal.getsignal(signal.SIGTERM) == signal.SIG_DFL
+
+    def test_without_flag_sigterm_is_not_intercepted(self):
+        import signal
+
+        from repro.core.filver import run_filver
+        from conftest import random_bigraph
+
+        graph = random_bigraph(2, n1_range=(8, 10), n2_range=(8, 10),
+                               density=0.25)
+        previous = signal.getsignal(signal.SIGTERM)
+        result = run_filver(graph, 2, 2, 2, 2)
+        assert signal.getsignal(signal.SIGTERM) is previous
+        assert not result.interrupted

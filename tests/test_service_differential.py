@@ -1,0 +1,133 @@
+"""Differential byte-identity: the service must be a transparent executor.
+
+For every engine method, adjacency backend, and execution strategy
+(serial, multi-worker verification, sharded checkpoints), a job served by
+:class:`CampaignService` must produce *exactly* the canonical result of a
+one-shot :func:`repro.core.api.reinforce` call — including jobs that were
+killed mid-campaign and resumed, and jobs interrupted by a drain and
+finished by a restarted service."""
+
+import json
+
+import pytest
+
+from repro.bigraph import from_edge_list
+from repro.core.api import reinforce
+from repro.experiments.export import canonical_result_dict
+from repro.resilience import FaultPlan
+from repro.service import CampaignService, JobSpec, JobState
+
+from conftest import random_bigraph
+
+ALPHA, BETA, B1, B2 = 3, 3, 3, 3
+
+
+def canonical(result):
+    return json.dumps(canonical_result_dict(result), sort_keys=True)
+
+
+def build_graph(backend, tmp_path):
+    base = random_bigraph(7, n1_range=(12, 16), n2_range=(12, 16),
+                          density=0.2)
+    if backend == "list":
+        return base
+    edges = [(u, v - base.n_upper) for u, v in base.edges()]
+    kwargs = {}
+    if backend == "memmap":
+        kwargs["memmap_dir"] = str(tmp_path / "graph")
+    return from_edge_list(edges, n_upper=base.n_upper, n_lower=base.n_lower,
+                          backend=backend, **kwargs)
+
+
+def serve_one(graph, spec):
+    with CampaignService(graph, sleep=lambda s: None) as service:
+        handle = service.submit(spec)
+        assert service.run_until_idle() == 1
+        assert handle.state == JobState.COMPLETED
+        return handle.result()
+
+
+SPECS = [
+    pytest.param(JobSpec(alpha=ALPHA, beta=BETA, b1=B1, b2=B2,
+                         method="filver"), id="filver"),
+    pytest.param(JobSpec(alpha=ALPHA, beta=BETA, b1=B1, b2=B2,
+                         method="filver+"), id="filver+"),
+    pytest.param(JobSpec(alpha=ALPHA, beta=BETA, b1=B1, b2=B2,
+                         method="filver++", t=2), id="filver++"),
+    pytest.param(JobSpec(alpha=ALPHA, beta=BETA, b1=B1, b2=B2,
+                         method="filver++", t=2, workers=2),
+                 id="filver++/workers2"),
+    pytest.param(JobSpec(alpha=ALPHA, beta=BETA, b1=B1, b2=B2,
+                         method="filver++", t=2, shards=2),
+                 id="filver++/shards2"),
+]
+
+
+class TestServedEqualsOneShot:
+    @pytest.mark.parametrize("backend", ["list", "csr", "memmap"])
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_service_result_is_byte_identical(self, backend, spec,
+                                              tmp_path):
+        graph = build_graph(backend, tmp_path)
+        reference = reinforce(graph, spec.alpha, spec.beta, spec.b1,
+                              spec.b2, method=spec.method, t=spec.t,
+                              workers=spec.workers, shards=spec.shards)
+        assert reference.n_followers > 0
+        served = serve_one(graph, spec)
+        assert canonical(served) == canonical(reference)
+        if hasattr(graph.adjacency, "close"):
+            graph.adjacency.close()
+
+
+class TestKilledAndResumed:
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_mid_campaign_kill_resumes_to_identical_bytes(self, spec,
+                                                          tmp_path):
+        graph = build_graph("csr", tmp_path)
+        reference = reinforce(graph, spec.alpha, spec.beta, spec.b1,
+                              spec.b2, method=spec.method, t=spec.t,
+                              workers=spec.workers, shards=spec.shards)
+        assert len(reference.iterations) >= 2
+        with CampaignService(graph, sleep=lambda s: None) as service:
+            handle = service.submit(spec)
+            # Attempt 1 dies at iteration 2's filter stage with iteration
+            # 1 checkpointed; attempt 2 resumes from that checkpoint.
+            with FaultPlan().add("engine.filter", call=2).active():
+                service.run_until_idle()
+            assert handle.state == JobState.COMPLETED
+            assert len(handle.failures) == 1
+            assert canonical(handle.result()) == canonical(reference)
+
+
+class TestDrainRestartPipeline:
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_interrupted_then_restarted_service_matches_one_shot(
+            self, spec, tmp_path):
+        graph = build_graph("csr", tmp_path)
+        reference = reinforce(graph, spec.alpha, spec.beta, spec.b1,
+                              spec.b2, method=spec.method, t=spec.t,
+                              workers=spec.workers, shards=spec.shards)
+        assert len(reference.iterations) >= 2
+        state = str(tmp_path / "state")
+
+        service = None
+
+        def drain_after_first_iteration(job, record):
+            service.request_drain()
+
+        service = CampaignService(graph, state_dir=state,
+                                  sleep=lambda s: None,
+                                  on_iteration=drain_after_first_iteration)
+        handle = service.submit(spec)
+        service.run_until_idle()
+        partial = handle.result()
+        assert partial.interrupted
+        assert len(partial.iterations) < len(reference.iterations)
+        service.shutdown()
+
+        restarted = CampaignService(graph, state_dir=state,
+                                    sleep=lambda s: None)
+        assert restarted.run_until_idle() == 1
+        resumed = restarted.handle(handle.job_id).result()
+        assert canonical(resumed) == canonical(reference)
+        restarted.shutdown()

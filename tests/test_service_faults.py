@@ -1,0 +1,406 @@
+"""Deterministic chaos tests for the campaign service.
+
+Every fault is injected at a counted call of a named site (no sleeps, no
+wall-clock randomness), driving each of the new ``service.*`` sites plus
+simulated worker deaths (``SystemExit``/``KeyboardInterrupt`` inside the
+claim-execute loop).  The invariant under test throughout: whatever the
+fault schedule, every submitted job ends ``completed`` (byte-identical to
+a fault-free run) or ``quarantined`` (with a structured failure log and a
+quarantine record) — never lost, never duplicated, never wedging the
+queue."""
+
+import json
+import time
+
+import pytest
+
+from repro.core.api import reinforce
+from repro.exceptions import FaultInjected, QuarantinedJobError
+from repro.experiments.export import canonical_result_dict
+from repro.resilience import FaultPlan
+from repro.service import CampaignService, JobSpec, JobState
+
+from conftest import random_bigraph
+
+#: Every fault site the service layer introduces.
+SERVICE_SITES = ("service.admit", "service.dispatch", "service.heartbeat",
+                 "service.result")
+
+
+def service_graph(seed=7):
+    return random_bigraph(seed, n1_range=(12, 16), n2_range=(12, 16),
+                          density=0.2)
+
+
+def canonical(result):
+    return json.dumps(canonical_result_dict(result), sort_keys=True)
+
+
+def quiet_service(graph, **kwargs):
+    """Inline service with sleep-free retries (chaos tests never sleep)."""
+    kwargs.setdefault("sleep", lambda seconds: None)
+    return CampaignService(graph, **kwargs)
+
+
+class TestAdmitFaults:
+    def test_admission_fault_fails_the_submit_not_the_service(self):
+        graph = service_graph()
+        spec = JobSpec(alpha=3, beta=3, b1=3, b2=3)
+        with quiet_service(graph) as service:
+            with FaultPlan().add("service.admit").active():
+                with pytest.raises(FaultInjected, match="service.admit"):
+                    service.submit(spec)
+            # Nothing was registered: no orphan job, no stuck inflight key.
+            assert service.job_ids() == []
+            handle = service.submit(spec)
+            service.run_until_idle()
+            assert canonical(handle.result()) == canonical(
+                reinforce(graph, 3, 3, 3, 3))
+
+
+class TestDispatchFaults:
+    def test_transient_dispatch_fault_is_retried_byte_identically(self):
+        graph = service_graph()
+        reference = canonical(reinforce(graph, 3, 3, 3, 3))
+        with quiet_service(graph) as service:
+            handle = service.submit(JobSpec(alpha=3, beta=3, b1=3, b2=3))
+            with FaultPlan().add("service.dispatch").active():
+                assert service.run_until_idle() == 1
+            assert handle.state == JobState.COMPLETED
+            assert canonical(handle.result()) == reference
+            assert len(handle.failures) == 1
+            assert handle.failures[0].stage == "dispatch"
+            assert handle.failures[0].attempt == 1
+
+    def test_poison_job_is_quarantined_with_a_record(self, tmp_path):
+        graph = service_graph()
+        state = str(tmp_path / "state")
+        with quiet_service(graph, state_dir=state,
+                           max_retries=2) as service:
+            doomed = service.submit(JobSpec(alpha=3, beta=3, b1=3, b2=3))
+            plan = (FaultPlan()
+                    .add("service.dispatch", call=1)
+                    .add("service.dispatch", call=2)
+                    .add("service.dispatch", call=3))
+            with plan.active():
+                service.run_until_idle()
+            assert doomed.state == JobState.QUARANTINED
+            with pytest.raises(QuarantinedJobError, match="3 attempt"):
+                doomed.result(0)
+            assert [f.stage for f in doomed.failures] == ["dispatch"] * 3
+
+            record_path = (tmp_path / "state" / "quarantine"
+                           / ("job-%d.json" % doomed.job_id))
+            record = json.loads(record_path.read_text())
+            assert record["job_id"] == doomed.job_id
+            assert record["attempts"] == 3
+            assert len(record["failures"]) == 3
+            assert JobSpec.from_payload(record["spec"]) == doomed.spec
+
+            # The poison job must not wedge the queue for its neighbors.
+            healthy = service.submit(JobSpec(alpha=3, beta=3, b1=2, b2=2))
+            service.run_until_idle()
+            assert healthy.state == JobState.COMPLETED
+
+    def test_engine_fault_mid_campaign_resumes_from_checkpoint(self):
+        graph = service_graph()
+        full = reinforce(graph, 3, 3, 3, 3)
+        assert len(full.iterations) >= 2
+        with quiet_service(graph) as service:
+            handle = service.submit(JobSpec(alpha=3, beta=3, b1=3, b2=3))
+            # Kill the engine at iteration 2's filter stage: attempt 1 has
+            # already checkpointed iteration 1, so attempt 2 must *resume*,
+            # not restart — and still produce identical bytes.
+            plan = FaultPlan().add("engine.filter", call=2)
+            with plan.active():
+                service.run_until_idle()
+            assert handle.state == JobState.COMPLETED
+            assert canonical(handle.result()) == canonical(full)
+            assert handle.failures[0].stage == "execute"
+            # Resumed attempt replays iteration 1 from the checkpoint and
+            # only recomputes the tail, so the filter counter stays short
+            # of two full campaigns' worth.
+            assert plan.call_count("engine.filter") <= \
+                2 * len(full.iterations)
+
+
+class TestStructuralFaults:
+    def test_structural_fault_skips_retry_and_quarantines(self, tmp_path):
+        from repro.exceptions import CheckpointError
+
+        graph = service_graph()
+        with quiet_service(graph, state_dir=str(tmp_path)) as service:
+            handle = service.submit(JobSpec(alpha=3, beta=3, b1=3, b2=3))
+            plan = FaultPlan().add(
+                "service.dispatch",
+                exc=CheckpointError("poisoned checkpoint"))
+            with plan.active():
+                service.run_until_idle()
+            # Structural errors repeat identically on every retry, so the
+            # supervisor quarantines on the first attempt.
+            assert handle.state == JobState.QUARANTINED
+            assert len(handle.failures) == 1
+            assert "poisoned checkpoint" in handle.failures[0].error
+            assert service.quarantined() == [handle.job_id]
+            with pytest.raises(QuarantinedJobError, match="1 attempt"):
+                handle.result(0)
+
+
+class TestSupervisorBackoff:
+    def test_exhausted_backoff_falls_back_to_max_delay(self):
+        from repro.resilience.retry import Backoff
+        from repro.service.jobs import Job
+        from repro.service.supervisor import JobSupervisor
+
+        graph = service_graph()
+        sleeps = []
+        supervisor = JobSupervisor(
+            graph, max_retries=3,
+            backoff=Backoff(attempts=2, base=0.01, max_delay=2.0),
+            sleep=sleeps.append)
+        job = Job(1, JobSpec(alpha=3, beta=3, b1=3, b2=3))
+        plan = (FaultPlan()
+                .add("service.dispatch", call=1)
+                .add("service.dispatch", call=2)
+                .add("service.dispatch", call=3))
+        with plan.active():
+            assert supervisor.run(job) == JobState.COMPLETED
+        assert job.attempts == 4
+        # The schedule holds one delay; requests past it get the cap.
+        assert sleeps == [0.01, 2.0, 2.0]
+
+
+class TestResultFaults:
+    def test_result_posting_fault_replays_to_identical_bytes(self):
+        graph = service_graph()
+        reference = canonical(reinforce(graph, 3, 3, 3, 3))
+        with quiet_service(graph) as service:
+            handle = service.submit(JobSpec(alpha=3, beta=3, b1=3, b2=3))
+            with FaultPlan().add("service.result").active():
+                service.run_until_idle()
+            # Attempt 1 finished the campaign, then lost the result; the
+            # retry replays the whole thing from the complete checkpoint.
+            assert handle.state == JobState.COMPLETED
+            assert handle.failures[0].stage == "result"
+            assert canonical(handle.result()) == reference
+
+    def test_abort_while_posting_result_requeues_without_a_failure(self):
+        from repro.exceptions import AbortCampaign
+
+        graph = service_graph()
+        reference = canonical(reinforce(graph, 3, 3, 3, 3))
+        with quiet_service(graph) as service:
+            handle = service.submit(JobSpec(alpha=3, beta=3, b1=3, b2=3))
+            plan = FaultPlan().add("service.result",
+                                   exc=AbortCampaign("drain"))
+            with plan.active():
+                service.run_until_idle()
+            # AbortCampaign means "service shutting down", not "job broke":
+            # the job is requeued with a clean failure log, and the same
+            # pump picks it straight back up.
+            assert handle.state == JobState.COMPLETED
+            assert handle.failures == ()
+            assert canonical(handle.result()) == reference
+
+
+class TestHeartbeatFaults:
+    def test_manual_sweep_fault_does_not_poison_later_sweeps(self):
+        with quiet_service(service_graph()) as service:
+            with FaultPlan().add("service.heartbeat").active():
+                with pytest.raises(FaultInjected, match="service.heartbeat"):
+                    service.supervise()
+            assert service.supervise() == {"respawned": 0, "stalled": []}
+
+    def test_monitor_thread_survives_a_failed_sweep(self):
+        graph = service_graph()
+        with CampaignService(graph, workers=1,
+                             supervise_interval=0.01) as service:
+            with FaultPlan().add("service.heartbeat").active():
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    if any(e["event"] == "supervise-error"
+                           for e in service.events()):
+                        break
+                    time.sleep(0.01)
+            errors = [e for e in service.events()
+                      if e["event"] == "supervise-error"]
+            assert errors, "monitor never recorded the injected sweep fault"
+            assert "service.heartbeat" in errors[0]["error"]
+            assert service._monitor.is_alive()
+            # And the service still does its job after the bad sweep.
+            handle = service.submit(JobSpec(alpha=3, beta=3, b1=3, b2=3))
+            assert handle.wait(30)
+            assert handle.state == JobState.COMPLETED
+
+
+class TestWorkerDeath:
+    def test_inline_worker_death_converges_on_the_next_pump(self):
+        graph = service_graph()
+        reference = canonical(reinforce(graph, 3, 3, 3, 3))
+        with quiet_service(graph) as service:
+            handle = service.submit(JobSpec(alpha=3, beta=3, b1=3, b2=3))
+            plan = FaultPlan().add("service.dispatch",
+                                   exc=KeyboardInterrupt)
+            with plan.active():
+                with pytest.raises(KeyboardInterrupt):
+                    service.run_until_idle()
+                # The job was handed back, not lost: one more pump wins.
+                assert handle.state == JobState.PENDING
+                assert service.run_until_idle() == 1
+            assert handle.state == JobState.COMPLETED
+            assert handle.failures[0].stage == "worker"
+            assert canonical(handle.result()) == reference
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_threaded_worker_death_is_respawned_by_supervision(self,
+                                                               tmp_path):
+        graph = service_graph()
+        reference = canonical(reinforce(graph, 3, 3, 3, 3))
+        plan = FaultPlan().add("service.dispatch", exc=SystemExit)
+        with CampaignService(graph, workers=1,
+                             state_dir=str(tmp_path / "state")) as service:
+            with plan.active():
+                handle = service.submit(JobSpec(alpha=3, beta=3,
+                                                b1=3, b2=3))
+                deadline = time.monotonic() + 10.0
+                respawned = 0
+                while time.monotonic() < deadline and not respawned:
+                    respawned = service.supervise()["respawned"]
+                    time.sleep(0.01)
+                assert respawned == 1, "dead worker was never respawned"
+                assert handle.wait(30), "respawned worker never finished"
+            assert handle.state == JobState.COMPLETED
+            assert canonical(handle.result()) == reference
+            assert handle.failures[0].stage == "worker"
+            deaths = [e for e in service.events()
+                      if e["event"] == "worker-death"]
+            assert len(deaths) == 1
+            assert deaths[0]["job_id"] == handle.job_id
+
+    def test_exhausted_attempts_on_worker_death_quarantine(self):
+        graph = service_graph()
+        with quiet_service(graph, max_retries=0) as service:
+            handle = service.submit(JobSpec(alpha=3, beta=3, b1=3, b2=3))
+            with FaultPlan().add("service.dispatch",
+                                 exc=SystemExit).active():
+                with pytest.raises(SystemExit):
+                    service.run_until_idle()
+            # No attempt budget left: straight to quarantine, not requeue.
+            assert handle.state == JobState.QUARANTINED
+            assert service.run_until_idle() == 0
+
+
+class TestCoalescingUnderFaults:
+    def test_coalesced_submissions_share_the_retried_result(self):
+        graph = service_graph()
+        with quiet_service(graph) as service:
+            spec = JobSpec(alpha=3, beta=3, b1=3, b2=3)
+            first = service.submit(spec)
+            second = service.submit(spec)
+            with FaultPlan().add("service.dispatch").active():
+                assert service.run_until_idle() == 1
+            assert first.result() is second.result()
+            assert service.stats()["cache"]["coalesced"] == 1
+
+
+class TestSeededChaos:
+    """Randomized-but-replayable fault campaigns over every service site.
+
+    Each seed builds one deterministic fault schedule mixing transient
+    exceptions across the ``service.*`` and engine/checkpoint sites with
+    two outright worker kills, then drives a four-job batch (including a
+    coalesced duplicate) to convergence.  The assertions are the service
+    contract, not any particular schedule outcome."""
+
+    SITES = SERVICE_SITES + ("engine.filter", "engine.verify",
+                             "checkpoint.write")
+
+    PROBLEMS = [(3, 3, 3, 3), (3, 3, 2, 2), (2, 2, 2, 2)]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_every_job_ends_completed_or_quarantined(self, seed, tmp_path):
+        graph = service_graph()
+        references = {
+            problem: canonical(reinforce(graph, *problem))
+            for problem in self.PROBLEMS
+        }
+        plan = FaultPlan.from_seed(seed, self.SITES, n_faults=6,
+                                   max_call=4)
+        plan.add("service.dispatch", call=2, exc=SystemExit)
+        plan.add("service.dispatch", call=5, exc=KeyboardInterrupt)
+
+        specs = [JobSpec(alpha=a, beta=b, b1=b1, b2=b2)
+                 for a, b, b1, b2 in self.PROBLEMS]
+        specs.append(specs[0])  # coalesces with the first submission
+
+        with quiet_service(graph, state_dir=str(tmp_path / "state"),
+                           max_retries=2) as service:
+            with plan.active():
+                handles = []
+                for spec in specs:
+                    for _ in range(4):  # service.admit may fault
+                        try:
+                            handles.append(service.submit(spec))
+                            break
+                        except FaultInjected:
+                            continue
+                    else:
+                        pytest.fail("submission never got past admission")
+
+                for _ in range(20):
+                    try:
+                        service.run_until_idle()
+                        service.supervise()
+                    except FaultInjected:
+                        continue  # a heartbeat-sweep fault; keep pumping
+                    except (SystemExit, KeyboardInterrupt):
+                        continue  # a worker died; the next pump resumes
+                    if all(h.wait(0) for h in handles):
+                        break
+                else:
+                    pytest.fail("chaos run did not converge in 20 pumps")
+
+            # The service contract: nothing lost, nothing duplicated,
+            # nothing still in flight.
+            assert len(handles) == len(specs)
+            assert handles[-1].job_id == handles[0].job_id
+            assert service.stats()["pending"] == 0
+            for handle in handles:
+                assert handle.state in (JobState.COMPLETED,
+                                        JobState.QUARANTINED)
+            assert len(set(h.job_id for h in handles)) == len(specs) - 1
+
+            for spec, handle in zip(specs, handles):
+                problem = (spec.alpha, spec.beta, spec.b1, spec.b2)
+                if handle.state == JobState.COMPLETED:
+                    assert canonical(handle.result()) == \
+                        references[problem]
+                else:
+                    assert handle.failures, \
+                        "quarantined without a failure log"
+                    record = (tmp_path / "state" / "quarantine"
+                              / ("job-%d.json" % handle.job_id))
+                    assert record.exists()
+
+
+class TestServiceCLIFaults:
+    def test_quarantined_batch_exits_3(self, tmp_path, capsys):
+        from repro.bigraph import write_edge_list
+        from repro.service.__main__ import main
+
+        graph_path = tmp_path / "g.txt"
+        write_edge_list(service_graph(), graph_path)
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps(
+            [{"alpha": 3, "beta": 3, "b1": 3, "b2": 3}]))
+        plan = (FaultPlan()
+                .add("service.dispatch", call=1)
+                .add("service.dispatch", call=2)
+                .add("service.dispatch", call=3))
+        with plan.active():
+            code = main(["--input", str(graph_path), "--jobs", str(jobs),
+                         "--workers", "0",
+                         "--state-dir", str(tmp_path / "state")])
+        assert code == 3
+        assert '"quarantined": 1' in capsys.readouterr().out

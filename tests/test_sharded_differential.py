@@ -242,6 +242,34 @@ class TestShardedCheckpointAndResume:
             self.campaign(resume_from=str(ckpt))
 
 
+class TestShardedEnvelopeErrors:
+    def test_malformed_payload_is_refused(self):
+        from repro.resilience import ShardedCampaignCheckpoint
+
+        with pytest.raises(CheckpointError, match="malformed sharded"):
+            ShardedCampaignCheckpoint.from_payload({"shards": 2})
+
+    def test_shard_count_mismatch_refused_at_save(self, tmp_path):
+        from repro.resilience import ShardedCampaignCheckpoint
+
+        envelope = ShardedCampaignCheckpoint(
+            campaign=None, shards=2, shard_fingerprints=["a", "b"])
+        with pytest.raises(CheckpointError,
+                           match="0 shard checkpoints for 2"):
+            envelope.save(tmp_path / "e.json", shard_checkpoints=[])
+
+    def test_unreadable_or_malformed_envelopes_are_refused(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_sharded_checkpoint(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            load_sharded_checkpoint(bad)
+        bad.write_text(json.dumps([1, 2]))
+        with pytest.raises(CheckpointError, match="no payload envelope"):
+            load_sharded_checkpoint(bad)
+
+
 class TestApiAndCliThreading:
     def test_non_engine_methods_reject_shards(self):
         graph = multi_component_graph()

@@ -1,0 +1,169 @@
+"""Soak test for the campaign service: drain-kill/restart cycles under load.
+
+Runs repeated cycles of (start service on a persistent state directory,
+submit a batch of jobs, drain mid-flight, shut down) — the lifecycle of a
+service that keeps getting SIGTERMed — then a final cycle that runs the
+accumulated backlog to completion.  Asserts the two soak invariants:
+
+* **zero lost jobs** — every job ever submitted is accounted for across
+  every restart (restored backlog == the driver's outstanding set), and
+  every completion is byte-identical to a one-shot ``reinforce`` run;
+* **stable RSS** — resident memory after the last cycle stays within 2x
+  of the post-first-cycle baseline (no per-cycle leak).
+
+Usage::
+
+    PYTHONPATH=src python tools/soak_service.py --duration 30
+"""
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.bigraph import from_edge_list
+from repro.core.api import reinforce
+from repro.experiments.export import canonical_result_dict
+from repro.service import CampaignService, JobSpec, JobState
+from repro.utils.rng import make_rng
+
+PROBLEMS = [(3, 3, 3, 3), (3, 3, 2, 2), (2, 2, 2, 2), (3, 2, 3, 2)]
+
+
+def soak_graph(seed):
+    rng = make_rng(seed)
+    n1 = n2 = 120
+    edges = set()
+    while len(edges) < int(n1 * n2 * 0.08):
+        edges.add((rng.randint(0, n1 - 1), rng.randint(0, n2 - 1)))
+    return from_edge_list(sorted(edges), n_upper=n1, n_lower=n2,
+                          backend="csr")
+
+
+def canonical(result):
+    return json.dumps(canonical_result_dict(result), sort_keys=True)
+
+
+def rss_kb():
+    """Resident set size in kB from /proc, or None off Linux."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        return None
+    return None
+
+
+def fail(message):
+    print("SOAK FAILURE:", message, file=sys.stderr)
+    sys.exit(1)
+
+
+def harvest(handles, outstanding, references):
+    """Settle finished handles; returns how many completed cleanly."""
+    completed = 0
+    for job_id, handle in handles.items():
+        if handle.state == JobState.QUARANTINED:
+            fail("job %d quarantined in a fault-free soak: %s"
+                 % (job_id, [f.error for f in handle.failures]))
+        if handle.state != JobState.COMPLETED:
+            continue  # still pending; persisted for the next cycle
+        result = handle.result(0)
+        if result.interrupted:
+            continue  # drain-interrupted; resumes next cycle
+        problem = outstanding.get(job_id)
+        if problem is None:
+            continue  # already harvested in an earlier sweep
+        if canonical(result) != references[problem]:
+            fail("job %d diverged from the one-shot reference for %s"
+                 % (job_id, problem))
+        del outstanding[job_id]
+        completed += 1
+    return completed
+
+
+def run_soak(duration, seed, workers):
+    graph = soak_graph(seed)
+    references = {problem: canonical(reinforce(graph, *problem, t=2))
+                  for problem in PROBLEMS}
+    state = tempfile.mkdtemp(prefix="repro-soak-")
+    outstanding = {}  # job_id -> problem tuple
+    submitted = completed = cycles = 0
+    baseline = None
+    spec_index = 0
+    deadline = time.monotonic() + duration
+    try:
+        while time.monotonic() < deadline:
+            cycles += 1
+            service = CampaignService(graph, workers=workers,
+                                      state_dir=state)
+            restored = set(service.job_ids())
+            if restored != set(outstanding):
+                fail("cycle %d lost jobs across restart: restored %s, "
+                     "expected %s" % (cycles, sorted(restored),
+                                      sorted(outstanding)))
+            handles = {job_id: service.handle(job_id)
+                       for job_id in restored}
+            for _ in range(len(PROBLEMS)):
+                problem = PROBLEMS[spec_index % len(PROBLEMS)]
+                spec_index += 1
+                a, b, b1, b2 = problem
+                handle = service.submit(
+                    JobSpec(alpha=a, beta=b, b1=b1, b2=b2, t=2))
+                handles[handle.job_id] = handle
+                outstanding.setdefault(handle.job_id, problem)
+                submitted += 1
+            time.sleep(0.05)  # let the workers get mid-campaign
+            service.shutdown()  # graceful drain + backlog persistence
+            completed += harvest(handles, outstanding, references)
+            sample = rss_kb()
+            if baseline is None:
+                baseline = sample
+
+        # Final cycle: no kill — everything left must run to completion.
+        service = CampaignService(graph, workers=workers, state_dir=state)
+        if set(service.job_ids()) != set(outstanding):
+            fail("final restart lost jobs: restored %s, expected %s"
+                 % (sorted(service.job_ids()), sorted(outstanding)))
+        handles = {job_id: service.handle(job_id)
+                   for job_id in service.job_ids()}
+        for job_id, handle in handles.items():
+            if not handle.wait(120):
+                fail("job %d never finished in the final cycle" % job_id)
+        service.shutdown()
+        completed += harvest(handles, outstanding, references)
+        if outstanding:
+            fail("jobs left unaccounted after the final cycle: %s"
+                 % sorted(outstanding))
+
+        final = rss_kb()
+        if baseline is not None and final is not None \
+                and final > 2 * baseline:
+            fail("RSS grew from %d kB to %d kB across %d cycles"
+                 % (baseline, final, cycles))
+        print("soak OK: %d cycles, %d submissions, %d distinct jobs "
+              "completed, RSS %s -> %s kB"
+              % (cycles, submitted, completed, baseline, final))
+        return 0
+    finally:
+        shutil.rmtree(state, ignore_errors=True)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Drain-kill/restart soak of the campaign service")
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="seconds of kill/restart cycling "
+                             "(default: 30)")
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+    return run_soak(args.duration, args.seed, args.workers)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
