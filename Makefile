@@ -4,7 +4,8 @@ PYTHON ?= python
 
 .PHONY: install test test-faults test-service-faults soak-service coverage \
 	lint sanitize typecheck bench bench-smoke bench-parallel-smoke \
-	bench-engine-smoke bench-sharded-smoke report examples clean
+	bench-engine-smoke bench-sharded-smoke bench-batch-smoke report \
+	examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -88,6 +89,14 @@ bench-engine-smoke:
 # override).
 bench-sharded-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_sharded.py --benchmark-only -q
+
+# Batched-execution gate: an 8-job same-(α,β) batch over one shared
+# context must export byte-identical canonical JSON per job vs running
+# each alone, beat the eight cold starts >= 2x, and a service restart
+# must serve finished jobs from the persisted on-disk cache.  Numbers
+# land in bench_batch.json ($$REPRO_BENCH_BATCH_JSON to override).
+bench-batch-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_batch.py --benchmark-only -q
 
 report:
 	$(PYTHON) -m repro.experiments report --scale 0.25 --out report.md

@@ -9,12 +9,16 @@ whole-program generalization, a taint analysis over the project call
 graph:
 
 * **Sources** — values of arbitrary order: set displays/comprehensions,
-  ``set()``/``frozenset()`` calls, set-algebra results, and filesystem
+  ``set()``/``frozenset()`` calls, set-algebra results, filesystem
   enumeration (``os.listdir``, ``os.scandir``, ``glob.glob``/``iglob``,
-  ``Path.iterdir``/``Path.glob``).  Calls to *producer* functions —
-  any function in the program whose return value is unordered, computed
-  to a fixpoint across modules — are sources too; that is what makes the
-  analysis interprocedural.
+  ``Path.iterdir``/``Path.glob``), and the shared-context table accessors
+  of the batch substrate (``base_core()``/``seed_tables()``/
+  ``freeze_seed()`` — their (α,β)-invariant tables hold *sets* of
+  vertices with no defined order, so a per-campaign loop over them must
+  sanitize first).  Calls to *producer* functions — any function in the
+  program whose return value is unordered, computed to a fixpoint across
+  modules — are sources too; that is what makes the analysis
+  interprocedural.
 * **Sanitizers** — ``sorted()`` first of all, plus order-insensitive
   aggregations (``len``/``min``/``max``/``sum``/``any``/``all``) and the
   registered canonicalizers in :data:`CANONICALIZERS`, which sort or
@@ -93,6 +97,13 @@ _FS_SOURCES = frozenset({
 })
 #: Unordered-returning method names (matched on any receiver).
 _FS_SOURCE_METHODS = frozenset({"iterdir", "glob", "rglob"})
+#: Shared-context table accessors (matched on any receiver): the batch
+#: substrate's (α,β)-invariant tables — base core, frozen verification
+#: seed — are sets/set-valued maps with no defined order.  A campaign
+#: iterating one order-sensitively must sort first, exactly like any
+#: other set (see ``repro.core.batch``).
+_CONTEXT_SOURCE_METHODS = frozenset({"base_core", "seed_tables",
+                                     "freeze_seed"})
 
 #: Builtins whose result is a new set regardless of input.
 _SET_BUILTINS = frozenset({"set", "frozenset"})
@@ -296,6 +307,9 @@ class _FunctionFlow:
                     return hit
             if func.attr in _FS_SOURCE_METHODS:
                 return _Taint("%s() at line %d (filesystem order)"
+                              % (func.attr, node.lineno))
+            if func.attr in _CONTEXT_SOURCE_METHODS:
+                return _Taint("%s() at line %d (shared-context table)"
                               % (func.attr, node.lineno))
         resolved, text = resolve_call(node, self.info,
                                       self.program.symbols)

@@ -2,6 +2,12 @@
 
 from repro.core.anchor_set import AnchorSetMaintainer
 from repro.core.api import METHODS, reinforce
+from repro.core.batch import (
+    CampaignSpec,
+    SharedCampaignContext,
+    context_key,
+    run_batch,
+)
 from repro.core.budget_min import (
     minimize_anchors_for_growth,
     minimize_anchors_for_targets,
@@ -33,7 +39,11 @@ from repro.core.filver import run_filver
 from repro.core.filver_plus import run_filver_plus
 from repro.core.filver_plus_plus import run_filver_plus_plus
 from repro.core.followers import compute_followers, follower_count
-from repro.core.incremental import VerificationCache, VerificationEntry
+from repro.core.incremental import (
+    SeedTables,
+    VerificationCache,
+    VerificationEntry,
+)
 from repro.core.naive import run_naive
 from repro.core.order_maintenance import OrderState
 from repro.core.reduction import (
@@ -52,6 +62,7 @@ __all__ = [
     "AnchorSetMaintainer",
     "AnchoredCoreResult",
     "CampaignShard",
+    "CampaignSpec",
     "CollapseResult",
     "EdgePlan",
     "EdgeReinforcementResult",
@@ -61,6 +72,8 @@ __all__ = [
     "MaxCoverageInstance",
     "OrderState",
     "ReducedInstance",
+    "SeedTables",
+    "SharedCampaignContext",
     "VerificationCache",
     "VerificationEntry",
     "collapse_size",
@@ -72,7 +85,9 @@ __all__ = [
     "minimize_anchors_for_targets",
     "compute_order",
     "compute_orders",
+    "context_key",
     "follower_count",
+    "run_batch",
     "plan_shards",
     "r_scores",
     "reachable_from",

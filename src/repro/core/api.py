@@ -8,7 +8,7 @@ registry is also what the experiment harness and the CLI iterate over.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.bigraph.graph import BipartiteGraph
 from repro.core.baselines import run_degree_greedy, run_random, run_top_degree
@@ -20,6 +20,9 @@ from repro.core.filver_plus_plus import run_filver_plus_plus
 from repro.core.naive import run_naive
 from repro.core.result import AnchoredCoreResult
 from repro.exceptions import InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro.core.batch import SharedCampaignContext
 
 __all__ = ["reinforce", "METHODS", "CHECKPOINTABLE_METHODS",
            "PARALLEL_METHODS"]
@@ -63,6 +66,7 @@ def reinforce(
     shards: Optional[int] = None,
     on_iteration: Optional[ProgressCallback] = None,
     handle_sigterm: bool = False,
+    context: Optional["SharedCampaignContext"] = None,
 ) -> AnchoredCoreResult:
     """Reinforce ``graph`` by anchoring ``b1 + b2`` vertices.
 
@@ -111,6 +115,14 @@ def reinforce(
         heartbeats and cooperative drain — and ``handle_sigterm``
         converts ``SIGTERM`` at an iteration boundary into a graceful
         ``interrupted=True`` best-so-far result (see ``docs/SERVICE.md``).
+    context:
+        A :class:`repro.core.batch.SharedCampaignContext` sharing the
+        (α,β)-invariant substrate — base core, pristine order state,
+        warm verification seed, kernel/evaluator leases — across a batch
+        of same-``(graph, α, β)`` campaigns.  Engine family only (the
+        baselines and the sharded substrate have nothing it serves and
+        ignore it); results stay byte-identical to a context-free run
+        (``docs/PERF.md``).
 
     Returns
     -------
@@ -150,20 +162,22 @@ def reinforce(
                           workers=workers, memoize=memoize,
                           flat_kernel=flat_kernel, shards=shards,
                           on_iteration=on_iteration,
-                          handle_sigterm=handle_sigterm)
+                          handle_sigterm=handle_sigterm, context=context)
     if method == "filver+":
         return run_filver_plus(graph, alpha, beta, b1, b2, deadline=deadline,
                                checkpoint=checkpoint, resume_from=resume_from,
                                workers=workers, memoize=memoize,
                                flat_kernel=flat_kernel, shards=shards,
                                on_iteration=on_iteration,
-                               handle_sigterm=handle_sigterm)
+                               handle_sigterm=handle_sigterm,
+                               context=context)
     if method == "filver++":
         return run_filver_plus_plus(graph, alpha, beta, b1, b2, t=t,
                                     deadline=deadline, checkpoint=checkpoint,
                                     resume_from=resume_from, workers=workers,
                                     memoize=memoize, flat_kernel=flat_kernel,
                                     shards=shards, on_iteration=on_iteration,
-                                    handle_sigterm=handle_sigterm)
+                                    handle_sigterm=handle_sigterm,
+                                    context=context)
     raise InvalidParameterError(
         "unknown method %r; expected one of %s" % (method, ", ".join(METHODS)))

@@ -46,6 +46,7 @@ from repro.resilience.faults import active_plan, fault_site
 from repro.resilience.signals import TerminationFlag
 
 if TYPE_CHECKING:
+    from repro.core.batch import SharedCampaignContext
     from repro.parallel.protocol import Evaluator
 
 __all__ = ["EngineOptions", "run_engine"]
@@ -96,6 +97,7 @@ def run_engine(
     memoize: bool = True,
     flat_kernel: Optional[bool] = None,
     handle_sigterm: bool = False,
+    context: Optional["SharedCampaignContext"] = None,
 ) -> AnchoredCoreResult:
     """Run the greedy filter–verification loop to completion.
 
@@ -150,6 +152,15 @@ def run_engine(
       best-so-far result with every completed iteration's checkpoint
       already flushed, instead of a dead process.  Off by default; the
       campaign service (:mod:`repro.service`) manages signals itself.
+
+    ``context`` (a :class:`repro.core.batch.SharedCampaignContext`) lets a
+    batch of same-``(graph, α, β)`` campaigns share the (α, β)-invariant
+    substrate: the base core, a pristine order-state clone, the frozen
+    epoch-0 verification seed, and leased kernels/evaluators.  Every shared
+    value equals what this run would have computed cold, so results remain
+    byte-identical (``docs/PERF.md``).  The seed is skipped on resume —
+    the replayed apply calls run without invalidation bookkeeping, so only
+    a cache that starts cold (the standalone resume behavior) is sound.
     """
     validate_problem(graph, alpha, beta, b1, b2)
     t = options.anchors_per_iteration
@@ -157,16 +168,27 @@ def run_engine(
         raise ValueError("anchors_per_iteration must be >= 1")
     if workers < 1:
         raise ValueError("workers must be >= 1, got %d" % workers)
+    if context is not None:
+        context.check_compatible(graph, alpha, beta)
 
-    cache = VerificationCache(graph) if memoize else None
-    if flat_kernel is None:
-        kernel = kernel_for(graph)
-    elif flat_kernel:
-        kernel = FollowerKernel(graph)
+    seed = (context.seed_tables()
+            if context is not None and memoize and resume_from is None
+            else None)
+    cache = VerificationCache(graph, seed=seed) if memoize else None
+    leased_kernel = False
+    if flat_kernel is None or flat_kernel:
+        kernel = context.acquire_kernel() if context is not None else None
+        leased_kernel = kernel is not None
+        if kernel is None:
+            # Same selection as standalone: auto on CSR for None, required
+            # (construction raises on non-CSR) for True.
+            kernel = kernel_for(graph) if flat_kernel is None \
+                else FollowerKernel(graph)
     else:
         kernel = None
 
     evaluator: Optional["Evaluator"] = None
+    shared_evaluator = False
     if workers > 1:
         from repro.parallel import create_evaluator
 
@@ -174,12 +196,26 @@ def run_engine(
         fault_specs = tuple(
             spec for spec in (plan.specs if plan is not None else ())
             if spec.site.startswith("parallel."))
-        evaluator = create_evaluator(graph, workers, fault_specs=fault_specs,
-                                     use_flat_kernel=kernel is not None)
+        if context is not None and not fault_specs:
+            # Fault-injected pools stay private: specs are baked into the
+            # workers at spawn, so a pooled evaluator would leak them
+            # across campaigns.
+            evaluator = context.acquire_evaluator(
+                workers, use_flat_kernel=kernel is not None)
+            shared_evaluator = evaluator is not None
+        if evaluator is None:
+            evaluator = create_evaluator(graph, workers,
+                                         fault_specs=fault_specs,
+                                         use_flat_kernel=kernel is not None)
 
     start = time.perf_counter()
-    base_core = abcore(graph, alpha, beta)
-    state = OrderState(graph, alpha, beta, maintain=options.maintain_orders)
+    base_core = (context.base_core() if context is not None
+                 else abcore(graph, alpha, beta))
+    if context is not None:
+        state = context.order_state(maintain=options.maintain_orders)
+    else:
+        state = OrderState(graph, alpha, beta,
+                           maintain=options.maintain_orders)
 
     anchors: List[int] = []
     # Budget bookkeeping is incremental: placed upper anchors are counted as
@@ -313,7 +349,13 @@ def run_engine(
         if termination is not None:
             termination.restore()
         if evaluator is not None:
-            evaluator.shutdown()
+            if shared_evaluator and context is not None:
+                context.release_evaluator(workers, kernel is not None,
+                                          evaluator)
+            else:
+                evaluator.shutdown()
+        if leased_kernel and context is not None:
+            context.release_kernel(kernel)
 
     # Authoritative objective: recompute the anchored core globally once.
     final_core = anchored_abcore(graph, alpha, beta, anchors)

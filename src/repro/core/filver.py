@@ -8,11 +8,14 @@ survivors in non-increasing bound order with the local follower computation
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.bigraph.graph import BipartiteGraph
 from repro.core.engine import EngineOptions, ProgressCallback, run_engine
 from repro.core.result import AnchoredCoreResult
+
+if TYPE_CHECKING:
+    from repro.core.batch import SharedCampaignContext
 
 __all__ = ["run_filver", "FILVER_OPTIONS"]
 
@@ -39,6 +42,7 @@ def run_filver(
     shards: Optional[int] = None,
     on_iteration: Optional[ProgressCallback] = None,
     handle_sigterm: bool = False,
+    context: Optional["SharedCampaignContext"] = None,
 ) -> AnchoredCoreResult:
     """Solve the anchored (α,β)-core problem with FILVER.
 
@@ -55,7 +59,9 @@ def run_filver(
     :class:`repro.core.result.IterationRecord` to an observer, and
     ``handle_sigterm`` converts ``SIGTERM`` at an iteration boundary into
     the graceful ``interrupted=True`` best-so-far result (see
-    :func:`repro.core.engine.run_engine`).
+    :func:`repro.core.engine.run_engine`).  ``context`` shares a batch's
+    (α,β) substrate (:mod:`repro.core.batch`); the sharded substrate builds
+    per-shard state, so sharded campaigns ignore it.
     """
     if shards is not None:
         from repro.core.sharded import run_sharded_engine
@@ -72,4 +78,4 @@ def run_filver(
                       checkpoint=checkpoint, resume_from=resume_from,
                       workers=workers, memoize=memoize,
                       flat_kernel=flat_kernel, on_iteration=on_iteration,
-                      handle_sigterm=handle_sigterm)
+                      handle_sigterm=handle_sigterm, context=context)

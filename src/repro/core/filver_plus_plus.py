@@ -10,11 +10,14 @@ core number and skipping anchors inside an already-repaired affected graph.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.bigraph.graph import BipartiteGraph
 from repro.core.engine import EngineOptions, ProgressCallback, run_engine
 from repro.core.result import AnchoredCoreResult
+
+if TYPE_CHECKING:
+    from repro.core.batch import SharedCampaignContext
 
 __all__ = ["run_filver_plus_plus", "filver_plus_plus_options"]
 
@@ -45,6 +48,7 @@ def run_filver_plus_plus(
     shards: Optional[int] = None,
     on_iteration: Optional[ProgressCallback] = None,
     handle_sigterm: bool = False,
+    context: Optional["SharedCampaignContext"] = None,
 ) -> AnchoredCoreResult:
     """Solve the anchored (α,β)-core problem with FILVER++.
 
@@ -63,7 +67,10 @@ def run_filver_plus_plus(
     :class:`repro.core.result.IterationRecord` to an observer, and
     ``handle_sigterm`` converts ``SIGTERM`` at an iteration boundary into
     the graceful ``interrupted=True`` best-so-far result (see
-    :func:`repro.core.engine.run_engine`).
+    :func:`repro.core.engine.run_engine`).  ``context`` shares a
+    batch's (α,β) substrate (:mod:`repro.core.batch`); the sharded
+    substrate builds per-shard state, so sharded campaigns ignore
+    it.
     """
     if shards is not None:
         from repro.core.sharded import run_sharded_engine
@@ -83,4 +90,4 @@ def run_filver_plus_plus(
                       checkpoint=checkpoint, resume_from=resume_from,
                       workers=workers, memoize=memoize,
                       flat_kernel=flat_kernel, on_iteration=on_iteration,
-                      handle_sigterm=handle_sigterm)
+                      handle_sigterm=handle_sigterm, context=context)

@@ -95,18 +95,130 @@ anchors, follower sets, per-iteration ``verifications`` counts (cache hits
 still count — they replace the computation, not the decision), and the
 canonical JSON are identical.  ``tests/test_incremental.py`` asserts this
 differentially across variants, backends, worker counts, and resume.
+
+Cross-campaign seeding
+----------------------
+
+A cache may additionally be constructed around a frozen :class:`SeedTables`
+— the epoch-0 tables of the *pristine* (no anchors) state, computed once per
+``(graph, α, β)`` by :class:`repro.core.batch.SharedCampaignContext` and
+shared read-only by every campaign in a batch.  Soundness reduces to the
+single-campaign argument: a seed entry is exactly the value iteration one of
+a cold campaign would compute and store (the pristine orders are a pure
+function of ``(graph, α, β)``), so serving it is indistinguishable from an
+intra-campaign hit on an entry stored one iteration earlier.  Seeded lookups
+*promote* the entry into the campaign's private tables, after which the
+normal eviction rules above apply; because promotion shares the frozen value
+objects, the seed itself must never be mutated — and nothing downstream
+mutates cached sets (the frozen-values contract above).  Invalidation
+additionally records per-side *tombstones* against the seed (the same D1/D3
+rules, applied to the seed's static ``rf`` index and key sets) so an entry
+the campaign's dirt has invalidated — promoted or not — can never be served
+again.  The full-invalidation path (``dirty is None``) detaches the seed
+outright.  Hit/miss counters naturally differ from an unseeded run; none of
+them feed decisions, so byte-identity is unaffected.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.bigraph.graph import BipartiteGraph
 from repro.core.order_maintenance import DirtyRegions
 
-__all__ = ["VerificationCache", "VerificationEntry"]
+__all__ = ["SeedTables", "VerificationCache", "VerificationEntry"]
 
 _SIDES = ("upper", "lower")
+
+
+class SeedTables:
+    """Frozen epoch-0 verification tables, shareable across campaigns.
+
+    Holds, per side, the pristine-state ``rf(x)`` sets (bound = ``len``),
+    follower signatures, two-hop survivor verdicts, and the r-score table —
+    everything iteration one of a cold campaign computes from the pristine
+    deletion orders.  Instances are frozen by contract: campaigns promote
+    entries out of the seed but never write into it, which is what makes one
+    instance safe to share (including across service worker threads).
+
+    ``rf_index`` is the static inverted index ``v → {x : v ∈ {x} ∪ rf(x)}``
+    that lets a campaign's invalidation tombstone seed entries with the same
+    ``O(|D1|)`` scan it uses for its private entries.
+    """
+
+    __slots__ = ("rf", "rf_index", "sigs", "survivors", "r_scores")
+
+    def __init__(self, rf: Dict[str, Dict[int, Set[int]]],
+                 sigs: Dict[str, Dict[int, Set[int]]],
+                 survivors: Dict[str, Dict[int, bool]],
+                 r_scores: Dict[str, Optional[Dict[int, int]]]) -> None:
+        self.rf = rf
+        self.sigs = sigs
+        self.survivors = survivors
+        self.r_scores = r_scores
+        self.rf_index: Dict[str, Dict[int, Set[int]]] = {}
+        for side in _SIDES:
+            index: Dict[int, Set[int]] = {}
+            for x, rf_set in rf[side].items():
+                for v in rf_set:
+                    ids = index.get(v)
+                    if ids is None:
+                        index[v] = {x}
+                    else:
+                        ids.add(x)
+                ids = index.get(x)
+                if ids is None:
+                    index[x] = {x}
+                else:
+                    ids.add(x)
+            self.rf_index[side] = index
+
+    def entries(self) -> int:
+        """Total table entries across both sides (diagnostics only)."""
+        total = 0
+        for side in _SIDES:
+            total += (len(self.rf[side]) + len(self.sigs[side])
+                      + len(self.survivors[side]))
+            if self.r_scores[side] is not None:
+                total += 1
+        return total
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-safe encoding (sorted pair lists; sets become lists)."""
+
+        def enc_sets(table: Dict[int, Set[int]]) -> List[List[object]]:
+            return [[x, sorted(s)] for x, s in sorted(table.items())]
+
+        return {
+            "rf": {side: enc_sets(self.rf[side]) for side in _SIDES},
+            "sigs": {side: enc_sets(self.sigs[side]) for side in _SIDES},
+            "survivors": {
+                side: [[x, bool(v)]
+                       for x, v in sorted(self.survivors[side].items())]
+                for side in _SIDES},
+            "r_scores": {
+                side: (sorted(self.r_scores[side].items())
+                       if self.r_scores[side] is not None else None)
+                for side in _SIDES},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SeedTables":
+        """Rebuild from :meth:`to_payload` output (raises on bad shape)."""
+        rf = {side: {int(x): set(s) for x, s in payload["rf"][side]}
+              for side in _SIDES}
+        sigs = {side: {int(x): set(s) for x, s in payload["sigs"][side]}
+                for side in _SIDES}
+        survivors = {
+            side: {int(x): bool(v) for x, v in payload["survivors"][side]}
+            for side in _SIDES}
+        r_scores: Dict[str, Optional[Dict[int, int]]] = {}
+        for side in _SIDES:
+            table = payload["r_scores"][side]
+            r_scores[side] = (
+                {int(x): int(s) for x, s in table} if table is not None
+                else None)
+        return cls(rf, sigs, survivors, r_scores)
 
 
 class VerificationEntry:
@@ -144,8 +256,21 @@ class VerificationCache:
     differential tests and the engine benchmark.
     """
 
-    def __init__(self, graph: BipartiteGraph) -> None:
+    def __init__(self, graph: BipartiteGraph,
+                 seed: Optional[SeedTables] = None) -> None:
         self._row_of = graph.adjacency.__getitem__
+        # Frozen cross-campaign seed (module docstring, "Cross-campaign
+        # seeding"): consulted on private misses, never written; per-side
+        # tombstones block entries the campaign's own dirt has killed.
+        self._seed = seed
+        self._seed_dead_rf: Dict[str, Set[int]] = {
+            side: set() for side in _SIDES}
+        self._seed_dead_sigs: Dict[str, Set[int]] = {
+            side: set() for side in _SIDES}
+        self._seed_dead_survivors: Dict[str, Set[int]] = {
+            side: set() for side in _SIDES}
+        self._seed_r_valid: Dict[str, bool] = {side: True for side in _SIDES}
+        self.seed_hits = 0
         self._entries: Dict[str, Dict[int, VerificationEntry]] = {
             side: {} for side in _SIDES}
         # Inverted index per side: vertex v -> ids of cached candidates x
@@ -180,6 +305,14 @@ class VerificationCache:
     def rf_entry(self, side: str, x: int) -> Optional[VerificationEntry]:
         """The cached ``(rf, bound, followers)`` entry for ``x``, if valid."""
         entry = self._entries[side].get(x)
+        if (entry is None and self._seed is not None
+                and x not in self._seed_dead_rf[side]):
+            rf = self._seed.rf[side].get(x)
+            if rf is not None:
+                # Promote: the frozen set is shared, the entry is private, so
+                # from here on the normal eviction rules govern it.
+                entry = self.store_rf(side, x, rf)
+                self.seed_hits += 1
         if entry is None:
             self.rf_misses += 1
         else:
@@ -230,6 +363,12 @@ class VerificationCache:
 
     def signature_for(self, side: str, x: int) -> Optional[Set[int]]:
         sig = self._sigs[side].get(x)
+        if (sig is None and self._seed is not None
+                and x not in self._seed_dead_sigs[side]):
+            sig = self._seed.sigs[side].get(x)
+            if sig is not None:
+                self._sigs[side][x] = sig
+                self.seed_hits += 1
         if sig is None:
             self.sig_misses += 1
         else:
@@ -241,6 +380,12 @@ class VerificationCache:
 
     def survivor_verdict(self, side: str, x: int) -> Optional[bool]:
         verdict = self._survivors[side].get(x)
+        if (verdict is None and self._seed is not None
+                and x not in self._seed_dead_survivors[side]):
+            verdict = self._seed.survivors[side].get(x)
+            if verdict is not None:
+                self._survivors[side][x] = verdict
+                self.seed_hits += 1
         if verdict is None:
             self.survivor_misses += 1
         else:
@@ -256,6 +401,12 @@ class VerificationCache:
 
     def r_scores_for(self, side: str) -> Optional[Dict[int, int]]:
         table = self._r_scores[side]
+        if (table is None and self._seed is not None
+                and self._seed_r_valid[side]):
+            table = self._seed.r_scores[side]
+            if table is not None:
+                self._r_scores[side] = table
+                self.seed_hits += 1
         if table is None:
             self.r_score_misses += 1
         else:
@@ -283,19 +434,53 @@ class VerificationCache:
             self.full_invalidations += 1
             return
         for side in _SIDES:
-            seed = dirty[side]
-            if not seed:
+            dirty_seed = dirty[side]
+            if not dirty_seed:
                 continue
-            d1, d3 = self._dilate(seed)
+            d1, d3 = self._dilate(dirty_seed)
             self._evict_rf(side, d1)
             self.evictions += _evict_keys(self._sigs[side], d1)
             self.evictions += _evict_keys(self._survivors[side], d3)
             if self._r_scores[side] is not None:
                 self._r_scores[side] = None
                 self.evictions += 1
+            if self._seed is not None:
+                # Tombstone seed entries by the same D1/D3 rules, via the
+                # seed's static rf index — an entry killed here can never be
+                # served (or re-promoted) again.
+                index = self._seed.rf_index[side]
+                dead = self._seed_dead_rf[side]
+                for v in d1:
+                    ids = index.get(v)
+                    if ids:
+                        dead |= ids
+                self._seed_dead_sigs[side] |= d1
+                self._seed_dead_survivors[side] |= d3
+                self._seed_r_valid[side] = False
+
+    def freeze_seed(self) -> SeedTables:
+        """Detach this cache's tables as a frozen, shareable seed.
+
+        Intended for a throwaway warm-up cache populated from the pristine
+        state (:class:`repro.core.batch.SharedCampaignContext`); the caller
+        must not keep using this cache afterwards, since the seed shares its
+        value objects.
+        """
+        return SeedTables(
+            rf={side: {x: e.rf for x, e in self._entries[side].items()}
+                for side in _SIDES},
+            sigs={side: dict(self._sigs[side]) for side in _SIDES},
+            survivors={side: dict(self._survivors[side]) for side in _SIDES},
+            r_scores={side: self._r_scores[side] for side in _SIDES})
 
     def clear_entries(self) -> None:
-        """Drop all cached state (does not reset counters or the epoch)."""
+        """Drop all cached state (does not reset counters or the epoch).
+
+        Also detaches any cross-campaign seed: callers clearing the cache
+        assert nothing about what moved, and a detached seed is the only
+        universally safe answer.
+        """
+        self._seed = None
         for side in _SIDES:
             self.evictions += (len(self._entries[side])
                                + len(self._sigs[side])

@@ -89,6 +89,55 @@ class OrderState:
         self._counter_u = self.upper.max_position()
         self._counter_l = self.lower.max_position()
 
+    def clone_pristine(self, maintain: Optional[bool] = None) -> "OrderState":
+        """An independent copy of this *pristine* state (no anchors applied).
+
+        Produces exactly the state a fresh ``OrderState(graph, alpha, beta,
+        maintain=...)`` construction would: the pristine deletion orders are a
+        pure function of ``(graph, α, β)``, so copying the position tables and
+        core sets is equivalent to re-peeling them — that equivalence is what
+        lets :class:`repro.core.batch.SharedCampaignContext` pay the order
+        build once per ``(α, β)`` and serve clones to every campaign.  All
+        mutable tables are copied (campaigns repair their own clone freely);
+        the graph itself is shared, as it is never mutated.
+
+        ``maintain`` defaults to this state's setting.  A ``maintain=False``
+        seed cannot produce a ``maintain=True`` clone (the capped core-number
+        tables were never computed), and a state with applied anchors cannot
+        be cloned at all — its tables no longer equal the pristine peel.
+        """
+        if self.anchors:
+            raise ValueError(
+                "clone_pristine() requires a pristine state; %d anchors "
+                "already applied" % len(self.anchors))
+        want = self.maintain if maintain is None else maintain
+        if want and not self.maintain:
+            raise ValueError(
+                "cannot clone maintain=True from a maintain=False seed: "
+                "core-number tables were never computed")
+        clone = OrderState.__new__(OrderState)
+        clone.graph = self.graph
+        clone.alpha = self.alpha
+        clone.beta = self.beta
+        clone.maintain = want
+        clone.anchors = set()
+        clone.upper = DeletionOrder(
+            side="upper", position=dict(self.upper.position),
+            core=set(self.upper.core),
+            relaxed_core=set(self.upper.relaxed_core),
+            alpha=self.alpha, beta=self.beta)
+        clone.lower = DeletionOrder(
+            side="lower", position=dict(self.lower.position),
+            core=set(self.lower.core),
+            relaxed_core=set(self.lower.relaxed_core),
+            alpha=self.alpha, beta=self.beta)
+        clone.core_u = dict(self.core_u) if want else {}
+        clone.core_l = dict(self.core_l) if want else {}
+        clone._counter_u = self._counter_u
+        clone._counter_l = self._counter_l
+        clone._level0_core = None
+        return clone
+
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------

@@ -4,7 +4,8 @@ The render helpers print the paper-style tables; this module persists the
 underlying data so downstream analysis (plotting, regression tracking across
 commits) does not have to re-run hours of sweeps.
 
-* :func:`result_to_dict` — one :class:`AnchoredCoreResult` as plain data;
+* :func:`result_to_dict` / :func:`result_from_dict` — one
+  :class:`AnchoredCoreResult` as plain data, and back;
 * :func:`runs_to_rows` / :func:`write_csv` — flatten ``MethodRun`` lists
   into spreadsheet rows;
 * :func:`write_json` — dump any exported structure with a stable layout.
@@ -17,13 +18,13 @@ import json
 import os
 from typing import Dict, Iterable, List, Sequence, TextIO, Union
 
-from repro.core.result import AnchoredCoreResult
+from repro.core.result import AnchoredCoreResult, IterationRecord
 from repro.experiments.runner import MethodRun
 from repro.resilience.atomic import atomic_writer
 from repro.resilience.faults import fault_site
 
-__all__ = ["result_to_dict", "canonical_result_dict", "runs_to_rows",
-           "write_csv", "write_json"]
+__all__ = ["result_to_dict", "result_from_dict", "canonical_result_dict",
+           "runs_to_rows", "write_csv", "write_json"]
 
 PathOrFile = Union[str, os.PathLike, TextIO]
 
@@ -49,6 +50,28 @@ def result_to_dict(result: AnchoredCoreResult) -> Dict[str, object]:
         "interrupted": result.interrupted,
         "iterations": [record.to_dict() for record in result.iterations],
     }
+
+
+def result_from_dict(data: Dict[str, object]) -> AnchoredCoreResult:
+    """Inverse of :func:`result_to_dict` (used by the persistent service
+    cache).  Raises ``KeyError`` / ``TypeError`` / ``ValueError`` on
+    malformed input — callers treat any failure as a cache miss."""
+    return AnchoredCoreResult(
+        algorithm=str(data["algorithm"]),
+        alpha=int(data["alpha"]),  # type: ignore[arg-type]
+        beta=int(data["beta"]),  # type: ignore[arg-type]
+        b1=int(data["b1"]),  # type: ignore[arg-type]
+        b2=int(data["b2"]),  # type: ignore[arg-type]
+        anchors=[int(a) for a in data["anchors"]],  # type: ignore[union-attr]
+        followers={int(f) for f in data["followers"]},  # type: ignore[union-attr]
+        base_core_size=int(data["base_core_size"]),  # type: ignore[arg-type]
+        final_core_size=int(data["final_core_size"]),  # type: ignore[arg-type]
+        elapsed=float(data["elapsed"]),  # type: ignore[arg-type]
+        iterations=[IterationRecord.from_dict(record)
+                    for record in data["iterations"]],  # type: ignore[union-attr]
+        timed_out=bool(data["timed_out"]),
+        interrupted=bool(data["interrupted"]),
+    )
 
 
 def canonical_result_dict(result: AnchoredCoreResult) -> Dict[str, object]:

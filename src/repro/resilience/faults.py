@@ -18,27 +18,28 @@ replay identically.
 
 Instrumented sites (see ``docs/RESILIENCE.md``):
 
-=====================  ===================================================
-site                   where it fires
-=====================  ===================================================
-``engine.filter``      start of each engine filter stage (once/iteration)
-``engine.verify``      start of each engine verification stage
-``checkpoint.write``   right before a campaign checkpoint is persisted
-``io.read_edge_list``  entry of the edge-list loader (both backends)
-``export.write``       entry of ``write_json`` / ``write_csv``
-``runner.run_method``  entry of ``experiments.runner.run_method``
-``parallel.dispatch``  parent side, before each chunk is sent to a worker
-``parallel.chunk``     worker side, at the start of each received chunk
-``service.admit``      campaign-service submission, before admission control
-``service.dispatch``   service supervisor, before each job attempt starts
-``service.heartbeat``  each supervision sweep of the service monitor
-``service.result``     service supervisor, before a finished result is posted
-=====================  ===================================================
+=========================  ===============================================
+site                       where it fires
+=========================  ===============================================
+``engine.filter``          start of each engine filter stage (1/iteration)
+``engine.verify``          start of each engine verification stage
+``checkpoint.write``       right before a campaign checkpoint is persisted
+``io.read_edge_list``      entry of the edge-list loader (both backends)
+``export.write``           entry of ``write_json`` / ``write_csv``
+``runner.run_method``      entry of ``experiments.runner.run_method``
+``parallel.dispatch``      parent side, before a chunk is sent to a worker
+``parallel.chunk``         worker side, at the start of a received chunk
+``service.admit``          service submission, before admission control
+``service.dispatch``       service supervisor, before each job attempt
+``service.heartbeat``      each supervision sweep of the service monitor
+``service.result``         supervisor, before a finished result is posted
+``service.cache_persist``  before each on-disk cache-entry write
+=========================  ===============================================
 
 The two ``parallel.*`` sites span a process boundary: ``run_engine``
 forwards any active plan's ``parallel.``-prefixed specs into each worker,
 where they replay against that worker's own counters (see
-``docs/PARALLEL.md`` for how worker faults degrade).  The four
+``docs/PARALLEL.md`` for how worker faults degrade).  The five
 ``service.*`` sites drive the campaign-service chaos suite
 (``tests/test_service_faults.py``; see ``docs/SERVICE.md``).
 """

@@ -3,8 +3,10 @@
 Load a graph once, serve many ``reinforce`` jobs against it — with
 priority/deadline queueing, byte-budget admission control, per-job
 checkpointed retries, poison-job quarantine, request coalescing over the
-byte-identity result cache, and graceful SIGTERM drain with restart
-recovery.  Pure stdlib (``threading`` + a condition-variable queue); no
+byte-identity result cache (with a checksummed on-disk tier that survives
+restarts), batched dispatch of same-``(α, β)`` jobs onto a shared warm
+substrate, and graceful SIGTERM drain with restart recovery.  Pure
+stdlib (``threading`` + a condition-variable queue); no
 web framework.  See ``docs/SERVICE.md`` for the architecture and the
 failure-mode table, and ``tests/test_service_faults.py`` for the
 deterministic chaos suite that exercises every degradation path.
@@ -22,7 +24,8 @@ Command line: ``python -m repro.service --input graph.txt --jobs jobs.json``.
 
 from __future__ import annotations
 
-from repro.service.cache import ResultCache
+from repro.service.batching import BatchScheduler
+from repro.service.cache import DiskCacheTier, ResultCache
 from repro.service.jobs import (
     FailureRecord,
     Job,
@@ -37,7 +40,9 @@ from repro.service.supervisor import JobSupervisor
 
 __all__ = [
     "AdmissionController",
+    "BatchScheduler",
     "CampaignService",
+    "DiskCacheTier",
     "FailureRecord",
     "Job",
     "JobHandle",

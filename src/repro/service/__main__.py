@@ -3,7 +3,18 @@
 Loads one graph, submits a batch of jobs from a JSON file, serves them on
 a worker pool with graceful SIGTERM/SIGINT drain, and writes one sorted
 JSON report of every job's outcome.  A killed run can be restarted with
-the same ``--state-dir`` and resumes its backlog from checkpoints.
+the same ``--state-dir`` and resumes its backlog from checkpoints (and,
+with batching enabled, from the persisted result/seed cache).
+
+Same-``(α, β)`` engine-family jobs of equal priority are grouped at
+dispatch onto one shared warm substrate (the default; disable with
+``--no-batching`` to force cold FIFO dispatch).  Batching never changes
+result bytes or the exit-code contract, which is:
+
+* ``0`` — every job reached a clean terminal state;
+* ``2`` — a :class:`~repro.exceptions.ReproError` (bad arguments, bad
+  jobs file, graph/state-dir mismatch) stopped the run;
+* ``3`` — the run finished but at least one job was quarantined.
 
 Jobs file format — a JSON list of job specs::
 
@@ -59,6 +70,10 @@ def _parser() -> argparse.ArgumentParser:
                              "to resume a killed service")
     parser.add_argument("--supervise-interval", type=float, default=1.0,
                         help="seconds between supervision sweeps")
+    parser.add_argument("--no-batching", action="store_true",
+                        help="disable grouped dispatch of same-(alpha,beta) "
+                             "jobs onto a shared warm context; results are "
+                             "byte-identical either way")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the per-job report as JSON")
     return parser
@@ -100,7 +115,7 @@ def _job_report(service: CampaignService) -> List[dict]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns 0, or 3 when any job was quarantined."""
+    """Entry point; 0 = clean, 2 = ``ReproError``, 3 = quarantined job(s)."""
     args = _parser().parse_args(argv)
     try:
         specs = _load_specs(args.jobs)
@@ -112,7 +127,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_retries=args.max_retries,
             state_dir=args.state_dir,
             supervise_interval=(args.supervise_interval
-                                if args.workers else None))
+                                if args.workers else None),
+            batching=not args.no_batching)
         installed = service.install_signal_handlers()
         if installed:
             print("drain on SIGTERM/SIGINT: enabled")

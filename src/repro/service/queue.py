@@ -146,7 +146,9 @@ class JobQueue:
 
     def claim(self, can_dispatch: Callable[[], bool],
               stop: "threading.Event",
-              timeout: Optional[float] = None) -> Optional[Job]:
+              timeout: Optional[float] = None,
+              choose: Optional[Callable[[List[Job]], Optional[Job]]] = None,
+              ) -> Optional[Job]:
         """Pop the highest-priority pending job, or None.
 
         Returns None immediately when ``stop`` is set (drain), when the
@@ -154,6 +156,12 @@ class JobQueue:
         of waiting.  ``can_dispatch`` re-evaluates under the lock each
         wakeup, so admission-control dispatch gating composes with the
         wait loop without a race.
+
+        ``choose``, when given, is offered the pending jobs in dispatch
+        order and may return any of them instead of the head — the batch
+        scheduler uses this to group same-``(α, β)`` jobs.  A None or
+        foreign return falls back to the head, so a buggy chooser can
+        reorder dispatch but never lose or invent a job.
         """
         deadline = (time.monotonic() + timeout) if timeout else None
         with self._cond:
@@ -164,6 +172,10 @@ class JobQueue:
                         self._heap[0][2].state != JobState.PENDING:
                     heapq.heappop(self._heap)
                 if self._heap and can_dispatch():
+                    if choose is not None:
+                        picked = self._pick(choose)
+                        if picked is not None:
+                            return picked
                     return heapq.heappop(self._heap)[2]
                 if timeout is not None and timeout <= 0:
                     return None
@@ -173,6 +185,22 @@ class JobQueue:
                     if remaining <= 0:
                         return None
                 self._cond.wait(remaining)
+
+    def _pick(self, choose: Callable[[List[Job]], Optional[Job]]
+              ) -> Optional[Job]:
+        """Apply a dispatch chooser under the lock; None means use the head.
+
+        The chosen job is removed by identity and the heap re-established,
+        so the remaining jobs keep their exact dispatch order.
+        """
+        entries = sorted(e for e in self._heap
+                         if e[2].state == JobState.PENDING)
+        chosen = choose([job for _, _, job in entries])
+        if chosen is None or all(job is not chosen for _, _, job in entries):
+            return None
+        self._heap = [e for e in self._heap if e[2] is not chosen]
+        heapq.heapify(self._heap)
+        return chosen
 
     def notify(self) -> None:
         """Wake every waiting worker (drain requested / a job finished)."""

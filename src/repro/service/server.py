@@ -50,7 +50,8 @@ from repro.exceptions import AdmissionError, ServiceError
 from repro.resilience.atomic import atomic_write_text
 from repro.resilience.checkpoint import graph_fingerprint
 from repro.resilience.faults import fault_site
-from repro.service.cache import ResultCache
+from repro.service.batching import BatchScheduler
+from repro.service.cache import DiskCacheTier, ResultCache
 from repro.service.jobs import (
     Job,
     JobHandle,
@@ -84,6 +85,15 @@ class CampaignService:
     ``hook(job, record)`` after every engine iteration of every job — is
     the per-iteration observability tap (metrics, deterministic drain
     triggering in tests).
+
+    ``batching`` (default on) routes compatible queued jobs through a
+    :class:`~repro.service.batching.BatchScheduler`: same-``(α, β)``
+    engine-family jobs of equal priority are grouped at dispatch and share
+    one warm :class:`~repro.core.batch.SharedCampaignContext` — results
+    stay byte-identical to cold runs (``docs/SERVICE.md``).
+    ``persistent_cache`` (default on) backs the result cache and the batch
+    seeds with a checksummed on-disk tier under ``<state_dir>/cache`` so
+    hits survive restarts; corruption degrades to a cold cache.
     """
 
     def __init__(self, graph: BipartiteGraph, workers: int = 0,
@@ -95,7 +105,9 @@ class CampaignService:
                  supervise_interval: Optional[float] = None,
                  clock: Optional[Callable[[], float]] = None,
                  sleep: Optional[Callable[[float], None]] = None,
-                 on_iteration: Optional[Callable[..., None]] = None) -> None:
+                 on_iteration: Optional[Callable[..., None]] = None,
+                 batching: bool = True,
+                 persistent_cache: bool = True) -> None:
         if workers < 0:
             raise ServiceError("workers must be >= 0, got %d" % workers)
         self._graph = graph
@@ -106,7 +118,6 @@ class CampaignService:
             memory_footprint(graph), budget_bytes=budget_bytes,
             max_pending=max_pending, job_cost_bytes=job_cost_bytes)
         self._queue = JobQueue()
-        self._cache = ResultCache()
         self._supervisor = JobSupervisor(
             graph, max_retries=max_retries,
             clock=self._clock, sleep=self._sleep,
@@ -127,6 +138,13 @@ class CampaignService:
                     exist_ok=True)
         os.makedirs(os.path.join(self._state_dir, "quarantine"),
                     exist_ok=True)
+        self._disk_cache = (DiskCacheTier(
+            os.path.join(self._state_dir, "cache"), sleep=self._sleep)
+            if persistent_cache else None)
+        self._cache = ResultCache(persist=self._disk_cache)
+        self._scheduler = (BatchScheduler(
+            graph, self._fingerprint, persist=self._disk_cache)
+            if batching else None)
         self._restore_backlog()
         self._workers = workers
         self._threads: List[Optional[threading.Thread]] = []
@@ -222,7 +240,7 @@ class CampaignService:
         finished = 0
         while True:
             job = self._queue.claim(self._dispatch_allowed, self._drain,
-                                    timeout=0)
+                                    timeout=0, choose=self._choose)
             if job is None:
                 return finished
             self._execute(job)
@@ -231,15 +249,35 @@ class CampaignService:
     def _dispatch_allowed(self) -> bool:
         return self._admission.dispatch_allowed(self._n_running)
 
+    @property
+    def _choose(self) -> Optional[Callable[[List[Job]], Optional[Job]]]:
+        """The queue's dispatch chooser: batch grouping, when enabled."""
+        return self._scheduler.choose if self._scheduler is not None else None
+
     def _execute(self, job: Job) -> None:
-        """Run one claimed job through the supervisor and publish the result."""
+        """Run one claimed job through the supervisor and publish the result.
+
+        With batching enabled, the job borrows its ``(α, β)``'s shared
+        context for the duration of the run; any failure to *acquire* one
+        degrades to a cold (context-free) run — admission and quarantine
+        semantics are untouched either way.
+        """
         key = cache_key(self._fingerprint, job.spec)
+        context = None
+        if self._scheduler is not None:
+            try:
+                context = self._scheduler.acquire(job.spec)
+            # repro: boundary — context acquisition is an optimization; on any failure the job runs cold
+            except Exception:
+                context = None
         with self._lock:
             self._n_running += 1
         try:
             self._supervisor.run(job, drain=self._drain,
-                                 requeue=self._queue.push)
+                                 requeue=self._queue.push, context=context)
         finally:
+            if self._scheduler is not None:
+                self._scheduler.release(job.spec, context)
             with self._lock:
                 self._n_running -= 1
                 if job.state == JobState.COMPLETED \
@@ -259,7 +297,7 @@ class CampaignService:
         """Claim-execute loop of worker thread ``index``."""
         while not self._stopping:
             job = self._queue.claim(self._dispatch_allowed, self._drain,
-                                    timeout=0.05)
+                                    timeout=0.05, choose=self._choose)
             if job is None:
                 if self._drain.is_set():
                     return
@@ -394,6 +432,8 @@ class CampaignService:
         for thread in self._threads:
             if thread is not None:
                 thread.join(timeout)
+        if self._scheduler is not None:
+            self._scheduler.close()
         self._persist_backlog()
         if self._own_state_dir:
             shutil.rmtree(self._state_dir, ignore_errors=True)
@@ -484,6 +524,8 @@ class CampaignService:
                 "draining": self._drain.is_set(),
                 "admission": self._admission.describe(),
                 "cache": self._cache.stats(),
+                "batch": (self._scheduler.stats()
+                          if self._scheduler is not None else None),
                 "state_dir": self._state_dir,
                 "workers": self._workers,
             }

@@ -37,7 +37,7 @@ import os
 import threading
 import time
 import traceback
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.bigraph.graph import BipartiteGraph
 from repro.core.api import CHECKPOINTABLE_METHODS, reinforce
@@ -51,6 +51,9 @@ from repro.exceptions import (
 from repro.resilience.faults import fault_site
 from repro.resilience.retry import Backoff
 from repro.service.jobs import FailureRecord, Job, JobState
+
+if TYPE_CHECKING:
+    from repro.core.batch import SharedCampaignContext
 
 __all__ = ["JobSupervisor", "SUPERVISOR_BACKOFF"]
 
@@ -87,7 +90,8 @@ class JobSupervisor:
         self._on_iteration = on_iteration
 
     def run(self, job: Job, drain: Optional[threading.Event] = None,
-            requeue: Optional[Callable[[Job], None]] = None) -> str:
+            requeue: Optional[Callable[[Job], None]] = None,
+            context: Optional["SharedCampaignContext"] = None) -> str:
         """Drive ``job`` to a terminal state; returns the final state.
 
         ``drain`` is an event-like object (``is_set()``); when it fires,
@@ -95,6 +99,10 @@ class JobSupervisor:
         job completes with its verified best-so-far (``interrupted=True``).
         ``requeue`` is called instead of quarantining when a
         ``BaseException`` kills the attempt with budget remaining.
+        ``context`` is the batch scheduler's shared (α, β) substrate for
+        this job, threaded into every attempt (the engine ignores the warm
+        seed on checkpoint resume, so retry-from-checkpoint stays sound);
+        results are byte-identical with or without it.
         """
         job.state = JobState.RUNNING
         delays = self._backoff.delays()
@@ -112,7 +120,7 @@ class JobSupervisor:
             try:
                 fault_site("service.dispatch")
                 stage = "execute"
-                result = self._attempt(job, drain)
+                result = self._attempt(job, drain, context)
                 stage = "result"
                 fault_site("service.result")
             except (InvalidParameterError, CheckpointError) as error:
@@ -153,8 +161,9 @@ class JobSupervisor:
             job.finish(result)
             return job.state
 
-    def _attempt(self, job: Job,
-                 drain: Optional[threading.Event]) -> AnchoredCoreResult:
+    def _attempt(self, job: Job, drain: Optional[threading.Event],
+                 context: Optional["SharedCampaignContext"] = None,
+                 ) -> AnchoredCoreResult:
         """One engine run: resume from the job checkpoint when it exists."""
         spec = job.spec
         checkpointable = spec.method in CHECKPOINTABLE_METHODS
@@ -177,7 +186,7 @@ class JobSupervisor:
             method=spec.method, t=spec.t, seed=spec.seed,
             time_limit=spec.time_limit, checkpoint=checkpoint,
             resume_from=resume, workers=spec.workers, shards=spec.shards,
-            on_iteration=observer)
+            on_iteration=observer, context=context)
 
     def _record(self, job: Job, stage: str, error: BaseException) -> None:
         """Append a structured failure record for the current attempt."""

@@ -1,0 +1,305 @@
+"""Differential tests for batched multi-campaign execution.
+
+The contract under test throughout: a campaign run against a
+:class:`~repro.core.batch.SharedCampaignContext` — shared pristine order
+state, warm verification seed, leased kernels/evaluators — produces
+canonical JSON byte-identical to the same campaign run alone, across
+backends, worker counts, methods, sharding, kill/resume, and service
+restarts over the persisted cache."""
+
+import json
+
+import pytest
+
+from repro.bigraph.memmap import load_graph_memmap, save_graph_memmap
+from repro.bigraph.mutation import disjoint_union
+from repro.core import CampaignSpec, SharedCampaignContext, run_batch
+from repro.core.api import reinforce
+from repro.core.incremental import SeedTables
+from repro.core.order_maintenance import OrderState
+from repro.exceptions import FaultInjected, InvalidParameterError
+from repro.experiments.export import canonical_result_dict
+from repro.generators import planted_core_graph
+from repro.resilience import FaultPlan
+from repro.service import CampaignService, JobSpec
+
+ALPHA = BETA = 3
+
+
+def canonical(result):
+    return json.dumps(canonical_result_dict(result), sort_keys=True)
+
+
+def batch_graph(seed=3):
+    parts = [planted_core_graph(ALPHA, BETA, n_chains=6, max_chain_length=5,
+                                seed=seed + i) for i in range(2)]
+    return disjoint_union(parts)
+
+
+#: A mixed-method batch: different budgets, methods, and t values, all
+#: sharing one (α, β).
+MIXED_SPECS = (
+    CampaignSpec(b1=2, b2=2, method="filver++", t=2),
+    CampaignSpec(b1=1, b2=2, method="filver+"),
+    CampaignSpec(b1=2, b2=1, method="filver"),
+    CampaignSpec(b1=1, b2=1, method="filver++", t=3),
+)
+
+
+def run_standalone(graph, spec):
+    return reinforce(graph, ALPHA, BETA, spec.b1, spec.b2,
+                     method=spec.method, t=spec.t, seed=spec.seed,
+                     time_limit=spec.time_limit, workers=spec.workers,
+                     memoize=spec.memoize, flat_kernel=spec.flat_kernel,
+                     shards=spec.shards)
+
+
+class TestPristineClone:
+    def test_clone_matches_a_fresh_state(self):
+        graph = batch_graph()
+        for maintain in (True, False):
+            seed = OrderState(graph, ALPHA, BETA, maintain=True)
+            clone = seed.clone_pristine(maintain=maintain)
+            fresh = OrderState(graph, ALPHA, BETA, maintain=maintain)
+            assert clone.upper.position == fresh.upper.position
+            assert clone.lower.position == fresh.lower.position
+            assert clone.core == fresh.core
+            assert clone.maintain == maintain
+            assert clone.anchors == set()
+
+    def test_clones_are_independent(self):
+        graph = batch_graph()
+        seed = OrderState(graph, ALPHA, BETA, maintain=True)
+        one = seed.clone_pristine()
+        two = seed.clone_pristine()
+        one.apply_anchors([next(iter(one.upper.position))])
+        assert two.anchors == set()
+        assert seed.anchors == set()
+
+    def test_non_pristine_state_refuses_to_clone(self):
+        graph = batch_graph()
+        state = OrderState(graph, ALPHA, BETA, maintain=True)
+        state.apply_anchors([next(iter(state.upper.position))])
+        with pytest.raises(ValueError):
+            state.clone_pristine()
+
+    def test_maintaining_clone_needs_a_maintaining_seed(self):
+        graph = batch_graph()
+        state = OrderState(graph, ALPHA, BETA, maintain=False)
+        with pytest.raises(ValueError):
+            state.clone_pristine(maintain=True)
+
+
+class TestSeedTables:
+    def test_context_warms_once_and_serves_a_frozen_seed(self):
+        graph = batch_graph().to_csr()
+        with SharedCampaignContext(graph, ALPHA, BETA) as ctx:
+            seed = ctx.seed_tables()
+            assert isinstance(seed, SeedTables)
+            assert seed.entries() > 0
+            assert ctx.seed_tables() is seed  # warmed exactly once
+
+    def test_payload_round_trip_preserves_every_entry(self):
+        graph = batch_graph().to_csr()
+        with SharedCampaignContext(graph, ALPHA, BETA) as ctx:
+            seed = ctx.seed_tables()
+            rebuilt = SeedTables.from_payload(seed.to_payload())
+            assert rebuilt.rf == seed.rf
+            assert rebuilt.sigs == seed.sigs
+            assert rebuilt.survivors == seed.survivors
+            assert rebuilt.r_scores == seed.r_scores
+
+    def test_incompatible_problems_are_rejected(self):
+        graph = batch_graph().to_csr()
+        other = batch_graph(seed=9).to_csr()
+        with SharedCampaignContext(graph, ALPHA, BETA) as ctx:
+            with pytest.raises(InvalidParameterError):
+                ctx.check_compatible(graph, ALPHA + 1, BETA)
+            with pytest.raises(InvalidParameterError):
+                ctx.check_compatible(other, ALPHA, BETA)
+
+
+class TestBatchEquivalence:
+    """batch ≡ sequential, byte for byte, across the execution matrix."""
+
+    @pytest.mark.parametrize("backend", ["list", "csr", "memmap"])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_mixed_batch_matches_standalone(self, backend, workers,
+                                            tmp_path):
+        graph = batch_graph()
+        if backend == "csr":
+            graph = graph.to_csr()
+        elif backend == "memmap":
+            graph = load_graph_memmap(save_graph_memmap(graph,
+                                                        tmp_path / "g"))
+        specs = [CampaignSpec(b1=s.b1, b2=s.b2, method=s.method, t=s.t,
+                              workers=workers) for s in MIXED_SPECS]
+        standalone = [canonical(run_standalone(graph, spec))
+                      for spec in specs]
+        with SharedCampaignContext(graph, ALPHA, BETA) as ctx:
+            batched = run_batch(graph, ALPHA, BETA, specs, context=ctx)
+            stats = ctx.stats()
+        assert [canonical(r) for r in batched] == standalone
+        assert stats["warm"]
+        assert stats["state_clones"] == len(specs)
+
+    def test_sharded_and_baseline_jobs_ride_along_unchanged(self):
+        graph = batch_graph().to_csr()
+        specs = [
+            CampaignSpec(b1=2, b2=2, method="filver++", t=2),
+            CampaignSpec(b1=1, b2=1, method="filver++", t=2, shards=2),
+            CampaignSpec(b1=1, b2=1, method="degree-greedy"),
+        ]
+        standalone = [canonical(run_standalone(graph, spec))
+                      for spec in specs]
+        batched = run_batch(graph, ALPHA, BETA, specs)
+        assert [canonical(r) for r in batched] == standalone
+
+    def test_memoize_off_jobs_share_state_but_not_the_seed(self):
+        graph = batch_graph().to_csr()
+        spec = CampaignSpec(b1=2, b2=2, method="filver++", t=2,
+                            memoize=False)
+        standalone = canonical(run_standalone(graph, spec))
+        with SharedCampaignContext(graph, ALPHA, BETA) as ctx:
+            [result] = run_batch(graph, ALPHA, BETA, [spec], context=ctx)
+            stats = ctx.stats()
+        assert canonical(result) == standalone
+        assert not stats["warm"]  # nothing warmed the seed
+        assert stats["state_clones"] == 1
+
+    def test_seed_payload_moves_between_contexts_byte_identically(self):
+        graph = batch_graph().to_csr()
+        specs = list(MIXED_SPECS)
+        with SharedCampaignContext(graph, ALPHA, BETA) as warm:
+            reference = [canonical(r) for r in
+                         run_batch(graph, ALPHA, BETA, specs, context=warm)]
+            payload = warm.seed_payload()
+        assert payload is not None
+        restored_payload = json.loads(json.dumps(payload))  # disk round trip
+        with SharedCampaignContext(graph, ALPHA, BETA) as cold:
+            assert cold.install_seed_payload(restored_payload)
+            assert cold.stats()["seed_restored"]
+            replayed = [canonical(r) for r in
+                        run_batch(graph, ALPHA, BETA, specs, context=cold)]
+        assert replayed == reference
+
+    def test_kill_and_resume_mid_batch_inside_one_context(self, tmp_path):
+        graph = batch_graph().to_csr()
+        standalone = canonical(reinforce(graph, ALPHA, BETA, 2, 2,
+                                         method="filver++", t=1))
+        ckpt = str(tmp_path / "c.json")
+        with SharedCampaignContext(graph, ALPHA, BETA) as ctx:
+            # Warm the context with a sibling campaign first.
+            reinforce(graph, ALPHA, BETA, 1, 1, method="filver+",
+                      context=ctx)
+            with FaultPlan().add("engine.filter", call=2).active():
+                with pytest.raises(FaultInjected):
+                    reinforce(graph, ALPHA, BETA, 2, 2, method="filver++",
+                              t=1, checkpoint=ckpt, context=ctx)
+            resumed = reinforce(graph, ALPHA, BETA, 2, 2, method="filver++",
+                                t=1, checkpoint=ckpt, resume_from=ckpt,
+                                context=ctx)
+        assert canonical(resumed) == standalone
+
+
+class TestServiceBatching:
+    """The service-level integration: grouped dispatch + persisted cache."""
+
+    PROBLEMS = [(1, 1, "filver++", 2), (2, 1, "filver++", 2),
+                (1, 2, "filver+", 5), (2, 2, "filver", 5)]
+
+    def specs(self):
+        return [JobSpec(alpha=ALPHA, beta=BETA, b1=b1, b2=b2, method=m, t=t)
+                for b1, b2, m, t in self.PROBLEMS]
+
+    def run_service(self, graph, state_dir, specs, **kwargs):
+        with CampaignService(graph, workers=0, state_dir=state_dir,
+                             **kwargs) as service:
+            handles = [service.submit(spec) for spec in specs]
+            service.run_until_idle()
+            results = [canonical(h.result(0)) for h in handles]
+            return results, service.stats()
+
+    def test_batched_service_matches_unbatched_and_standalone(self,
+                                                              tmp_path):
+        graph = batch_graph().to_csr()
+        standalone = [canonical(reinforce(graph, ALPHA, BETA, b1, b2,
+                                          method=m, t=t))
+                      for b1, b2, m, t in self.PROBLEMS]
+        batched, stats = self.run_service(
+            graph, str(tmp_path / "a"), self.specs())
+        unbatched, cold_stats = self.run_service(
+            graph, str(tmp_path / "b"), self.specs(), batching=False)
+        assert batched == standalone
+        assert unbatched == standalone
+        assert stats["batch"]["builds"] == 1
+        assert stats["batch"]["hits"] == len(self.PROBLEMS) - 1
+        assert cold_stats["batch"] is None
+
+    def test_restart_reuses_the_persisted_cache(self, tmp_path):
+        graph = batch_graph().to_csr()
+        state = str(tmp_path / "state")
+        first, _ = self.run_service(graph, state, self.specs())
+        # Restart: the original jobs hit the disk tier; a new job runs
+        # against the seed restored from it.
+        extra = JobSpec(alpha=ALPHA, beta=BETA, b1=2, b2=2,
+                        method="filver++", t=2)
+        second, stats = self.run_service(graph, state,
+                                         self.specs() + [extra])
+        assert second[:len(first)] == first
+        assert stats["cache"]["disk_hits"] == len(self.PROBLEMS)
+        assert stats["batch"]["seed_restores"] == 1
+        assert second[-1] == canonical(reinforce(
+            graph, ALPHA, BETA, 2, 2, method="filver++", t=2))
+
+    def test_grouped_dispatch_regroups_fifo_within_a_priority(self):
+        """A warm-context job jumps ahead of an equal-priority cold one."""
+        graph = batch_graph().to_csr()
+        executed = []
+
+        def tap(job, record):
+            if job.job_id not in executed:
+                executed.append(job.job_id)
+
+        with CampaignService(graph, workers=0, on_iteration=tap) as service:
+            warm = service.submit(JobSpec(alpha=ALPHA, beta=BETA,
+                                          b1=1, b2=1))
+            service.run_until_idle()  # (ALPHA, BETA) context is now warm
+            cold = service.submit(JobSpec(alpha=ALPHA + 1, beta=BETA,
+                                          b1=1, b2=1))
+            grouped = service.submit(JobSpec(alpha=ALPHA, beta=BETA,
+                                             b1=2, b2=1))
+            service.run_until_idle()
+            assert executed == [warm.job_id, grouped.job_id, cold.job_id]
+            assert service.stats()["batch"]["grouped"] == 1
+
+    def test_grouped_dispatch_never_outranks_priority(self):
+        """A warm context cannot promote a job over a higher priority."""
+        graph = batch_graph().to_csr()
+        executed = []
+
+        def tap(job, record):
+            if job.job_id not in executed:
+                executed.append(job.job_id)
+
+        with CampaignService(graph, workers=0, on_iteration=tap) as service:
+            warm = service.submit(JobSpec(alpha=ALPHA, beta=BETA,
+                                          b1=1, b2=1))
+            service.run_until_idle()
+            hi = service.submit(JobSpec(alpha=ALPHA + 1, beta=BETA,
+                                        b1=1, b2=1, priority=5))
+            lo = service.submit(JobSpec(alpha=ALPHA, beta=BETA,
+                                        b1=2, b2=1))
+            service.run_until_idle()
+            assert executed == [warm.job_id, hi.job_id, lo.job_id]
+
+    def test_worker_pool_agrees_with_inline(self, tmp_path):
+        graph = batch_graph().to_csr()
+        standalone = [canonical(reinforce(graph, ALPHA, BETA, b1, b2,
+                                          method=m, t=t))
+                      for b1, b2, m, t in self.PROBLEMS]
+        with CampaignService(graph, workers=2,
+                             state_dir=str(tmp_path / "w")) as service:
+            handles = [service.submit(spec) for spec in self.specs()]
+            results = [canonical(h.result(timeout=60)) for h in handles]
+        assert results == standalone

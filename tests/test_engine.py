@@ -4,7 +4,7 @@ the deadline / observer / checkpoint resilience semantics."""
 import time
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 
 from repro.core import EngineOptions, run_engine
 from repro.core.filver import FILVER_OPTIONS
@@ -59,6 +59,18 @@ class TestAblationAgreement:
         b2 = min(1, g.n_lower)
         base = run_engine(g, alpha, beta, b1, b2, ABLATIONS["base"], "base")
         both = run_engine(g, alpha, beta, b1, b2, ABLATIONS["both"], "both")
+
+        # Zero-follower iterations place *bound-ranked* fallback anchors
+        # (``_fallback_anchors``), and the bound is exactly what these
+        # configurations disagree on (r-score vs |rf(x)|) — such anchors
+        # legitimately differ and their cumulative effect diverges.  The
+        # greedy-equivalence property holds for campaigns where every
+        # placed anchor was chosen for its verified followers.
+        def used_fallback(result):
+            return any(rec.anchors and rec.marginal_followers == 0
+                       for rec in result.iterations)
+
+        assume(not used_fallback(base) and not used_fallback(both))
         assert base.n_followers == both.n_followers
 
 

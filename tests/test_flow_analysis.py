@@ -233,6 +233,16 @@ class TestOrderingFlow:
         ctx = load("ordering_flow_bad.py")
         assert analyze_module(ctx, [get_rule("ordering-flow")]) == []
 
+    def test_shared_context_tables_flag_every_marked_line(self):
+        found = flow_violations("batch_flow_bad.py", "ordering-flow")
+        assert sorted(v.line for v in found) == \
+            marked_lines("batch_flow_bad.py")
+        joined = " | ".join(v.message for v in found)
+        assert "shared-context table" in joined
+
+    def test_sanitized_shared_context_tables_are_clean(self):
+        assert flow_violations("batch_flow_ok.py", "ordering-flow") == []
+
 
 # ----------------------------------------------------------------------
 # resource-lifecycle

@@ -24,7 +24,7 @@ from conftest import random_bigraph
 
 #: Every fault site the service layer introduces.
 SERVICE_SITES = ("service.admit", "service.dispatch", "service.heartbeat",
-                 "service.result")
+                 "service.result", "service.cache_persist")
 
 
 def service_graph(seed=7):
@@ -302,6 +302,73 @@ class TestCoalescingUnderFaults:
                 assert service.run_until_idle() == 1
             assert first.result() is second.result()
             assert service.stats()["cache"]["coalesced"] == 1
+
+
+class TestCachePersistFaults:
+    """The persistent cache tier must degrade, never corrupt.
+
+    A failed or torn on-disk write leaves the in-memory cache
+    authoritative; a restart on the damaged state directory recomputes
+    from cold instead of serving wrong bytes."""
+
+    SPEC = JobSpec(alpha=3, beta=3, b1=2, b2=2)
+
+    def test_persist_fault_degrades_to_a_memory_only_cache(self, tmp_path):
+        graph = service_graph()
+        reference = canonical(reinforce(graph, 3, 3, 2, 2))
+        state = str(tmp_path / "state")
+        plan = FaultPlan()
+        for call in range(1, 5):  # kill every write this run makes
+            plan.add("service.cache_persist", call=call)
+        with quiet_service(graph, state_dir=state) as service:
+            with plan.active():
+                handle = service.submit(self.SPEC)
+                assert service.run_until_idle() == 1
+                stats = service.stats()["cache"]
+            assert canonical(handle.result()) == reference
+            assert stats["disk_write_errors"] >= 1
+            assert stats["disk_stores"] == 0
+        # Restart: nothing was persisted, so the job recomputes — still
+        # byte-identical, and the cache reports a cold start, not a hit.
+        with quiet_service(graph, state_dir=state) as service:
+            handle = service.submit(self.SPEC)
+            service.run_until_idle()
+            assert canonical(handle.result()) == reference
+            assert service.stats()["cache"]["disk_hits"] == 0
+
+    def test_transient_oserror_is_retried_to_a_durable_write(self,
+                                                             tmp_path):
+        graph = service_graph()
+        with quiet_service(graph,
+                           state_dir=str(tmp_path / "state")) as service:
+            with FaultPlan().add("service.cache_persist",
+                                 exc=OSError("disk hiccup")).active():
+                handle = service.submit(self.SPEC)
+                service.run_until_idle()
+            handle.result()
+            assert service.stats()["cache"]["disk_stores"] >= 1
+
+    def test_torn_write_is_detected_and_reads_as_a_cold_cache(self,
+                                                              tmp_path):
+        graph = service_graph()
+        reference = canonical(reinforce(graph, 3, 3, 2, 2))
+        state = tmp_path / "state"
+        with quiet_service(graph, state_dir=str(state)) as service:
+            handle = service.submit(self.SPEC)
+            service.run_until_idle()
+            assert canonical(handle.result()) == reference
+        entries = sorted((state / "cache").glob("*.json"))
+        assert entries
+        for path in entries:  # tear every persisted envelope in half
+            text = path.read_text(encoding="utf-8")
+            path.write_text(text[:len(text) // 2], encoding="utf-8")
+        with quiet_service(graph, state_dir=str(state)) as service:
+            handle = service.submit(self.SPEC)
+            service.run_until_idle()
+            stats = service.stats()["cache"]
+            assert canonical(handle.result()) == reference
+            assert stats["disk_hits"] == 0
+            assert stats["disk_corrupt"] >= 1
 
 
 class TestSeededChaos:
